@@ -1,0 +1,80 @@
+// Ablation (paper §3.3 motivation): the network stall is why concurrency
+// control matters at all. Sweeps the one-way message latency: at zero stall
+// blocking is nearly optimal; as the stall grows, speculation's advantage
+// over blocking widens while locking (which overlaps the stall with other
+// work) stays flat. Also sweeps coordinator CPU cost, which sets the point
+// where speculation saturates (paper §5.1).
+#include <memory>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  double* mp = flags.AddDouble("mp_fraction", 0.2, "multi-partition fraction");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  auto run = [&](CcSchemeKind scheme, Duration latency, double coord_scale) {
+    MicrobenchConfig mb;
+    mb.num_partitions = 2;
+    mb.num_clients = static_cast<int>(*clients);
+    mb.mp_fraction = *mp;
+    ClusterConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_partitions = 2;
+    cfg.num_clients = mb.num_clients;
+    cfg.seed = static_cast<uint64_t>(*bench.seed);
+    cfg.net.one_way_latency = latency;
+    cfg.cost.coord_msg = static_cast<Duration>(cfg.cost.coord_msg * coord_scale);
+    cfg.cost.coord_send = static_cast<Duration>(cfg.cost.coord_send * coord_scale);
+    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+    return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+  };
+
+  std::printf("Ablation: network latency (txns/sec, %.0f%% multi-partition)\n", *mp * 100);
+  TableWriter lat_table({"one_way_us", "speculation", "blocking", "locking", "spec_vs_block"});
+  for (int us : {5, 10, 20, 40, 80, 160}) {
+    const double s = run(CcSchemeKind::kSpeculative, Micros(us), 1.0);
+    const double b = run(CcSchemeKind::kBlocking, Micros(us), 1.0);
+    const double l = run(CcSchemeKind::kLocking, Micros(us), 1.0);
+    lat_table.AddRow({std::to_string(us), FmtInt(s), FmtInt(b), FmtInt(l),
+                      StrFormat("%.2fx", s / b)});
+  }
+  lat_table.PrintAligned();
+
+  std::printf("\nAblation: coordinator CPU cost scale (speculation only)\n");
+  TableWriter coord_table({"coord_scale", "speculation_20mp", "speculation_60mp"});
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    MicrobenchConfig mb;
+    const double t20 = run(CcSchemeKind::kSpeculative, Micros(40), scale);
+    double* saved = mp;
+    (void)saved;
+    // 60% multi-partition point.
+    double t60;
+    {
+      MicrobenchConfig mb2;
+      mb2.num_partitions = 2;
+      mb2.num_clients = static_cast<int>(*clients);
+      mb2.mp_fraction = 0.6;
+      ClusterConfig cfg;
+      cfg.scheme = CcSchemeKind::kSpeculative;
+      cfg.num_partitions = 2;
+      cfg.num_clients = mb2.num_clients;
+      cfg.seed = static_cast<uint64_t>(*bench.seed);
+      cfg.cost.coord_msg = static_cast<Duration>(cfg.cost.coord_msg * scale);
+      cfg.cost.coord_send = static_cast<Duration>(cfg.cost.coord_send * scale);
+      Cluster cluster(cfg, MakeKvEngineFactory(mb2),
+                      std::make_unique<MicrobenchWorkload>(mb2));
+      t60 = cluster.Run(bench.warmup(), bench.measure()).Throughput();
+    }
+    coord_table.AddRow({StrFormat("%.1f", scale), FmtInt(t20), FmtInt(t60)});
+  }
+  coord_table.PrintAligned();
+  return 0;
+}

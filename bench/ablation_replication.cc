@@ -1,0 +1,50 @@
+// Ablation (paper §2.2/§3.2): replication factor k. Durability is "received
+// by k replicas"; votes and single-partition results wait for backup acks,
+// adding one round trip plus backup CPU. The paper's experiments ran
+// replication-free for the model (fig. 10) but deployed with k=2.
+#include <memory>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  double* mp = flags.AddDouble("mp_fraction", 0.1, "multi-partition fraction");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  std::printf("Ablation: replication factor (txns/sec, %.0f%% multi-partition)\n", *mp * 100);
+  TableWriter table({"k", "speculation", "blocking", "locking", "sp_p50_us_spec"});
+
+  for (int k : {1, 2, 3}) {
+    std::vector<std::string> row{std::to_string(k)};
+    double p50 = 0;
+    for (CcSchemeKind scheme :
+         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+      MicrobenchConfig mb;
+      mb.num_partitions = 2;
+      mb.num_clients = static_cast<int>(*clients);
+      mb.mp_fraction = *mp;
+      ClusterConfig cfg;
+      cfg.scheme = scheme;
+      cfg.num_partitions = 2;
+      cfg.num_clients = mb.num_clients;
+      cfg.replication = k;
+      cfg.seed = static_cast<uint64_t>(*bench.seed);
+      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      row.push_back(FmtInt(m.Throughput()));
+      if (scheme == CcSchemeKind::kSpeculative) p50 = m.sp_latency.Percentile(50) / 1000.0;
+    }
+    row.push_back(StrFormat("%.0f", p50));
+    table.AddRow(row);
+  }
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (paper §4.2.1 vs §4.2.2): how much of speculation's win comes
+// from speculating multi-partition transactions through the coordinator?
+// Compares full speculation, local-only speculation, and blocking. Paper
+// fig. 10 shows "speculating multi-partition transactions leads to a
+// substantial improvement when they comprise a large fraction of the
+// workload".
+#include <memory>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  int64_t* step = flags.AddInt64("step", 10, "sweep step in percent");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  std::printf("Ablation: multi-partition speculation on/off (txns/sec)\n");
+  TableWriter table({"mp_pct", "full_speculation", "local_only", "blocking", "spec_gain"});
+
+  for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
+    auto run = [&](bool local_only, CcSchemeKind scheme) {
+      MicrobenchConfig mb;
+      mb.num_partitions = 2;
+      mb.num_clients = static_cast<int>(*clients);
+      mb.mp_fraction = pct / 100.0;
+      ClusterConfig cfg;
+      cfg.scheme = scheme;
+      cfg.num_partitions = 2;
+      cfg.num_clients = mb.num_clients;
+      cfg.seed = static_cast<uint64_t>(*bench.seed);
+      cfg.local_speculation_only = local_only;
+      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+      return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+    };
+    const double full = run(false, CcSchemeKind::kSpeculative);
+    const double local = run(true, CcSchemeKind::kSpeculative);
+    const double blocking = run(false, CcSchemeKind::kBlocking);
+    table.AddRow({std::to_string(pct), FmtInt(full), FmtInt(local), FmtInt(blocking),
+                  StrFormat("%.2fx", local > 0 ? full / local : 0)});
+  }
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

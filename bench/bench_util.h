@@ -1,0 +1,44 @@
+// Shared helpers for the figure/table benchmark harnesses.
+#ifndef PARTDB_BENCH_BENCH_UTIL_H_
+#define PARTDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/types.h"
+#include "runtime/cluster.h"
+
+namespace partdb {
+
+/// Standard measurement flags shared by every figure harness. The defaults
+/// are scaled down from the paper's 15 s + 60 s so that running every bench
+/// binary stays fast; pass --warmup_ms/--measure_ms to restore paper scale.
+struct BenchFlags {
+  int64_t* warmup_ms;
+  int64_t* measure_ms;
+  int64_t* seed;
+  std::string* csv;
+
+  explicit BenchFlags(FlagSet* flags, int64_t warmup_default = 300,
+                      int64_t measure_default = 1500) {
+    warmup_ms = flags->AddInt64("warmup_ms", warmup_default, "warm-up window (virtual ms)");
+    measure_ms =
+        flags->AddInt64("measure_ms", measure_default, "measurement window (virtual ms)");
+    seed = flags->AddInt64("seed", 12345, "simulation seed");
+    csv = flags->AddString("csv", "", "also write results to this CSV file");
+  }
+
+  Duration warmup() const { return *warmup_ms * kMillisecond; }
+  Duration measure() const { return *measure_ms * kMillisecond; }
+};
+
+inline std::string FmtInt(double v) { return StrFormat("%.0f", v); }
+inline std::string FmtPct(double v) { return StrFormat("%.1f%%", v * 100.0); }
+inline std::string Fmt2(double v) { return StrFormat("%.2f", v); }
+
+}  // namespace partdb
+
+#endif  // PARTDB_BENCH_BENCH_UTIL_H_

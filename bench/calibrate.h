@@ -1,0 +1,75 @@
+// Measures the analytical-model parameters (paper Table 2) from the running
+// system, the way the authors did: pure workloads + CPU accounting. Shared by
+// the table2 and fig10 harnesses.
+#ifndef PARTDB_BENCH_CALIBRATE_H_
+#define PARTDB_BENCH_CALIBRATE_H_
+
+#include <memory>
+
+#include "kv/kv_workload.h"
+#include "model/analytical.h"
+#include "runtime/cluster.h"
+
+namespace partdb {
+
+struct CalibrationResult {
+  ModelParams params;
+  double blocking_100mp = 0;  // measured throughput anchors
+  double sp_only = 0;
+};
+
+/// Runs the calibration probes. `clients` and windows as in the benchmarks.
+inline CalibrationResult Calibrate(int clients, Duration warmup, Duration measure,
+                                   uint64_t seed) {
+  auto run = [&](CcSchemeKind scheme, double mp_fraction, bool undo_everywhere,
+                 bool force_locks) {
+    MicrobenchConfig mb;
+    mb.num_partitions = 2;
+    mb.num_clients = clients;
+    mb.mp_fraction = mp_fraction;
+    mb.force_undo = undo_everywhere;
+    ClusterConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_partitions = 2;
+    cfg.num_clients = clients;
+    cfg.seed = seed;
+    cfg.force_locks = force_locks;
+    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+    Metrics m = cluster.Run(warmup, measure);
+    struct Out {
+      double throughput;
+      double cpu_per_txn;  // partition CPU seconds per completed txn
+    };
+    return Out{m.Throughput(),
+               m.completions() == 0
+                   ? 0.0
+                   : ToSeconds(m.partition_busy_ns) / static_cast<double>(m.completions())};
+  };
+
+  CalibrationResult out;
+  // tsp: pure single-partition, no undo; two partitions each finish one
+  // transaction every tsp seconds.
+  const auto sp = run(CcSchemeKind::kBlocking, 0.0, false, false);
+  out.sp_only = sp.throughput;
+  out.params.tsp = 2.0 / sp.throughput;
+  // tspS: same but with undo buffers recorded.
+  const auto sps = run(CcSchemeKind::kBlocking, 0.0, true, false);
+  out.params.tsp_s = 2.0 / sps.throughput;
+  // tmp: pure multi-partition under blocking executes one transaction at a
+  // time across both partitions: tmp = 1/throughput.
+  const auto mp = run(CcSchemeKind::kBlocking, 1.0, false, false);
+  out.blocking_100mp = mp.throughput;
+  out.params.tmp = 1.0 / mp.throughput;
+  // tmpC: CPU consumed per multi-partition transaction at one partition
+  // (total partition CPU is split across the two participants).
+  out.params.tmp_c = mp.cpu_per_txn / 2.0;
+  // l: locking overhead at 0% multi-partition with the fast path disabled,
+  // relative to the same workload with undo (locking always keeps undo).
+  const auto locked = run(CcSchemeKind::kLocking, 0.0, false, true);
+  out.params.lock_overhead = (2.0 / locked.throughput) / out.params.tsp_s - 1.0;
+  return out;
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_BENCH_CALIBRATE_H_

@@ -1,0 +1,58 @@
+// Figure 5 (paper §5.2): microbenchmark with conflicts. Clients 0..P-1 are
+// pinned to their partitions so their keys are hot; the other clients write a
+// hot conflict key with probability p. Speculation and blocking are
+// insensitive to p (they already assume all transactions conflict); locking
+// degrades toward blocking as p grows (paper: speculation up to 2.5x faster
+// than locking at high conflict rates).
+#include <memory>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  int64_t* step = flags.AddInt64("step", 10, "sweep step in percent");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  std::printf("Figure 5: microbenchmark with conflicts (throughput, txns/sec)\n");
+  TableWriter table({"mp_pct", "locking_0", "locking_20", "locking_60", "locking_100",
+                     "speculation", "blocking"});
+
+  const double conflict_levels[4] = {0.0, 0.2, 0.6, 1.0};
+
+  for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
+    std::vector<std::string> row{std::to_string(pct)};
+
+    auto run = [&](CcSchemeKind scheme, double conflict) {
+      MicrobenchConfig mb;
+      mb.num_partitions = 2;
+      mb.num_clients = static_cast<int>(*clients);
+      mb.mp_fraction = pct / 100.0;
+      mb.conflict_prob = conflict;
+      mb.pin_first_clients = true;
+      ClusterConfig cfg;
+      cfg.scheme = scheme;
+      cfg.num_partitions = 2;
+      cfg.num_clients = mb.num_clients;
+      cfg.seed = static_cast<uint64_t>(*bench.seed);
+      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+      return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+    };
+
+    for (double c : conflict_levels) row.push_back(FmtInt(run(CcSchemeKind::kLocking, c)));
+    // Speculation and blocking assume all transactions conflict, so their
+    // throughput does not depend on p; report the p=1 case.
+    row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, 1.0)));
+    row.push_back(FmtInt(run(CcSchemeKind::kBlocking, 1.0)));
+    table.AddRow(row);
+  }
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 7 (paper §5.4): general multi-partition transactions requiring two
+// rounds of communication (a read round, then a write round through the
+// coordinator). Speculation can only speculate the first fragment of the
+// next transaction once the previous one finishes, so it is barely better
+// than blocking; locking is relatively unaffected and wins beyond ~4% MP.
+#include <memory>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  int64_t* step = flags.AddInt64("step", 10, "sweep step in percent");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  std::printf("Figure 7: general (two-round) multi-partition transactions (txns/sec)\n");
+  TableWriter table({"mp_pct", "speculation", "blocking", "locking"});
+
+  for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
+    std::vector<std::string> row{std::to_string(pct)};
+    for (CcSchemeKind scheme :
+         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+      MicrobenchConfig mb;
+      mb.num_partitions = 2;
+      mb.num_clients = static_cast<int>(*clients);
+      mb.mp_fraction = pct / 100.0;
+      mb.mp_rounds = 2;  // the only change vs. fig. 4
+      ClusterConfig cfg;
+      cfg.scheme = scheme;
+      cfg.num_partitions = 2;
+      cfg.num_clients = mb.num_clients;
+      cfg.seed = static_cast<uint64_t>(*bench.seed);
+      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+      row.push_back(FmtInt(cluster.Run(bench.warmup(), bench.measure()).Throughput()));
+    }
+    table.AddRow(row);
+  }
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 8 (paper §5.5): TPC-C throughput (full mix) as the number of
+// warehouses grows from 2 to 20 across 2 partitions with a fixed client
+// count. Expected shape: speculation best (paper: +9.7% over blocking, +63%
+// over locking at 20 warehouses); blocking close behind; locking lowest but
+// improving with more warehouses as per-district conflicts thin out.
+#include <memory>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "runtime/cluster.h"
+#include "tpcc/tpcc_engine.h"
+#include "tpcc/tpcc_workload.h"
+
+using namespace partdb;
+using namespace partdb::tpcc;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags, /*warmup_default=*/200, /*measure_default=*/800);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  int64_t* items = flags.AddInt64("items", 10000, "items per warehouse (spec: 100000)");
+  int64_t* customers =
+      flags.AddInt64("customers", 300, "customers per district (spec: 3000)");
+  int64_t* min_w = flags.AddInt64("min_warehouses", 2, "first warehouse count");
+  int64_t* max_w = flags.AddInt64("max_warehouses", 20, "last warehouse count");
+  int64_t* step = flags.AddInt64("step", 2, "warehouse step");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  std::printf("Figure 8: TPC-C throughput varying warehouses (txns/sec)\n");
+  TableWriter table({"warehouses", "mp_fraction", "speculation", "blocking", "locking"});
+
+  for (int w = static_cast<int>(*min_w); w <= static_cast<int>(*max_w);
+       w += static_cast<int>(*step)) {
+    TpccWorkloadConfig wl;
+    wl.scale.num_warehouses = w;
+    wl.scale.num_partitions = 2;
+    wl.scale.items = static_cast<int>(*items);
+    wl.scale.customers_per_district = static_cast<int>(*customers);
+    wl.scale.initial_orders_per_district = static_cast<int>(*customers);
+
+    std::vector<std::string> row{std::to_string(w), Fmt2(wl.MultiPartitionProbability())};
+    for (CcSchemeKind scheme :
+         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+      ClusterConfig cfg;
+      cfg.scheme = scheme;
+      cfg.num_partitions = 2;
+      cfg.num_clients = static_cast<int>(*clients);
+      cfg.seed = static_cast<uint64_t>(*bench.seed);
+      Cluster cluster(cfg, MakeTpccEngineFactory(wl.scale, cfg.seed),
+                      std::make_unique<TpccWorkload>(wl));
+      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      row.push_back(FmtInt(m.Throughput()));
+    }
+    table.AddRow(row);
+  }
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

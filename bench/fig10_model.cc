@@ -1,0 +1,69 @@
+// Figure 10 (paper §6.4): analytical model vs. measured throughput on the
+// conflict-free microbenchmark. Prints the four model curves (blocking,
+// local speculation, full speculation, locking) computed from parameters
+// calibrated on this system, next to measured runs of the corresponding
+// configurations. The model ignores the central coordinator, so — exactly as
+// in the paper — the measured speculation curves fall below the model once
+// the coordinator saturates.
+#include <memory>
+
+#include "bench_util.h"
+#include "calibrate.h"
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "model/analytical.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  int64_t* step = flags.AddInt64("step", 10, "sweep step in percent");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  const CalibrationResult cal = Calibrate(static_cast<int>(*clients), bench.warmup(),
+                                          bench.measure(), static_cast<uint64_t>(*bench.seed));
+  const ModelParams& p = cal.params;
+  std::printf(
+      "Figure 10: model vs measured (calibrated tsp=%.1fus tspS=%.1fus tmp=%.1fus "
+      "tmpC=%.1fus l=%.1f%%)\n",
+      p.tsp * 1e6, p.tsp_s * 1e6, p.tmp * 1e6, p.tmp_c * 1e6, p.lock_overhead * 100);
+
+  TableWriter table({"mp_pct", "model_spec", "model_local_spec", "model_blocking",
+                     "model_locking", "meas_spec", "meas_local_spec", "meas_blocking",
+                     "meas_locking"});
+
+  auto run = [&](CcSchemeKind scheme, double f, bool local_only) {
+    MicrobenchConfig mb;
+    mb.num_partitions = 2;
+    mb.num_clients = static_cast<int>(*clients);
+    mb.mp_fraction = f;
+    ClusterConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_partitions = 2;
+    cfg.num_clients = mb.num_clients;
+    cfg.seed = static_cast<uint64_t>(*bench.seed);
+    cfg.local_speculation_only = local_only;
+    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+    return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+  };
+
+  for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
+    const double f = pct / 100.0;
+    std::vector<std::string> row{std::to_string(pct)};
+    row.push_back(FmtInt(ModelSpeculationThroughput(p, f)));
+    row.push_back(FmtInt(ModelLocalSpeculationThroughput(p, f)));
+    row.push_back(FmtInt(ModelBlockingThroughput(p, f)));
+    row.push_back(FmtInt(ModelLockingThroughput(p, f)));
+    row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, f, false)));
+    row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, f, true)));
+    row.push_back(FmtInt(run(CcSchemeKind::kBlocking, f, false)));
+    row.push_back(FmtInt(run(CcSchemeKind::kLocking, f, false)));
+    table.AddRow(row);
+  }
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 2 (paper §6.4): the analytical-model parameters measured from the
+// system. Paper values: tsp=64us, tspS=73us, tmp=211us, tmpC=55us, tmpN=40us
+// (effective stall tmp-tmpC=156us), l=13.2%.
+#include "bench_util.h"
+#include "calibrate.h"
+#include "common/flags.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags);
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  CalibrationResult cal = Calibrate(static_cast<int>(*clients), bench.warmup(),
+                                    bench.measure(), static_cast<uint64_t>(*bench.seed));
+
+  std::printf("Table 2: analytical model variables (measured from this system)\n");
+  TableWriter table({"variable", "measured", "paper", "description"});
+  auto us = [](double sec) { return StrFormat("%.1f us", sec * 1e6); };
+  table.AddRow({"tsp", us(cal.params.tsp), "64 us",
+                "single-partition txn, non-speculative"});
+  table.AddRow({"tspS", us(cal.params.tsp_s), "73 us", "single-partition txn, with undo"});
+  table.AddRow({"tmp", us(cal.params.tmp), "211 us",
+                "multi-partition txn incl. 2PC resolution"});
+  table.AddRow({"tmpC", us(cal.params.tmp_c), "55 us", "CPU time of MP txn at one partition"});
+  table.AddRow({"tmpN", us(cal.params.tmp_n()), "156 us (tmp - tmpC)",
+                "network stall during MP txn"});
+  table.AddRow({"l", StrFormat("%.1f%%", cal.params.lock_overhead * 100), "13.2%",
+                "locking overhead fraction"});
+  table.PrintAligned();
+  table.WriteCsvFile(*bench.csv);
+  return 0;
+}

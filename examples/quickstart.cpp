@@ -1,0 +1,50 @@
+// Quickstart: build a two-partition main-memory cluster, pick a concurrency
+// control scheme, run the paper's microbenchmark workload, and read the
+// metrics. This is the smallest end-to-end use of the public API.
+//
+//   $ ./build/examples/quickstart
+//
+#include <cstdio>
+#include <memory>
+
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main() {
+  // 1. Describe the workload: 40 closed-loop clients issuing 12-key
+  //    read/update transactions; 10% touch both partitions.
+  MicrobenchConfig workload;
+  workload.num_partitions = 2;
+  workload.num_clients = 40;
+  workload.mp_fraction = 0.10;
+
+  // 2. Describe the cluster. Everything is simulated deterministically:
+  //    partitions and the coordinator are single-threaded actors, messages
+  //    take ~40us one way, and CPU time is charged from the work each
+  //    transaction actually performs.
+  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
+                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+    ClusterConfig config;
+    config.scheme = scheme;
+    config.num_partitions = workload.num_partitions;
+    config.num_clients = workload.num_clients;
+
+    // 3. Build and run: 100ms warm-up, 500ms measurement (virtual time).
+    Cluster cluster(config, MakeKvEngineFactory(workload),
+                    std::make_unique<MicrobenchWorkload>(workload));
+    Metrics m = cluster.Run(Micros(100000), Micros(500000));
+
+    // 4. Read the results.
+    std::printf("%-12s %8.0f txn/s  (sp p50 %5.0f us, mp p50 %5.0f us)  %s\n",
+                CcSchemeName(scheme), m.Throughput(), m.sp_latency.Percentile(50) / 1000.0,
+                m.mp_latency.Percentile(50) / 1000.0,
+                scheme == CcSchemeKind::kSpeculative ? "<- the paper's contribution" : "");
+  }
+  std::printf(
+      "\nSpeculation wins here because 10%% multi-partition transactions leave\n"
+      "2PC stalls that it fills with useful (speculative) work. See DESIGN.md\n"
+      "and the bench/ harnesses for the full experiment suite.\n");
+  return 0;
+}

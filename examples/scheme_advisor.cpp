@@ -1,0 +1,74 @@
+// scheme_advisor: the paper's §5.7 closing idea — "a query executor might
+// record statistics at runtime and use a model like that presented in
+// Section 6 to make the best choice". Give it your workload's statistics and
+// it recommends a scheme using the analytical model, then (optionally)
+// verifies the recommendation by simulation.
+//
+//   $ ./build/examples/scheme_advisor --mp_fraction=0.3 --abort_fraction=0.02
+//
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "kv/kv_workload.h"
+#include "model/analytical.h"
+#include "runtime/cluster.h"
+
+using namespace partdb;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  double* mp = flags.AddDouble("mp_fraction", 0.2, "fraction of multi-partition txns");
+  double* aborts = flags.AddDouble("abort_fraction", 0.0, "fraction of txns that abort");
+  double* conflicts =
+      flags.AddDouble("conflict_fraction", 0.0, "fraction of txns touching hot keys");
+  bool* multi_round = flags.AddBool("multi_round", false,
+                                    "multi-partition txns need multiple rounds");
+  bool* verify = flags.AddBool("verify", true, "verify the advice by simulation");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  // Table 1 of the paper, as a decision procedure.
+  const char* advice;
+  if (*multi_round) {
+    advice = "locking";
+  } else if (*aborts > 0.05) {
+    advice = *conflicts > 0.3 ? "blocking" : (*mp > 0.3 ? "locking" : "blocking or locking");
+  } else {
+    advice = "speculation";
+  }
+  std::printf("workload: mp=%.0f%% aborts=%.0f%% conflicts=%.0f%% rounds=%s\n", *mp * 100,
+              *aborts * 100, *conflicts * 100, *multi_round ? "multiple" : "single");
+  std::printf("paper Table 1 advice: %s\n", advice);
+
+  // Model throughputs (single-round workloads only — the §6 model's scope).
+  ModelParams params;  // paper Table 2 values; Calibrate() would use ours
+  if (!*multi_round) {
+    std::printf("\nanalytical model (paper Table 2 parameters):\n");
+    std::printf("  blocking    %8.0f txn/s\n", ModelBlockingThroughput(params, *mp));
+    std::printf("  speculation %8.0f txn/s\n", ModelSpeculationThroughput(params, *mp));
+    std::printf("  locking     %8.0f txn/s (no conflicts)\n",
+                ModelLockingThroughput(params, *mp));
+  }
+
+  if (!*verify) return 0;
+  std::printf("\nsimulation check:\n");
+  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
+                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+    MicrobenchConfig mb;
+    mb.num_partitions = 2;
+    mb.num_clients = 40;
+    mb.mp_fraction = *mp;
+    mb.abort_prob = *aborts;
+    mb.conflict_prob = *conflicts;
+    mb.pin_first_clients = *conflicts > 0;
+    mb.mp_rounds = *multi_round ? 2 : 1;
+    ClusterConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_partitions = 2;
+    cfg.num_clients = mb.num_clients;
+    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+    Metrics m = cluster.Run(Micros(150000), Micros(600000));
+    std::printf("  %-12s %8.0f txn/s\n", CcSchemeName(scheme), m.Throughput());
+  }
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "client/client_actor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+const char* CcSchemeName(CcSchemeKind k) {
+  switch (k) {
+    case CcSchemeKind::kBlocking:
+      return "blocking";
+    case CcSchemeKind::kSpeculative:
+      return "speculation";
+    case CcSchemeKind::kLocking:
+      return "locking";
+    case CcSchemeKind::kOcc:
+      return "occ";
+  }
+  return "?";
+}
+
+void ClientActor::Kick() {
+  sim()->Schedule(sim()->Now(), [this]() {
+    Message m;
+    m.src = node_id();
+    m.dst = node_id();
+    m.body = TimerFire{kInvalidTxn, 0};
+    Deliver(std::move(m));
+  });
+}
+
+void ClientActor::OnMessage(Message& msg, ActorContext& ctx) {
+  ctx.Charge(cost_.client_msg);
+  if (auto* t = std::get_if<TimerFire>(&msg.body)) {
+    if (t->txn_id == kInvalidTxn) {
+      IssueNext(ctx);  // initial kick
+      return;
+    }
+    // Retry backoff expired.
+    if (in_flight_ && t->txn_id == cur_id_ && t->generation == attempt_) {
+      SendCurrent(ctx);
+    }
+    return;
+  }
+  if (auto* r = std::get_if<ClientResponse>(&msg.body)) {
+    if (!in_flight_ || r->txn_id != cur_id_) return;  // stale
+    Complete(r->committed, ctx);
+    return;
+  }
+  if (auto* r = std::get_if<FragmentResponse>(&msg.body)) {
+    PARTDB_CHECK(scheme_ == CcSchemeKind::kLocking);
+    OnFragmentResponse(*r, ctx);
+    return;
+  }
+  PARTDB_CHECK(false);
+}
+
+void ClientActor::IssueNext(ActorContext& ctx) {
+  if (stopped_) return;
+  req_ = workload_->Next(index_, rng_);
+  cur_id_ = MakeTxnId(index_, next_seq_++);
+  attempt_ = 0;
+  in_flight_ = true;
+  issue_time_ = ctx.now();
+  SendCurrent(ctx);
+}
+
+void ClientActor::SendCurrent(ActorContext& ctx) {
+  if (req_.single_partition()) {
+    FragmentRequest f;
+    f.txn_id = cur_id_;
+    f.attempt = attempt_;
+    f.round = 0;
+    f.last_round = true;
+    f.multi_partition = false;
+    f.can_abort = req_.can_abort;
+    f.coordinator = node_id();
+    f.args = req_.args;
+    ctx.Send(topology_.partition_primary[req_.participants[0]], std::move(f));
+    return;
+  }
+  if (scheme_ != CcSchemeKind::kLocking) {
+    ClientRequest r;
+    r.txn_id = cur_id_;
+    r.attempt = attempt_;
+    r.args = req_.args;
+    r.participants = req_.participants;
+    r.num_rounds = req_.rounds;
+    r.can_abort = req_.can_abort;
+    ctx.Send(topology_.coordinator, std::move(r));
+    return;
+  }
+  // Locking: the client is the 2PC coordinator (paper §4.3).
+  round_ = 0;
+  SendLockingRound(nullptr, ctx);
+}
+
+void ClientActor::SendLockingRound(PayloadPtr round_input, ActorContext& ctx) {
+  got_.assign(req_.participants.size(), false);
+  resp_.assign(req_.participants.size(), FragmentResponse{});
+  const bool last = round_ == req_.rounds - 1;
+  for (PartitionId p : req_.participants) {
+    FragmentRequest f;
+    f.txn_id = cur_id_;
+    f.attempt = attempt_;
+    f.round = round_;
+    f.last_round = last;
+    f.multi_partition = true;
+    f.can_abort = req_.can_abort;
+    f.coordinator = node_id();
+    f.args = req_.args;
+    f.round_input = round_input;
+    ctx.Send(topology_.partition_primary[p], std::move(f));
+  }
+}
+
+void ClientActor::OnFragmentResponse(FragmentResponse& r, ActorContext& ctx) {
+  if (!in_flight_ || r.txn_id != cur_id_ || r.attempt != attempt_) return;  // stale
+  if (r.round != round_) return;
+  auto pi = std::find(req_.participants.begin(), req_.participants.end(), r.partition);
+  PARTDB_CHECK(pi != req_.participants.end());
+  const size_t idx = static_cast<size_t>(pi - req_.participants.begin());
+  if (got_[idx]) return;
+  got_[idx] = true;
+  resp_[idx] = r;
+  for (bool g : got_) {
+    if (!g) return;
+  }
+  // Round complete.
+  bool user_abort = false;
+  bool system_abort = false;
+  for (const auto& fr : resp_) {
+    if (fr.vote == Vote::kAbort) {
+      if (fr.system_abort) {
+        system_abort = true;
+      } else {
+        user_abort = true;
+      }
+    }
+  }
+  if (system_abort) {
+    FinishLockingTxn(false, /*retry=*/true, ctx);
+    return;
+  }
+  if (user_abort) {
+    FinishLockingTxn(false, /*retry=*/false, ctx);
+    return;
+  }
+  if (round_ < req_.rounds - 1) {
+    std::vector<std::pair<PartitionId, PayloadPtr>> prev;
+    for (size_t i = 0; i < req_.participants.size(); ++i) {
+      prev.emplace_back(req_.participants[i], resp_[i].result);
+    }
+    PayloadPtr input = workload_->RoundInput(*req_.args, round_ + 1, prev);
+    round_++;
+    SendLockingRound(std::move(input), ctx);
+    return;
+  }
+  FinishLockingTxn(true, false, ctx);
+}
+
+void ClientActor::FinishLockingTxn(bool commit, bool retry, ActorContext& ctx) {
+  for (PartitionId p : req_.participants) {
+    ctx.Send(topology_.partition_primary[p], DecisionMessage{cur_id_, attempt_, commit});
+  }
+  if (retry) {
+    if (metrics_->recording) metrics_->txn_retries++;
+    attempt_++;
+    // Jittered backoff so the same transactions do not re-deadlock in
+    // lockstep (the paper resolves distributed deadlock by timeout; retry
+    // policy is the client's).
+    const Duration backoff = static_cast<Duration>(rng_.Uniform(Micros(500)));
+    ctx.SetTimer(backoff, TimerFire{cur_id_, attempt_});
+    return;
+  }
+  Complete(commit, ctx);
+}
+
+void ClientActor::Complete(bool committed, ActorContext& ctx) {
+  in_flight_ = false;
+  if (metrics_->recording) {
+    const bool sp = req_.single_partition();
+    if (committed) {
+      metrics_->committed++;
+      if (sp) {
+        metrics_->sp_committed++;
+      } else {
+        metrics_->mp_committed++;
+      }
+    } else {
+      metrics_->user_aborts++;
+    }
+    const Duration lat = ctx.now() - issue_time_;
+    if (sp) {
+      metrics_->sp_latency.Add(lat);
+    } else {
+      metrics_->mp_latency.Add(lat);
+    }
+  }
+  IssueNext(ctx);
+}
+
+}  // namespace partdb

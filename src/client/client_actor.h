@@ -1,0 +1,83 @@
+// Closed-loop client (paper §5: no think time; issues the next request as
+// soon as the previous response arrives). Single-partition transactions go
+// directly to the owning partition. Multi-partition transactions go through
+// the central coordinator under blocking/speculation, but under locking the
+// client library coordinates 2PC itself (paper §4.3), retrying transactions
+// aborted by deadlock timeouts.
+#ifndef PARTDB_CLIENT_CLIENT_ACTOR_H_
+#define PARTDB_CLIENT_CLIENT_ACTOR_H_
+
+#include <vector>
+
+#include "client/workload.h"
+#include "common/rng.h"
+#include "engine/cost_model.h"
+#include "runtime/metrics.h"
+#include "sim/actor.h"
+
+namespace partdb {
+
+enum class CcSchemeKind { kBlocking, kSpeculative, kLocking, kOcc };
+
+const char* CcSchemeName(CcSchemeKind k);
+
+class ClientActor : public Actor {
+ public:
+  ClientActor(std::string name, int client_index, Workload* workload, Metrics* metrics,
+              Topology topology, CcSchemeKind scheme, const CostModel& cost, uint64_t seed)
+      : Actor(std::move(name)),
+        index_(client_index),
+        workload_(workload),
+        metrics_(metrics),
+        topology_(std::move(topology)),
+        scheme_(scheme),
+        cost_(cost),
+        rng_(seed) {}
+
+  /// Schedules the first request; call once after Bind.
+  void Kick();
+
+  /// Stops issuing new transactions once the in-flight one completes
+  /// (lets tests drain the cluster to a quiescent state).
+  void Stop() { stopped_ = true; }
+
+  uint64_t issued() const { return next_seq_; }
+
+ protected:
+  void OnMessage(Message& msg, ActorContext& ctx) override;
+
+ private:
+  void IssueNext(ActorContext& ctx);
+  void SendCurrent(ActorContext& ctx);  // (re)issues the current transaction
+  void Complete(bool committed, ActorContext& ctx);
+  // Locking-mode self-coordination.
+  void OnFragmentResponse(FragmentResponse& r, ActorContext& ctx);
+  void SendLockingRound(PayloadPtr round_input, ActorContext& ctx);
+  void FinishLockingTxn(bool commit, bool retry, ActorContext& ctx);
+
+  int index_;
+  Workload* workload_;
+  Metrics* metrics_;
+  Topology topology_;
+  CcSchemeKind scheme_;
+  CostModel cost_;
+  Rng rng_;
+
+  // In-flight transaction (closed loop: at most one).
+  TxnRequest req_;
+  TxnId cur_id_ = kInvalidTxn;
+  uint32_t attempt_ = 0;
+  Time issue_time_ = 0;
+  uint32_t next_seq_ = 0;
+  bool in_flight_ = false;
+  bool stopped_ = false;
+
+  // Locking-mode round state.
+  int round_ = 0;
+  std::vector<bool> got_;
+  std::vector<FragmentResponse> resp_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_CLIENT_CLIENT_ACTOR_H_

@@ -1,0 +1,51 @@
+// Workload interface: generates stored-procedure invocations for closed-loop
+// clients and supplies coordinator-side continuation logic for multi-round
+// transactions.
+#ifndef PARTDB_CLIENT_WORKLOAD_H_
+#define PARTDB_CLIENT_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "msg/message.h"
+#include "msg/payload.h"
+
+namespace partdb {
+
+/// One transaction to run: arguments plus routing facts the client library
+/// derives from the catalog (paper §3.1).
+struct TxnRequest {
+  PayloadPtr args;
+  std::vector<PartitionId> participants;
+  int rounds = 1;
+  bool can_abort = false;
+
+  bool single_partition() const { return participants.size() == 1 && rounds == 1; }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Next transaction for client `client_index` (closed loop, no think time).
+  virtual TxnRequest Next(int client_index, Rng& rng) = 0;
+
+  /// Coordinator-side application code (paper §3.3): computes the input for
+  /// `round` from the previous round's per-partition results. Only called for
+  /// transactions with rounds > 1.
+  virtual PayloadPtr RoundInput(const Payload& args, int round,
+                                const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) {
+    return nullptr;
+  }
+};
+
+/// Node addressing for one cluster instance.
+struct Topology {
+  std::vector<NodeId> partition_primary;  // indexed by PartitionId
+  NodeId coordinator = kInvalidNode;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_CLIENT_WORKLOAD_H_

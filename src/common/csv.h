@@ -1,0 +1,71 @@
+// CSV row emission for benchmark harnesses. Writes to stdout and/or a file.
+#ifndef PARTDB_COMMON_CSV_H_
+#define PARTDB_COMMON_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace partdb {
+
+/// Buffers rows of string cells and prints them aligned (console) or as CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Prints the table with aligned columns to `out`.
+  void PrintAligned(std::FILE* out = stdout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+    PrintRow(out, header_, width);
+    for (const auto& row : rows_) PrintRow(out, row, width);
+  }
+
+  /// Prints the table as CSV to `out`.
+  void PrintCsv(std::FILE* out) const {
+    PrintCsvRow(out, header_);
+    for (const auto& row : rows_) PrintCsvRow(out, row);
+  }
+
+  /// Writes CSV to `path` if non-empty. Returns true on success.
+  bool WriteCsvFile(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    PrintCsv(f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static void PrintRow(std::FILE* out, const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                   c + 1 == row.size() ? "\n" : "  ");
+    }
+  }
+  static void PrintCsvRow(std::FILE* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, "%s%s", row[c].c_str(), c + 1 == row.size() ? "\n" : ",");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+inline std::string StrFormat(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_COMMON_CSV_H_

@@ -1,0 +1,113 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+namespace {
+// Flag storage lives as long as the process; FlagSet hands out stable pointers.
+template <typename T>
+T* Store(T value) {
+  static std::vector<std::unique_ptr<T>> pool;
+  pool.push_back(std::make_unique<T>(value));
+  return pool.back().get();
+}
+}  // namespace
+
+int64_t* FlagSet::AddInt64(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  int64_t* p = Store<int64_t>(default_value);
+  flags_[name] = Flag{Kind::kInt64, p, help, std::to_string(default_value)};
+  return p;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  double* p = Store<double>(default_value);
+  flags_[name] = Flag{Kind::kDouble, p, help, std::to_string(default_value)};
+  return p;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool default_value, const std::string& help) {
+  bool* p = Store<bool>(default_value);
+  flags_[name] = Flag{Kind::kBool, p, help, default_value ? "true" : "false"};
+  return p;
+}
+
+std::string* FlagSet::AddString(const std::string& name, const std::string& default_value,
+                                const std::string& help) {
+  std::string* p = Store<std::string>(default_value);
+  flags_[name] = Flag{Kind::kString, p, help, default_value};
+  return p;
+}
+
+bool FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  Flag& f = it->second;
+  switch (f.kind) {
+    case Kind::kInt64:
+      *static_cast<int64_t*>(f.target) = std::strtoll(value.c_str(), nullptr, 10);
+      break;
+    case Kind::kDouble:
+      *static_cast<double*>(f.target) = std::strtod(value.c_str(), nullptr);
+      break;
+    case Kind::kBool:
+      *static_cast<bool*>(f.target) = (value == "true" || value == "1" || value.empty());
+      break;
+    case Kind::kString:
+      *static_cast<std::string*>(f.target) = value;
+      break;
+  }
+  return true;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      const bool is_bool = it != flags_.end() && it->second.kind == Kind::kBool;
+      if (!is_bool && i + 1 < argc) {
+        value = argv[++i];
+      }
+    }
+    if (!SetValue(name, value)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return true;
+}
+
+void FlagSet::PrintUsage(const char* prog) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", prog);
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%s (default %s): %s\n", name.c_str(),
+                 flag.default_repr.c_str(), flag.help.c_str());
+  }
+}
+
+}  // namespace partdb

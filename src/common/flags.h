@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for benchmark and example binaries.
+// Supports --name=value and --name value forms plus --help.
+#ifndef PARTDB_COMMON_FLAGS_H_
+#define PARTDB_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace partdb {
+
+/// Registry of typed flags. Register defaults, then Parse(argc, argv).
+class FlagSet {
+ public:
+  /// Registers an int64 flag and returns a pointer to its storage.
+  int64_t* AddInt64(const std::string& name, int64_t default_value, const std::string& help);
+  double* AddDouble(const std::string& name, double default_value, const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value, const std::string& help);
+  std::string* AddString(const std::string& name, const std::string& default_value,
+                         const std::string& help);
+
+  /// Parses argv. On --help, prints usage and returns false (caller should
+  /// exit). Unknown flags are a fatal error.
+  bool Parse(int argc, char** argv);
+
+  void PrintUsage(const char* prog) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+  bool SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_COMMON_FLAGS_H_

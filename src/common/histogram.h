@@ -1,0 +1,64 @@
+// Log-bucketed histogram for latency measurements, plus simple running stats.
+#ifndef PARTDB_COMMON_HISTOGRAM_H_
+#define PARTDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace partdb {
+
+/// Histogram over non-negative int64 samples (typically nanoseconds). Buckets
+/// grow geometrically (~10% per bucket) so percentile error is bounded.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(int64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  /// Value at percentile p in [0, 100]. Linear interpolation within a bucket.
+  double Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max (values scaled by `scale`).
+  std::string Summary(double scale = 1.0) const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(int64_t value);
+  static int64_t BucketLimit(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+};
+
+/// Running mean/min/max accumulator for doubles.
+class RunningStat {
+ public:
+  void Add(double v) {
+    if (n_ == 0 || v < min_) min_ = v;
+    if (n_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++n_;
+  }
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t n_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_COMMON_HISTOGRAM_H_

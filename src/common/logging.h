@@ -1,0 +1,40 @@
+// Minimal assertion and logging macros. CHECKs abort on failure (logic errors
+// are bugs, not recoverable conditions, per the single-threaded engine design).
+#ifndef PARTDB_COMMON_LOGGING_H_
+#define PARTDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace partdb {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace partdb
+
+#define PARTDB_CHECK(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) ::partdb::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#define PARTDB_CHECK_EQ(a, b) PARTDB_CHECK((a) == (b))
+#define PARTDB_CHECK_NE(a, b) PARTDB_CHECK((a) != (b))
+#define PARTDB_CHECK_LT(a, b) PARTDB_CHECK((a) < (b))
+#define PARTDB_CHECK_LE(a, b) PARTDB_CHECK((a) <= (b))
+#define PARTDB_CHECK_GT(a, b) PARTDB_CHECK((a) > (b))
+#define PARTDB_CHECK_GE(a, b) PARTDB_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define PARTDB_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define PARTDB_DCHECK(expr) PARTDB_CHECK(expr)
+#endif
+
+#endif  // PARTDB_COMMON_LOGGING_H_

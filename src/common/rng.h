@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded via
+// splitmix64). All randomness in the system flows through explicitly seeded
+// Rng instances so that simulations are reproducible bit-for-bit.
+#ifndef PARTDB_COMMON_RNG_H_
+#define PARTDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+/// Advances a splitmix64 state and returns the next output. Used for seeding
+/// and as a cheap stateless hash/mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Mixes a single value (stateless). Good avalanche; used for hashing ids.
+uint64_t Mix64(uint64_t x);
+
+/// xoshiro256** generator. Not thread-safe; one instance per simulated entity.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace partdb {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kAlreadyExists:
+      name = "AlreadyExists";
+      break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+  }
+  std::string out = name;
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace partdb

@@ -1,0 +1,57 @@
+// RocksDB-style Status: lightweight error propagation without exceptions.
+#ifndef PARTDB_COMMON_STATUS_H_
+#define PARTDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace partdb {
+
+/// Result of a fallible operation. Cheap to copy in the OK case.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kAlreadyExists = 3,
+    kAborted = 4,
+    kInternal = 5,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") { return Status(Code::kNotFound, std::move(msg)); }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") { return Status(Code::kAborted, std::move(msg)); }
+  static Status Internal(std::string msg = "") { return Status(Code::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable form, e.g. "NotFound: no such key".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_COMMON_STATUS_H_

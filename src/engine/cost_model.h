@@ -1,0 +1,63 @@
+// Converts work receipts into virtual CPU time. Coefficients are calibrated
+// so the microbenchmark reproduces the paper's Table 2 parameters
+// (tsp = 64us, tspS = 73us, tmpC = 55us, locking overhead l = 13.2%).
+#ifndef PARTDB_ENGINE_COST_MODEL_H_
+#define PARTDB_ENGINE_COST_MODEL_H_
+
+#include "common/types.h"
+#include "engine/work_meter.h"
+
+namespace partdb {
+
+struct CostModel {
+  // Fragment execution. Calibrated so a 12-key microbenchmark transaction
+  // costs ~64us without undo (tsp) and ~73us with undo (tspS), matching
+  // Table 2.
+  Duration fragment_base = Micros(8.0);    // dispatch, procedure entry/exit
+  Duration per_read = Micros(1.3);         // tuple read
+  Duration per_write = Micros(2.2);        // tuple write/insert/delete
+  Duration per_index_node = Micros(0.25);  // index node visit / hash probe
+  Duration per_undo = Micros(0.75);        // undo record append (or rollback)
+  Duration per_user_code = Micros(0.15);   // unit of procedure logic
+
+  // Message handling and transaction management. The coordinator costs make
+  // it saturate near 50% multi-partition fraction with 40 clients, matching
+  // the paper's observation in §5.1.
+  Duration partition_msg = Micros(6.0);  // partition-side receive/dispatch
+  Duration twopc_vote = Micros(3.0);     // prepare bookkeeping at participant
+  Duration twopc_decide = Micros(2.0);   // decision processing at participant
+  Duration coord_msg = Micros(16.0);     // coordinator per-message-received CPU
+  Duration coord_send = Micros(10.0);    // coordinator per-message-sent CPU
+  Duration client_msg = Micros(0.0);     // client-side CPU (clients not modeled as bottleneck)
+  Duration abort_exec = Micros(4.0);     // user abort at start of execution (paper §5.3)
+
+  // Lock manager (locking scheme). Split to reproduce the §5.6 profile
+  // (acquire 14% / table management 12% / release 6% of execution time).
+  Duration lock_acquire = Micros(0.34);
+  Duration lock_release = Micros(0.14);
+  Duration lock_table_op = Micros(0.14);
+  Duration lock_block = Micros(1.2);  // suspend/resume a blocked transaction
+  /// Multiplier on the per-tuple lock traffic charged for rows beyond the
+  /// declared lock plan (TPC-C's row-at-a-time locking through a lock
+  /// manager "more complex" than the microbenchmark's, §5.6). Calibrated so
+  /// the TPC-C NewOrder profile spends ~1/3 of its time in the lock manager.
+  double per_tuple_lock_multiplier = 2.5;
+
+  /// CPU cost of one fragment execution (excluding lock-manager work).
+  Duration ExecCost(const WorkMeter& m) const {
+    return fragment_base + per_read * m.reads + per_write * m.writes +
+           per_index_node * m.index_nodes + per_undo * m.undo_records +
+           per_user_code * m.user_code;
+  }
+
+  /// CPU cost of the lock-manager traffic in a receipt.
+  Duration LockAcquireCost(const WorkMeter& m) const { return lock_acquire * m.lock_acquires; }
+  Duration LockReleaseCost(const WorkMeter& m) const { return lock_release * m.lock_releases; }
+  Duration LockTableCost(const WorkMeter& m) const {
+    return lock_table_op * m.lock_table_ops + lock_block * m.lock_waits;
+  }
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_ENGINE_COST_MODEL_H_

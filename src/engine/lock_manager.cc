@@ -1,0 +1,206 @@
+#include "engine/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+namespace {
+void Meter(WorkMeter* m, uint32_t* field, uint32_t n = 1) {
+  if (m != nullptr) *field += n;
+}
+}  // namespace
+
+bool LockManager::Holds(const LockEntry& e, const void* owner) {
+  return std::find(e.holders.begin(), e.holders.end(), owner) != e.holders.end();
+}
+
+bool LockManager::Acquire(uint64_t lock_id, void* owner, bool exclusive, WorkMeter* m) {
+  if (m != nullptr) {
+    m->lock_acquires++;
+    m->lock_table_ops++;  // entry lookup/create
+  }
+  OwnerState& os = owners_[owner];
+  PARTDB_CHECK(!os.waiting);  // one outstanding request per owner
+
+  auto [it, created] = table_.try_emplace(lock_id);
+  LockEntry& e = it->second;
+  if (created) {
+    e.exclusive = exclusive;
+    e.holders.push_back(owner);
+    os.held.push_back(lock_id);
+    return true;
+  }
+
+  const bool self_holds = Holds(e, owner);
+  if (self_holds) {
+    if (!exclusive || e.exclusive) return true;  // equal/weaker re-acquire
+    // Upgrade S -> X.
+    if (e.holders.size() == 1) {
+      e.exclusive = true;
+      return true;
+    }
+    // Queue the upgrade at the front; grant happens when other holders leave.
+    e.queue.push_front(Waiter{owner, true});
+    os.waiting = true;
+    os.waiting_lock = lock_id;
+    os.waiting_exclusive = true;
+    if (m != nullptr) m->lock_waits++;
+    return false;
+  }
+
+  const bool compatible = !exclusive && !e.exclusive && e.queue.empty();
+  if (compatible) {
+    e.holders.push_back(owner);
+    os.held.push_back(lock_id);
+    return true;
+  }
+  if (e.holders.empty() && e.queue.empty()) {
+    // Entry left over from a grant cycle; take it.
+    e.exclusive = exclusive;
+    e.holders.push_back(owner);
+    os.held.push_back(lock_id);
+    return true;
+  }
+  e.queue.push_back(Waiter{owner, exclusive});
+  os.waiting = true;
+  os.waiting_lock = lock_id;
+  os.waiting_exclusive = exclusive;
+  if (m != nullptr) m->lock_waits++;
+  return false;
+}
+
+void LockManager::GrantFromQueue(uint64_t lock_id, LockEntry* e, WorkMeter* m,
+                                 std::vector<Granted>* granted) {
+  for (;;) {
+    if (e->queue.empty()) break;
+    Waiter w = e->queue.front();
+    if (w.exclusive) {
+      const bool upgrade = Holds(*e, w.owner);
+      if (upgrade) {
+        if (e->holders.size() != 1) break;  // other S holders remain
+        e->exclusive = true;
+      } else {
+        if (!e->holders.empty()) break;
+        e->exclusive = true;
+        e->holders.push_back(w.owner);
+        owners_[w.owner].held.push_back(lock_id);
+      }
+    } else {
+      if (!e->holders.empty() && e->exclusive) break;
+      e->exclusive = false;
+      e->holders.push_back(w.owner);
+      owners_[w.owner].held.push_back(lock_id);
+    }
+    e->queue.pop_front();
+    OwnerState& os = owners_[w.owner];
+    os.waiting = false;
+    granted->push_back(Granted{w.owner, lock_id, w.exclusive});
+    if (w.exclusive) break;  // X grant blocks everything behind it
+  }
+}
+
+void LockManager::ReleaseAll(void* owner, WorkMeter* m, std::vector<Granted>* granted) {
+  auto oit = owners_.find(owner);
+  if (oit == owners_.end()) return;
+  OwnerState os = std::move(oit->second);
+  owners_.erase(oit);
+
+  if (os.waiting) {
+    auto it = table_.find(os.waiting_lock);
+    PARTDB_CHECK(it != table_.end());
+    auto& q = it->second.queue;
+    for (auto qi = q.begin(); qi != q.end(); ++qi) {
+      if (qi->owner == owner) {
+        q.erase(qi);
+        break;
+      }
+    }
+    Meter(m, m != nullptr ? &m->lock_table_ops : nullptr);
+    // Removing a waiter can unblock the queue behind it.
+    GrantFromQueue(os.waiting_lock, &it->second, m, granted);
+    if (it->second.holders.empty() && it->second.queue.empty()) table_.erase(it);
+  }
+
+  for (uint64_t lock_id : os.held) {
+    auto it = table_.find(lock_id);
+    PARTDB_CHECK(it != table_.end());
+    LockEntry& e = it->second;
+    auto hi = std::find(e.holders.begin(), e.holders.end(), owner);
+    if (hi == e.holders.end()) continue;  // duplicate entry from upgrade path
+    e.holders.erase(hi);
+    if (m != nullptr) {
+      m->lock_releases++;
+      m->lock_table_ops++;
+    }
+    GrantFromQueue(lock_id, &e, m, granted);
+    if (e.holders.empty() && e.queue.empty()) table_.erase(it);
+  }
+}
+
+bool LockManager::IsWaiting(const void* owner) const {
+  auto it = owners_.find(owner);
+  return it != owners_.end() && it->second.waiting;
+}
+
+uint64_t LockManager::WaitingOn(const void* owner) const {
+  auto it = owners_.find(owner);
+  PARTDB_CHECK(it != owners_.end() && it->second.waiting);
+  return it->second.waiting_lock;
+}
+
+bool LockManager::DfsCycle(void* node, void* start, std::unordered_map<const void*, int>* color,
+                           std::vector<void*>* stack, std::vector<void*>* cycle) const {
+  (*color)[node] = 1;  // gray
+  stack->push_back(node);
+
+  auto oit = owners_.find(node);
+  if (oit != owners_.end() && oit->second.waiting) {
+    auto lit = table_.find(oit->second.waiting_lock);
+    PARTDB_CHECK(lit != table_.end());
+    const LockEntry& e = lit->second;
+    const bool my_x = oit->second.waiting_exclusive;
+
+    std::vector<void*> targets;
+    for (void* h : e.holders) {
+      if (h != node) targets.push_back(h);
+    }
+    // Incompatible requests queued ahead of us also block us.
+    for (const Waiter& w : e.queue) {
+      if (w.owner == node) break;
+      if (w.exclusive || my_x) targets.push_back(w.owner);
+    }
+    for (void* t : targets) {
+      if (t == start) {
+        *cycle = *stack;
+        return true;
+      }
+      const int c = color->count(t) ? (*color)[t] : 0;
+      if (c == 0 && DfsCycle(t, start, color, stack, cycle)) return true;
+    }
+  }
+  (*color)[node] = 2;  // black
+  stack->pop_back();
+  return false;
+}
+
+bool LockManager::FindCycle(void* start, std::vector<void*>* cycle) const {
+  std::unordered_map<const void*, int> color;
+  std::vector<void*> stack;
+  cycle->clear();
+  return DfsCycle(start, start, &color, &stack, cycle);
+}
+
+size_t LockManager::HeldCount(const void* owner) const {
+  auto it = owners_.find(owner);
+  if (it == owners_.end()) return 0;
+  size_t n = 0;
+  for (uint64_t id : it->second.held) {
+    auto lit = table_.find(id);
+    if (lit != table_.end() && Holds(lit->second, owner)) ++n;
+  }
+  return n;
+}
+
+}  // namespace partdb

@@ -1,0 +1,88 @@
+// Single-threaded lock manager for the locking scheme (paper §4.3). Because
+// each partition runs one thread, there is no latching: this is purely a
+// bookkeeping structure for *logical* concurrency. Shared/exclusive modes,
+// FIFO wait queues (upgrades jump the queue), and on-demand waits-for cycle
+// detection for local deadlocks.
+#ifndef PARTDB_ENGINE_LOCK_MANAGER_H_
+#define PARTDB_ENGINE_LOCK_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/work_meter.h"
+
+namespace partdb {
+
+class LockManager {
+ public:
+  /// A lock grant delivered by Release/ReleaseAll: `owner`'s queued request
+  /// for `lock_id` is now held. When all of an owner's pending requests have
+  /// been granted the transaction can run.
+  struct Granted {
+    void* owner;
+    uint64_t lock_id;
+    bool exclusive;
+  };
+
+  /// Attempts to acquire `lock_id` in the given mode for `owner`.
+  /// Returns true if granted immediately; otherwise the request is queued
+  /// (upgrades at the front) and false is returned. Re-acquiring a lock the
+  /// owner already holds (at equal or weaker mode) is a granted no-op.
+  bool Acquire(uint64_t lock_id, void* owner, bool exclusive, WorkMeter* m);
+
+  /// Releases every lock `owner` holds and cancels any queued request.
+  /// Newly runnable grants (for other owners) are appended to `granted`.
+  void ReleaseAll(void* owner, WorkMeter* m, std::vector<Granted>* granted);
+
+  /// True if `owner` has a queued (not yet granted) request.
+  bool IsWaiting(const void* owner) const;
+
+  /// The lock a waiting owner is queued on (undefined if not waiting).
+  uint64_t WaitingOn(const void* owner) const;
+
+  /// Searches the waits-for graph for a cycle reachable from `start` (which
+  /// must be waiting). On success fills `cycle` with the owners on the cycle
+  /// (start included) and returns true.
+  bool FindCycle(void* start, std::vector<void*>* cycle) const;
+
+  /// True when no locks are held and nobody waits: the partition may use the
+  /// no-lock fast path for single-partition transactions.
+  bool Empty() const { return table_.empty(); }
+
+  size_t num_entries() const { return table_.size(); }
+  size_t HeldCount(const void* owner) const;
+
+ private:
+  struct Waiter {
+    void* owner;
+    bool exclusive;
+  };
+  struct LockEntry {
+    bool exclusive = false;       // mode of current holders
+    std::vector<void*> holders;   // size 1 if exclusive
+    std::deque<Waiter> queue;
+  };
+  struct OwnerState {
+    std::vector<uint64_t> held;       // lock ids held (any mode)
+    uint64_t waiting_lock = 0;
+    bool waiting = false;
+    bool waiting_exclusive = false;
+  };
+
+  static bool Holds(const LockEntry& e, const void* owner);
+  /// Grants queue-head requests that are now compatible.
+  void GrantFromQueue(uint64_t lock_id, LockEntry* e, WorkMeter* m,
+                      std::vector<Granted>* granted);
+  bool DfsCycle(void* node, void* start, std::unordered_map<const void*, int>* color,
+                std::vector<void*>* stack, std::vector<void*>* cycle) const;
+
+  std::unordered_map<uint64_t, LockEntry> table_;
+  std::unordered_map<const void*, OwnerState> owners_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_ENGINE_LOCK_MANAGER_H_

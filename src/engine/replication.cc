@@ -1,0 +1,47 @@
+#include "engine/replication.h"
+
+#include "common/logging.h"
+
+namespace partdb {
+
+void BackupActor::OnMessage(Message& msg, ActorContext& ctx) {
+  if (auto* ship = std::get_if<ReplicaShip>(&msg.body)) {
+    ctx.Charge(cost_.partition_msg);
+    if (ship->outcome_known) {
+      Apply(*ship, ctx);
+    } else {
+      pending_[ship->txn_id] = *ship;
+    }
+    ctx.Send(msg.src, ReplicaAck{ship->order_seq});
+    return;
+  }
+  if (auto* dec = std::get_if<ReplicaDecision>(&msg.body)) {
+    ctx.Charge(cost_.partition_msg);
+    auto it = pending_.find(dec->txn_id);
+    if (it != pending_.end()) {
+      if (dec->commit) Apply(it->second, ctx);
+      pending_.erase(it);
+    }
+    return;
+  }
+  PARTDB_CHECK(false);  // backups receive only replication traffic
+}
+
+void BackupActor::Apply(const ReplicaShip& ship, ActorContext& ctx) {
+  if (!execute_) {
+    // Charge a nominal apply cost proportional to one fragment.
+    ctx.Charge(cost_.fragment_base);
+    return;
+  }
+  const int rounds = ship.round_inputs.empty() ? 1 : static_cast<int>(ship.round_inputs.size());
+  for (int r = 0; r < rounds; ++r) {
+    WorkMeter m;
+    const Payload* input =
+        (r < static_cast<int>(ship.round_inputs.size())) ? ship.round_inputs[r].get() : nullptr;
+    ExecResult res = engine_->Execute(*ship.args, r, input, nullptr, &m);
+    PARTDB_CHECK(!res.aborted);  // only committed transactions are applied
+    ctx.Charge(cost_.ExecCost(m));
+  }
+}
+
+}  // namespace partdb

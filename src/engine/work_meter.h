@@ -1,0 +1,43 @@
+// Work receipt for one fragment execution. Storage structures and the lock
+// manager count the operations they perform; the cost model converts the
+// counts into virtual CPU time. This keeps simulated cost proportional to
+// work actually done (index depth, undo volume, lock traffic).
+#ifndef PARTDB_ENGINE_WORK_METER_H_
+#define PARTDB_ENGINE_WORK_METER_H_
+
+#include <cstdint>
+
+namespace partdb {
+
+struct WorkMeter {
+  uint32_t reads = 0;         // tuple reads
+  uint32_t writes = 0;        // tuple writes (updates + inserts + deletes)
+  uint32_t index_nodes = 0;   // index nodes visited / hash probes
+  uint32_t undo_records = 0;  // undo entries appended
+  uint32_t user_code = 0;     // abstract units of procedure logic
+
+  // Lock-manager traffic (locking scheme only); kept here so the §5.6
+  // profiler breakdown can be reported from the same receipts.
+  uint32_t lock_acquires = 0;
+  uint32_t lock_releases = 0;
+  uint32_t lock_table_ops = 0;  // entry create/lookup/cleanup
+  uint32_t lock_waits = 0;      // requests that blocked
+
+  void Reset() { *this = WorkMeter{}; }
+
+  void Merge(const WorkMeter& o) {
+    reads += o.reads;
+    writes += o.writes;
+    index_nodes += o.index_nodes;
+    undo_records += o.undo_records;
+    user_code += o.user_code;
+    lock_acquires += o.lock_acquires;
+    lock_releases += o.lock_releases;
+    lock_table_ops += o.lock_table_ops;
+    lock_waits += o.lock_waits;
+  }
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_ENGINE_WORK_METER_H_

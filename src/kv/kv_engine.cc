@@ -1,0 +1,84 @@
+#include "kv/kv_engine.h"
+
+#include "common/logging.h"
+
+namespace partdb {
+
+ExecResult KvEngine::Execute(const Payload& payload, int round, const Payload* round_input,
+                             UndoBuffer* undo, WorkMeter* meter) {
+  const auto& args = PayloadCast<KvArgs>(payload);
+  ExecResult res;
+
+  // Injected user aborts fire at the beginning of execution (paper §5.3).
+  // abort_txn marks single-partition transactions; abort_at names the one
+  // participant of a multi-partition transaction that aborts locally.
+  if (round == 0 && (args.abort_txn || args.abort_at == pid_)) {
+    if (meter != nullptr) meter->user_code += 1;
+    res.aborted = true;
+    return res;
+  }
+
+  PARTDB_CHECK(static_cast<size_t>(pid_) < args.keys.size());
+  const std::vector<KvKey>& keys = args.keys[pid_];
+  PARTDB_CHECK(!keys.empty());
+
+  if (args.rounds == 1) {
+    // Read + increment in one fragment.
+    auto result = std::make_shared<KvResult>();
+    result->values.reserve(keys.size());
+    for (const KvKey& k : keys) {
+      KvValue v;
+      const bool found = store_.Get(k, &v, meter);
+      PARTDB_CHECK(found);
+      const uint64_t old = DecodeValue(v);
+      result->values.push_back(old);
+      store_.Put(k, EncodeValue(old + 1), undo, meter);
+      if (meter != nullptr) meter->user_code++;
+    }
+    res.result = std::move(result);
+    return res;
+  }
+
+  PARTDB_CHECK(args.rounds == 2);
+  if (round == 0) {
+    // Read round: return values to the coordinator.
+    auto result = std::make_shared<KvResult>();
+    result->values.reserve(keys.size());
+    for (const KvKey& k : keys) {
+      KvValue v;
+      const bool found = store_.Get(k, &v, meter);
+      PARTDB_CHECK(found);
+      result->values.push_back(DecodeValue(v));
+      if (meter != nullptr) meter->user_code++;
+    }
+    res.result = std::move(result);
+    return res;
+  }
+
+  // Write round: the coordinator echoes the values read in round 0; write
+  // value+1 (same net effect as the one-round transaction).
+  PARTDB_CHECK(round == 1);
+  PARTDB_CHECK(round_input != nullptr);
+  const auto& input = PayloadCast<KvRoundInput>(*round_input);
+  PARTDB_CHECK(static_cast<size_t>(pid_) < input.values.size());
+  const std::vector<uint64_t>& vals = input.values[pid_];
+  PARTDB_CHECK(vals.size() == keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    store_.Put(keys[i], EncodeValue(vals[i] + 1), undo, meter);
+    if (meter != nullptr) meter->user_code++;
+  }
+  return res;
+}
+
+void KvEngine::LockSet(const Payload& payload, int round,
+                       std::vector<LockRequest>* out) const {
+  const auto& args = PayloadCast<KvArgs>(payload);
+  PARTDB_CHECK(static_cast<size_t>(pid_) < args.keys.size());
+  if (args.rounds == 2 && round == 1) return;  // round 0 acquired X already
+  for (const KvKey& k : args.keys[pid_]) {
+    // Read-then-write access: exclusive from the start.
+    out->push_back(LockRequest{LockId(k), true});
+  }
+}
+
+}  // namespace partdb

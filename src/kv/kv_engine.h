@@ -1,0 +1,70 @@
+// Microbenchmark stored procedure (paper §5.1): one transaction type that
+// reads a set of keys and updates them (here: increments their counters).
+// The "general" variant (paper §5.4) splits the work into a read round and a
+// write round with coordinator communication between them.
+#ifndef PARTDB_KV_KV_ENGINE_H_
+#define PARTDB_KV_KV_ENGINE_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "kv/kv_store.h"
+
+namespace partdb {
+
+/// Arguments of the read/update transaction. Keys are grouped per partition;
+/// a single-partition transaction has keys on exactly one partition.
+struct KvArgs : public Payload {
+  std::vector<std::vector<KvKey>> keys;  // indexed by PartitionId
+  int rounds = 1;                        // 2 = general transaction (§5.4)
+  bool abort_txn = false;                // single-partition user abort
+  PartitionId abort_at = -1;             // multi-partition: partition that aborts locally
+
+  size_t ByteSize() const override {
+    size_t n = 32;
+    for (const auto& ks : keys) n += ks.size() * 9;
+    return n;
+  }
+};
+
+/// Result of a fragment: the values read (pre-update), in key order.
+struct KvResult : public Payload {
+  std::vector<uint64_t> values;
+  size_t ByteSize() const override { return 8 + values.size() * 8; }
+};
+
+/// Round-1 input of a general transaction: the round-0 read values, grouped
+/// by partition (computed by the coordinator from KvResults).
+struct KvRoundInput : public Payload {
+  std::vector<std::vector<uint64_t>> values;  // indexed by PartitionId
+  size_t ByteSize() const override {
+    size_t n = 16;
+    for (const auto& vs : values) n += vs.size() * 8;
+    return n;
+  }
+};
+
+class KvEngine : public Engine {
+ public:
+  KvEngine(PartitionId pid) : pid_(pid) {}
+
+  KvStore& store() { return store_; }
+  const KvStore& store() const { return store_; }
+
+  ExecResult Execute(const Payload& args, int round, const Payload* round_input,
+                     UndoBuffer* undo, WorkMeter* meter) override;
+  void LockSet(const Payload& args, int round, std::vector<LockRequest>* out) const override;
+  uint64_t StateHash() const override { return store_.StateHash(); }
+
+  /// Lock id for a key (stable across partitions; keys are partitioned so
+  /// collisions across partitions do not matter).
+  static uint64_t LockId(const KvKey& key) { return key.Hash(); }
+
+ private:
+  PartitionId pid_;
+  KvStore store_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_KV_KV_ENGINE_H_

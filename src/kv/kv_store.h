@@ -1,0 +1,81 @@
+// Key/value store for the microbenchmark (paper §5): "the execution engine is
+// a simple key/value store, where keys and values are arbitrary byte strings"
+// (3-byte keys, 4-byte values in the paper; we allow up to 8 bytes inline).
+#ifndef PARTDB_KV_KV_STORE_H_
+#define PARTDB_KV_KV_STORE_H_
+
+#include <cstring>
+
+#include "common/inline_string.h"
+#include "common/rng.h"
+#include "storage/hash_table.h"
+#include "storage/undo_buffer.h"
+
+namespace partdb {
+
+using KvKey = InlineString<8>;
+using KvValue = InlineString<8>;
+
+/// Encodes a uint64 counter as an 8-byte value (the microbenchmark treats
+/// values as counters so transaction ordering is observable).
+inline KvValue EncodeValue(uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  return KvValue(std::string_view(buf, 8));
+}
+
+inline uint64_t DecodeValue(const KvValue& v) {
+  uint64_t out = 0;
+  std::memcpy(&out, v.data(), v.size() < 8 ? v.size() : 8);
+  return out;
+}
+
+class KvStore {
+ public:
+  /// Reads `key` into `out`; returns false if absent.
+  bool Get(const KvKey& key, KvValue* out, WorkMeter* m = nullptr) const {
+    const KvValue* v = table_.Find(key, m);
+    if (v == nullptr) return false;
+    if (out != nullptr) *out = *v;
+    if (m != nullptr) m->reads++;
+    return true;
+  }
+
+  /// Writes (key, value); records compensation in `undo` when provided.
+  void Put(const KvKey& key, const KvValue& value, UndoBuffer* undo = nullptr,
+           WorkMeter* m = nullptr) {
+    if (undo != nullptr) {
+      KvValue old;
+      const bool existed = Get(key, &old, nullptr);
+      undo->Add(
+          [this, key, old, existed]() {
+            if (existed) {
+              table_.Put(key, old);
+            } else {
+              table_.Erase(key);
+            }
+          },
+          m);
+    }
+    table_.Put(key, value, m);
+    if (m != nullptr) m->writes++;
+  }
+
+  size_t size() const { return table_.size(); }
+
+  /// Order-independent hash of the full contents.
+  uint64_t StateHash() const {
+    uint64_t h = 0;
+    table_.ForEach([&h](const KvKey& k, const KvValue& v) {
+      h ^= Mix64(k.Hash() ^ Mix64(DecodeValue(v) + 0x9e3779b97f4a7c15ull));
+    });
+    return h;
+  }
+
+ private:
+  HashTable<KvKey, KvValue> table_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_KV_KV_STORE_H_

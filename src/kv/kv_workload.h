@@ -1,0 +1,61 @@
+// Microbenchmark workload generator (paper §5.1–§5.4): a mix of
+// single-partition and multi-partition read/update transactions over private
+// per-client key sets, with optional conflict-key injection (§5.2), abort
+// injection (§5.3), and two-round "general" multi-partition transactions
+// (§5.4).
+#ifndef PARTDB_KV_KV_WORKLOAD_H_
+#define PARTDB_KV_KV_WORKLOAD_H_
+
+#include <memory>
+
+#include "client/workload.h"
+#include "engine/engine.h"
+#include "kv/kv_engine.h"
+
+namespace partdb {
+
+struct MicrobenchConfig {
+  int num_partitions = 2;
+  int num_clients = 40;
+  int keys_per_txn = 12;  // 6+6 when multi-partition (paper §5.1)
+  double mp_fraction = 0.1;
+  int mp_rounds = 1;  // 2 reproduces §5.4 (general transactions)
+  /// §5.2: probability that a transaction writes the designated conflict key
+  /// of one partition. Clients 0..P-1 are pinned to their own partition so
+  /// their keys are "nearly always being written".
+  double conflict_prob = 0.0;
+  bool pin_first_clients = false;
+  /// §5.3: probability a transaction user-aborts (at one participant for MP).
+  double abort_prob = 0.0;
+  /// Marks every transaction can_abort so the fast paths record undo
+  /// (used by the tspS calibration probe; paper Table 2).
+  bool force_undo = false;
+};
+
+/// Key for client `c`'s slot `i` on partition `p`.
+KvKey MicrobenchKey(int client, PartitionId p, int slot);
+
+/// The contended key of partition `p`: slot 0 of the pinned client `p`.
+KvKey ConflictKey(PartitionId p);
+
+class MicrobenchWorkload : public Workload {
+ public:
+  explicit MicrobenchWorkload(MicrobenchConfig config) : config_(config) {}
+
+  TxnRequest Next(int client_index, Rng& rng) override;
+  PayloadPtr RoundInput(const Payload& args, int round,
+                        const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) override;
+
+  const MicrobenchConfig& config() const { return config_; }
+
+ private:
+  MicrobenchConfig config_;
+};
+
+/// Engine factory that pre-populates every client's private keys (and the
+/// conflict keys) with counter value 0 on the owning partition.
+EngineFactory MakeKvEngineFactory(const MicrobenchConfig& config);
+
+}  // namespace partdb
+
+#endif  // PARTDB_KV_KV_WORKLOAD_H_

@@ -1,0 +1,47 @@
+#include "model/analytical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace partdb {
+
+double ModelBlockingThroughput(const ModelParams& p, double f) {
+  // time(N) = N f tmp + N (1-f)/2 tsp  =>  throughput = 2 / (2 f tmp + (1-f) tsp)
+  return 2.0 / (2.0 * f * p.tmp + (1.0 - f) * p.tsp);
+}
+
+double ModelNHidden(const ModelParams& p, double f) {
+  // Idle CPU time per multi-partition transaction.
+  const double tmp_l = std::max(p.tmp_n(), p.tmp_c);
+  const double tmp_i = tmp_l - p.tmp_c;
+  const double by_idle = tmp_i / p.tsp_s;
+  if (f <= 0.0) return by_idle;
+  const double by_supply = (1.0 - f) / (2.0 * f);
+  return std::min(by_supply, by_idle);
+}
+
+double ModelLocalSpeculationThroughput(const ModelParams& p, double f) {
+  const double tmp_l = std::max(p.tmp_n(), p.tmp_c);
+  const double n_hidden = ModelNHidden(p, f);
+  const double denom = 2.0 * f * tmp_l + ((1.0 - f) - 2.0 * f * n_hidden) * p.tsp;
+  return 2.0 / denom;
+}
+
+double ModelSpeculationThroughput(const ModelParams& p, double f) {
+  // §6.2.1: with multi-partition speculation the stall disappears; each
+  // period costs the CPU time of the MP transaction plus its hidden SPs.
+  const double n_hidden = ModelNHidden(p, f);
+  const double t_period = p.tmp_c + n_hidden * p.tsp_s;
+  const double denom = 2.0 * f * t_period + ((1.0 - f) - 2.0 * f * n_hidden) * p.tsp;
+  return 2.0 / denom;
+}
+
+double ModelLockingThroughput(const ModelParams& p, double f) {
+  // §6.3: no stalls (non-conflicting workload), every transaction pays the
+  // locking overhead l; undo is always kept, hence tspS.
+  const double mult = 1.0 + p.lock_overhead;
+  const double denom = 2.0 * f * mult * p.tmp_c + (1.0 - f) * mult * p.tsp_s;
+  return 2.0 / denom;
+}
+
+}  // namespace partdb

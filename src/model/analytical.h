@@ -1,0 +1,43 @@
+// Analytical throughput model (paper §6): predicts the throughput of the
+// three schemes on the two-partition microbenchmark from six measured
+// parameters, as a function of the multi-partition fraction f.
+#ifndef PARTDB_MODEL_ANALYTICAL_H_
+#define PARTDB_MODEL_ANALYTICAL_H_
+
+namespace partdb {
+
+/// Model parameters (paper Table 2). Times are in seconds.
+struct ModelParams {
+  double tsp = 64e-6;    // single-partition txn, non-speculative
+  double tsp_s = 73e-6;  // single-partition txn, speculative (with undo)
+  double tmp = 211e-6;   // multi-partition txn incl. 2PC resolution
+  double tmp_c = 55e-6;  // CPU time of a multi-partition txn at one partition
+  double lock_overhead = 0.132;  // l: fractional extra execution time
+
+  /// Network stall while executing a multi-partition transaction
+  /// (tmpN = tmp - tmpC, §6.2).
+  double tmp_n() const { return tmp - tmp_c; }
+
+  /// The paper's measured values (Table 2).
+  static ModelParams PaperTable2() { return ModelParams{}; }
+};
+
+/// §6.1: blocking executes one transaction at a time.
+double ModelBlockingThroughput(const ModelParams& p, double f);
+
+/// §6.2: local speculation hides single-partition work inside the stall.
+double ModelLocalSpeculationThroughput(const ModelParams& p, double f);
+
+/// §6.2.1: speculating multi-partition transactions removes the stall.
+double ModelSpeculationThroughput(const ModelParams& p, double f);
+
+/// §6.3: locking overlaps everything (no conflicts) at overhead l.
+double ModelLockingThroughput(const ModelParams& p, double f);
+
+/// §6.2: speculative single-partition transactions hidden per
+/// multi-partition transaction (N_hidden).
+double ModelNHidden(const ModelParams& p, double f);
+
+}  // namespace partdb
+
+#endif  // PARTDB_MODEL_ANALYTICAL_H_

@@ -1,0 +1,123 @@
+// Message types exchanged between simulated processes. One std::variant per
+// message keeps dispatch explicit and copy costs visible.
+#ifndef PARTDB_MSG_MESSAGE_H_
+#define PARTDB_MSG_MESSAGE_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/payload.h"
+
+namespace partdb {
+
+/// Client -> coordinator: run a multi-partition stored procedure.
+struct ClientRequest {
+  TxnId txn_id = kInvalidTxn;
+  uint32_t attempt = 0;
+  PayloadPtr args;
+  std::vector<PartitionId> participants;
+  int num_rounds = 1;
+  bool can_abort = false;  // user abort possible: undo required even on fast paths
+};
+
+/// One unit of work for one partition: this partition's share of one
+/// communication round. The 2PC prepare is piggybacked via `last_round`.
+struct FragmentRequest {
+  TxnId txn_id = kInvalidTxn;
+  uint32_t attempt = 0;
+  uint64_t global_seq = 0;  // coordinator-assigned order (multi-partition only)
+  int round = 0;
+  bool last_round = true;
+  bool multi_partition = false;
+  bool can_abort = false;
+  NodeId coordinator = kInvalidNode;  // who gets the response (coord or client)
+  PayloadPtr args;                    // full stored-procedure arguments
+  PayloadPtr round_input;             // coordinator-computed input for this round
+};
+
+enum class Vote : uint8_t { kNone = 0, kCommit = 1, kAbort = 2 };
+
+/// Partition -> coordinator/client: result of one fragment.
+struct FragmentResponse {
+  TxnId txn_id = kInvalidTxn;
+  uint32_t attempt = 0;
+  int round = 0;
+  bool last_round = true;
+  PartitionId partition = -1;
+  Vote vote = Vote::kNone;       // set when last_round (2PC vote)
+  TxnId depends_on = kInvalidTxn;  // speculative result: valid only if that txn commits
+  /// Partition-local cascade epoch: bumped each time the partition processes
+  /// an abort decision. The coordinator drops responses whose epoch is older
+  /// than the aborts it has sent to that partition (stale speculation).
+  uint32_t epoch = 0;
+  /// Abort vote caused by deadlock victim selection or a distributed-deadlock
+  /// timeout (locking scheme): the client-coordinator should retry.
+  bool system_abort = false;
+  PayloadPtr result;
+};
+
+/// Coordinator/client -> partition: 2PC outcome.
+struct DecisionMessage {
+  TxnId txn_id = kInvalidTxn;
+  uint32_t attempt = 0;
+  bool commit = true;
+};
+
+/// Partition -> client: final result of a single-partition transaction, or
+/// coordinator -> client: final result of a multi-partition transaction.
+struct ClientResponse {
+  TxnId txn_id = kInvalidTxn;
+  uint32_t attempt = 0;
+  bool committed = true;  // false = user abort (not retried)
+  bool retry = false;     // system-induced abort (deadlock timeout): client retries
+  PayloadPtr result;
+};
+
+/// Primary -> backup: ship one transaction for durability (paper 2.2/3.2).
+struct ReplicaShip {
+  uint64_t order_seq = 0;
+  TxnId txn_id = kInvalidTxn;
+  bool outcome_known = true;  // SP txns ship committed; MP ship at vote time
+  PayloadPtr args;
+  std::vector<PayloadPtr> round_inputs;
+};
+
+/// Primary -> backup: outcome for a previously shipped MP transaction.
+struct ReplicaDecision {
+  TxnId txn_id = kInvalidTxn;
+  bool commit = true;
+};
+
+/// Backup -> primary: durability acknowledgment.
+struct ReplicaAck {
+  uint64_t order_seq = 0;
+};
+
+/// Self-scheduled timer (lock-wait timeouts). Stale timers are ignored by
+/// matching `generation` against the current wait epoch.
+struct TimerFire {
+  TxnId txn_id = kInvalidTxn;
+  uint64_t generation = 0;
+};
+
+using MessageBody =
+    std::variant<ClientRequest, FragmentRequest, FragmentResponse, DecisionMessage,
+                 ClientResponse, ReplicaShip, ReplicaDecision, ReplicaAck, TimerFire>;
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageBody body;
+};
+
+/// Approximate wire size of a message body, for the bandwidth model.
+size_t MessageByteSize(const MessageBody& body);
+
+/// Short human-readable tag for debugging/tracing.
+const char* MessageTypeName(const MessageBody& body);
+
+}  // namespace partdb
+
+#endif  // PARTDB_MSG_MESSAGE_H_

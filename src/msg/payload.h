@@ -1,0 +1,32 @@
+// Type-erased payload base for stored-procedure arguments and results.
+// Engines (KV, TPC-C) define concrete subclasses; the transport layer only
+// needs the serialized size for network cost accounting.
+#ifndef PARTDB_MSG_PAYLOAD_H_
+#define PARTDB_MSG_PAYLOAD_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace partdb {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Size in bytes this payload would occupy on the wire. Used for the
+  /// network bandwidth model; does not need to be exact to the byte.
+  virtual size_t ByteSize() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Downcast helper: payloads are closed within an engine family, so a failed
+/// cast is a logic error.
+template <typename T>
+const T& PayloadCast(const Payload& p) {
+  return static_cast<const T&>(p);
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_MSG_PAYLOAD_H_

@@ -1,0 +1,121 @@
+#include "runtime/cluster.h"
+
+#include "cc/blocking.h"
+#include "cc/locking.h"
+#include "cc/occ.h"
+#include "cc/speculative.h"
+#include "common/logging.h"
+
+namespace partdb {
+
+std::unique_ptr<CcScheme> MakeScheme(CcSchemeKind kind, PartitionExec* part,
+                                     const SchemeOptions& options) {
+  switch (kind) {
+    case CcSchemeKind::kBlocking:
+      return std::make_unique<BlockingCc>(part);
+    case CcSchemeKind::kSpeculative:
+      return std::make_unique<SpeculativeCc>(part, !options.local_speculation_only);
+    case CcSchemeKind::kLocking:
+      return std::make_unique<LockingCc>(part, options.force_locks);
+    case CcSchemeKind::kOcc:
+      return std::make_unique<OccCc>(part);
+  }
+  PARTDB_CHECK(false);
+  return nullptr;
+}
+
+Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
+                 std::unique_ptr<Workload> workload)
+    : config_(config), net_(&sim_, config.net), workload_(std::move(workload)) {
+  PARTDB_CHECK(config_.num_partitions >= 1);
+  PARTDB_CHECK(config_.num_clients >= 1);
+  PARTDB_CHECK(config_.replication >= 1);
+
+  // Node layout: clients [0, C), coordinator C, primaries [C+1, C+1+P),
+  // backups afterwards.
+  const NodeId coord_node = config_.num_clients;
+  Topology topo;
+  topo.coordinator = coord_node;
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    topo.partition_primary.push_back(coord_node + 1 + p);
+  }
+
+  // Partitions.
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    auto part = std::make_unique<PartitionActor>(
+        "partition-" + std::to_string(p), p, factory(p), config_.cost, &metrics_,
+        config_.lock_timeout);
+    SchemeOptions opts;
+    opts.local_speculation_only = config_.local_speculation_only;
+    opts.force_locks = config_.force_locks;
+    part->InstallScheme(MakeScheme(config_.scheme, part.get(), opts));
+    if (config_.log_commits) part->EnableCommitLog();
+    part->Bind(&sim_, &net_, topo.partition_primary[p]);
+    partitions_.push_back(std::move(part));
+  }
+
+  // Backups.
+  NodeId next_node = coord_node + 1 + config_.num_partitions;
+  backups_.resize(config_.num_partitions);
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    std::vector<NodeId> backup_nodes;
+    for (int r = 1; r < config_.replication; ++r) {
+      auto b = std::make_unique<BackupActor>(
+          "backup-" + std::to_string(p) + "." + std::to_string(r), p, factory(p),
+          config_.cost, config_.backups_execute);
+      b->Bind(&sim_, &net_, next_node);
+      backup_nodes.push_back(next_node);
+      ++next_node;
+      backups_[p].push_back(std::move(b));
+    }
+    partitions_[p]->SetBackups(backup_nodes);
+  }
+
+  // Coordinator (used by blocking and speculation; locking clients
+  // self-coordinate, so it simply stays idle).
+  coordinator_ = std::make_unique<CoordinatorActor>("coordinator", config_.cost, &metrics_,
+                                                    workload_.get(), topo.partition_primary);
+  coordinator_->Bind(&sim_, &net_, coord_node);
+
+  // Clients.
+  for (int c = 0; c < config_.num_clients; ++c) {
+    auto cl = std::make_unique<ClientActor>(
+        "client-" + std::to_string(c), c, workload_.get(), &metrics_, topo, config_.scheme,
+        config_.cost, Mix64(config_.seed ^ (0x9e37u + static_cast<uint64_t>(c) * 0x1357ull)));
+    cl->Bind(&sim_, &net_, c);
+    clients_.push_back(std::move(cl));
+  }
+}
+
+Engine& Cluster::backup_engine(PartitionId p, int backup_index) {
+  return backups_[p][backup_index]->engine();
+}
+
+void Cluster::Quiesce() {
+  for (auto& c : clients_) c->Stop();
+  sim_.Run();
+  for (auto& p : partitions_) {
+    PARTDB_CHECK(p->cc().Idle());
+  }
+}
+
+Metrics Cluster::Run(Duration warmup, Duration measure) {
+  for (auto& c : clients_) c->Kick();
+  sim_.RunUntil(warmup);
+
+  metrics_.Reset();
+  metrics_.recording = true;
+  for (auto& p : partitions_) p->ResetBusy();
+  coordinator_->ResetBusy();
+
+  sim_.RunUntil(warmup + measure);
+  metrics_.recording = false;
+
+  metrics_.window_ns = measure;
+  metrics_.num_partitions = config_.num_partitions;
+  for (auto& p : partitions_) metrics_.partition_busy_ns += p->busy_ns();
+  metrics_.coord_busy_ns = coordinator_->busy_ns();
+  return metrics_;
+}
+
+}  // namespace partdb

@@ -1,0 +1,102 @@
+// Cluster: builds and runs one simulated database instance — partitions with
+// a chosen concurrency-control scheme, optional backups, the central
+// coordinator, and closed-loop clients — and reports measurement-window
+// metrics. This is the main entry point of the library's public API.
+#ifndef PARTDB_RUNTIME_CLUSTER_H_
+#define PARTDB_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "client/client_actor.h"
+#include "client/workload.h"
+#include "coord/coordinator_actor.h"
+#include "engine/partition_actor.h"
+#include "engine/replication.h"
+#include "runtime/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace partdb {
+
+struct ClusterConfig {
+  CcSchemeKind scheme = CcSchemeKind::kSpeculative;
+  int num_partitions = 2;
+  int num_clients = 40;  // paper §5.1
+  /// Total copies of each partition including the primary (k in §2.2).
+  int replication = 1;
+  /// Backups replay transactions for real (tests) vs. charging cost only.
+  bool backups_execute = false;
+  NetworkConfig net;
+  CostModel cost;
+  /// Distributed-deadlock timeout (paper §4.3). Real systems use tens to
+  /// hundreds of milliseconds; 20 ms makes each distributed deadlock clearly
+  /// expensive (the paper: timeouts "hurt throughput significantly").
+  Duration lock_timeout = Micros(20000);
+  uint64_t seed = 12345;
+  /// Record per-partition commit logs (serializability tests).
+  bool log_commits = false;
+  /// Restrict speculation to local speculation (§4.2.1): multi-partition
+  /// transactions are never speculated. Used by the fig. 10 "Local Spec"
+  /// curves and the speculation ablation.
+  bool local_speculation_only = false;
+  /// Disable the locking scheme's no-lock fast path (§5.1 remark).
+  bool force_locks = false;
+};
+
+class Cluster {
+ public:
+  /// `factory` creates the engine for each partition (primary and backups
+  /// alike); `workload` drives all clients and coordinator continuations.
+  Cluster(const ClusterConfig& config, const EngineFactory& factory,
+          std::unique_ptr<Workload> workload);
+
+  /// Runs warm-up then a measurement window; returns the window's metrics.
+  /// May be called once per cluster.
+  Metrics Run(Duration warmup, Duration measure);
+
+  /// Stops all clients and drains in-flight work until every partition's
+  /// scheme reports Idle(). Call after Run() when tests need a stable state.
+  void Quiesce();
+
+  /// Runs until all in-flight work quiesces (clients stopped issuing is not
+  /// modeled; use Run for throughput). Exposed for tests that drive traffic
+  /// manually.
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  Metrics& metrics() { return metrics_; }
+  const ClusterConfig& config() const { return config_; }
+
+  Engine& engine(PartitionId p) { return partitions_[p]->engine(); }
+  PartitionActor& partition(PartitionId p) { return *partitions_[p]; }
+  Engine& backup_engine(PartitionId p, int backup_index);
+  CoordinatorActor* coordinator() { return coordinator_.get(); }
+  Workload& workload() { return *workload_; }
+  const std::vector<CommitRecord>& commit_log(PartitionId p) const {
+    return partitions_[p]->commit_log();
+  }
+
+ private:
+  ClusterConfig config_;
+  Simulator sim_;
+  Network net_;
+  Metrics metrics_;
+  std::unique_ptr<Workload> workload_;
+  std::vector<std::unique_ptr<ClientActor>> clients_;
+  std::unique_ptr<CoordinatorActor> coordinator_;
+  std::vector<std::unique_ptr<PartitionActor>> partitions_;
+  std::vector<std::vector<std::unique_ptr<BackupActor>>> backups_;  // [partition][replica]
+};
+
+struct SchemeOptions {
+  bool local_speculation_only = false;
+  bool force_locks = false;
+};
+
+/// Builds the scheme instance for a partition (exposed for scheme unit tests).
+std::unique_ptr<CcScheme> MakeScheme(CcSchemeKind kind, PartitionExec* part,
+                                     const SchemeOptions& options = {});
+
+}  // namespace partdb
+
+#endif  // PARTDB_RUNTIME_CLUSTER_H_

@@ -1,0 +1,87 @@
+// Run-wide counters, latency histograms, and time breakdowns. One Metrics
+// instance is shared by all actors of a cluster; `recording` gates updates to
+// the measurement window (after warm-up).
+#ifndef PARTDB_RUNTIME_METRICS_H_
+#define PARTDB_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace partdb {
+
+struct Metrics {
+  bool recording = false;
+
+  // Client-observed completions (measurement window only).
+  uint64_t committed = 0;
+  uint64_t sp_committed = 0;
+  uint64_t mp_committed = 0;
+  uint64_t user_aborts = 0;  // user-aborted transactions (count as completions)
+
+  // Scheme internals.
+  uint64_t speculative_execs = 0;    // fragments executed speculatively
+  uint64_t cascading_reexecs = 0;    // transactions undone+requeued by an abort cascade
+  uint64_t lock_fast_path = 0;       // transactions executed without locks
+  uint64_t locked_txns = 0;          // transactions that acquired locks
+  uint64_t lock_waits = 0;           // lock requests that blocked
+  uint64_t local_deadlocks = 0;      // cycles broken by the detector
+  uint64_t timeout_aborts = 0;       // distributed deadlock timeouts
+  uint64_t txn_retries = 0;          // system-induced retries (deadlock victims)
+  uint64_t occ_survivors = 0;        // OCC: speculated txns that survived an abort
+
+  Histogram sp_latency;  // ns, client observed
+  Histogram mp_latency;
+
+  // Lock-manager time breakdown (ns), for the §5.6 profile.
+  Duration lock_acquire_ns = 0;
+  Duration lock_release_ns = 0;
+  Duration lock_table_ns = 0;
+
+  // Filled in by the cluster at the end of a run.
+  Duration window_ns = 0;
+  Duration partition_busy_ns = 0;  // summed over partitions
+  Duration coord_busy_ns = 0;
+  int num_partitions = 0;
+
+  void Reset() {
+    const bool rec = recording;
+    *this = Metrics{};
+    recording = rec;
+  }
+
+  uint64_t completions() const { return committed + user_aborts; }
+
+  /// Completed transactions per second of virtual time.
+  double Throughput() const {
+    if (window_ns <= 0) return 0.0;
+    return static_cast<double>(completions()) / ToSeconds(window_ns);
+  }
+
+  /// Mean CPU utilization across partitions, in [0,1].
+  double PartitionUtilization() const {
+    if (window_ns <= 0 || num_partitions == 0) return 0.0;
+    return static_cast<double>(partition_busy_ns) /
+           (static_cast<double>(window_ns) * num_partitions);
+  }
+
+  double CoordinatorUtilization() const {
+    if (window_ns <= 0) return 0.0;
+    return static_cast<double>(coord_busy_ns) / static_cast<double>(window_ns);
+  }
+
+  /// Fraction of partition CPU time spent in the lock manager (§5.6).
+  double LockTimeFraction() const {
+    if (partition_busy_ns <= 0) return 0.0;
+    return static_cast<double>(lock_acquire_ns + lock_release_ns + lock_table_ns) /
+           static_cast<double>(partition_busy_ns);
+  }
+
+  std::string Summary() const;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_RUNTIME_METRICS_H_

@@ -1,0 +1,49 @@
+#include "sim/actor.h"
+
+#include "common/logging.h"
+
+namespace partdb {
+
+void ActorContext::Send(NodeId dst, MessageBody body) {
+  Message m;
+  m.src = actor_->node_id();
+  m.dst = dst;
+  m.body = std::move(body);
+  actor_->net()->Send(std::move(m), now());
+}
+
+void ActorContext::SetTimer(Duration after, TimerFire t) {
+  Actor* a = actor_;
+  a->sim()->Schedule(now() + after, [a, t]() {
+    Message m;
+    m.src = a->node_id();
+    m.dst = a->node_id();
+    m.body = t;
+    a->Deliver(std::move(m));
+  });
+}
+
+void Actor::Deliver(Message msg) {
+  inbox_.push_back(std::move(msg));
+  if (!busy_) StartNext(sim_->Now());
+}
+
+void Actor::StartNext(Time at) {
+  PARTDB_CHECK(!inbox_.empty());
+  busy_ = true;
+  Message msg = std::move(inbox_.front());
+  inbox_.pop_front();
+
+  ActorContext ctx(this, at);
+  OnMessage(msg, ctx);
+
+  const Duration cost = ctx.charged();
+  busy_ns_ += cost;
+  const Time done = at + cost;
+  sim_->Schedule(done, [this, done]() {
+    busy_ = false;
+    if (!inbox_.empty()) StartNext(done);
+  });
+}
+
+}  // namespace partdb

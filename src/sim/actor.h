@@ -1,0 +1,94 @@
+// Actor: a simulated single-threaded process with one CPU. Messages queue in
+// an inbox; the actor processes one message at a time, and the virtual CPU
+// time charged by the handler determines when the next message starts.
+// Outbound messages depart at the virtual instant they were produced.
+#ifndef PARTDB_SIM_ACTOR_H_
+#define PARTDB_SIM_ACTOR_H_
+
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+#include "msg/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace partdb {
+
+class Actor;
+
+/// Handler-side services: CPU charging, sending, timers. Valid only for the
+/// duration of one OnMessage call.
+class ActorContext {
+ public:
+  ActorContext(Actor* actor, Time start) : actor_(actor), start_(start) {}
+
+  /// Virtual time at which the currently-charged work completes.
+  Time now() const { return start_ + charged_; }
+  Time start() const { return start_; }
+
+  /// Accrues CPU time; later Sends depart after this work.
+  void Charge(Duration d) { charged_ += d; }
+  Duration charged() const { return charged_; }
+
+  /// Sends a message departing at now() (start + charged so far).
+  void Send(NodeId dst, MessageBody body);
+
+  /// Delivers a TimerFire to this actor `after` ns from now() (no network).
+  void SetTimer(Duration after, TimerFire t);
+
+ private:
+  Actor* actor_;
+  Time start_;
+  Duration charged_ = 0;
+};
+
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+  virtual ~Actor() = default;
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  /// Attaches the actor to a simulation. Must be called before any traffic.
+  void Bind(Simulator* sim, Network* net, NodeId id) {
+    sim_ = sim;
+    net_ = net;
+    node_ = id;
+    net->Register(id, this);
+  }
+
+  NodeId node_id() const { return node_; }
+  const std::string& name() const { return name_; }
+  Simulator* sim() const { return sim_; }
+  Network* net() const { return net_; }
+
+  /// Network entry point: enqueue and start processing if idle.
+  void Deliver(Message msg);
+
+  /// Total CPU time consumed (for utilization reporting).
+  Duration busy_ns() const { return busy_ns_; }
+  void ResetBusy() { busy_ns_ = 0; }
+  size_t inbox_depth() const { return inbox_.size(); }
+
+ protected:
+  /// Processes one message. Implementations charge CPU and send replies via
+  /// `ctx`. Runs exactly once per delivered message, in delivery order.
+  virtual void OnMessage(Message& msg, ActorContext& ctx) = 0;
+
+ private:
+  friend class ActorContext;
+  void StartNext(Time at);
+
+  std::string name_;
+  Simulator* sim_ = nullptr;
+  Network* net_ = nullptr;
+  NodeId node_ = kInvalidNode;
+  std::deque<Message> inbox_;
+  bool busy_ = false;
+  Duration busy_ns_ = 0;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_SIM_ACTOR_H_

@@ -1,0 +1,48 @@
+#include "sim/network.h"
+
+#include "common/logging.h"
+#include "sim/actor.h"
+
+namespace partdb {
+
+void Network::Register(NodeId node, Actor* actor) {
+  PARTDB_CHECK_GE(node, 0);
+  if (static_cast<size_t>(node) >= endpoints_.size()) {
+    endpoints_.resize(node + 1, nullptr);
+  }
+  PARTDB_CHECK(endpoints_[node] == nullptr);
+  endpoints_[node] = actor;
+}
+
+Actor* Network::actor(NodeId node) const {
+  PARTDB_CHECK(node >= 0 && static_cast<size_t>(node) < endpoints_.size());
+  PARTDB_CHECK(endpoints_[node] != nullptr);
+  return endpoints_[node];
+}
+
+void Network::Send(Message msg, Time depart) {
+  Actor* dst = actor(msg.dst);
+  stats_.messages++;
+  const size_t bytes = MessageByteSize(msg.body);
+  stats_.bytes += bytes;
+
+  if (config_.loopback_free && msg.src == msg.dst) {
+    sim_->Schedule(depart, [dst, m = std::move(msg)]() mutable { dst->Deliver(std::move(m)); });
+    return;
+  }
+
+  const Duration wire = config_.one_way_latency +
+                        static_cast<Duration>(config_.ns_per_byte * static_cast<double>(bytes));
+  Time arrive = depart + wire;
+  // FIFO per directed link, like a TCP connection.
+  const uint64_t link = (static_cast<uint64_t>(static_cast<uint32_t>(msg.src)) << 32) |
+                        static_cast<uint32_t>(msg.dst);
+  auto [it, inserted] = link_last_delivery_.try_emplace(link, arrive);
+  if (!inserted) {
+    if (arrive < it->second) arrive = it->second;
+    it->second = arrive;
+  }
+  sim_->Schedule(arrive, [dst, m = std::move(msg)]() mutable { dst->Deliver(std::move(m)); });
+}
+
+}  // namespace partdb

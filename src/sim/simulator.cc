@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace partdb {
+
+void Simulator::Schedule(Time at, std::function<void()> fn) {
+  PARTDB_CHECK_GE(at, now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast is UB-free
+    // here because we pop immediately and Event has no const members.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+  }
+}
+
+void Simulator::RunUntil(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+  }
+  now_ = until;
+}
+
+}  // namespace partdb

@@ -1,0 +1,47 @@
+// Per-transaction in-memory undo buffer (paper §3.2): engines append
+// compensation closures while executing; Rollback applies them in reverse.
+// Discarded wholesale on commit. Transactions that cannot abort skip undo
+// entirely, which is the "very low overhead" fast path.
+#ifndef PARTDB_STORAGE_UNDO_BUFFER_H_
+#define PARTDB_STORAGE_UNDO_BUFFER_H_
+
+#include <functional>
+#include <vector>
+
+#include "engine/work_meter.h"
+
+namespace partdb {
+
+class UndoBuffer {
+ public:
+  UndoBuffer() = default;
+  UndoBuffer(const UndoBuffer&) = delete;
+  UndoBuffer& operator=(const UndoBuffer&) = delete;
+  UndoBuffer(UndoBuffer&&) = default;
+  UndoBuffer& operator=(UndoBuffer&&) = default;
+
+  /// Appends a compensation action. `m` (optional) gets the record counted.
+  void Add(std::function<void()> fn, WorkMeter* m = nullptr) {
+    ops_.push_back(std::move(fn));
+    if (m != nullptr) m->undo_records++;
+  }
+
+  /// Applies all compensation actions newest-first, then clears.
+  void Rollback() {
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) (*it)();
+    ops_.clear();
+  }
+
+  /// Commit path: drop the records.
+  void Clear() { ops_.clear(); }
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<std::function<void()>> ops_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_STORAGE_UNDO_BUFFER_H_

@@ -1,0 +1,117 @@
+#include "tpcc/tpcc_consistency.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace partdb {
+namespace tpcc {
+
+namespace {
+std::string Msg(const char* fmt, int32_t w, int32_t d, double a, double b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, w, d, a, b);
+  return buf;
+}
+bool Near(double a, double b) { return std::fabs(a - b) < 0.01; }
+}  // namespace
+
+std::vector<std::string> CheckConsistency(const std::vector<const TpccDb*>& partitions) {
+  std::vector<std::string> violations;
+
+  for (const TpccDb* db : partitions) {
+    TpccDb* mdb = const_cast<TpccDb*>(db);  // iteration helpers are non-const
+    const TpccScale& scale = db->scale();
+
+    for (int32_t w : scale.WarehousesOf(db->pid())) {
+      const WarehouseRow* wr = db->warehouses.Find(static_cast<uint64_t>(w));
+      if (wr == nullptr) {
+        violations.push_back("missing warehouse row");
+        continue;
+      }
+
+      double d_ytd_sum = 0;
+      for (int32_t d = 1; d <= TpccScale::kDistrictsPerWarehouse; ++d) {
+        const DistrictRow* dr = db->districts.Find(DistrictKey(w, d));
+        if (dr == nullptr) {
+          violations.push_back("missing district row");
+          continue;
+        }
+        d_ytd_sum += dr->ytd - 30000.0;  // initial D_YTD
+
+        // C2/C3: NEW_ORDER contiguity and max order id.
+        int32_t no_min = 0, no_max = 0, no_count = 0;
+        uint64_t key = NewOrderKey(w, d, 0);
+        bool* unused = nullptr;
+        while (mdb->new_orders.LowerBound(key, &key, &unused) &&
+               key < NewOrderKey(w, d + 1, 0)) {
+          const int32_t o = static_cast<int32_t>(key & 0xFFFFFFFFu);
+          if (no_count == 0) no_min = o;
+          no_max = o;
+          no_count++;
+          key++;
+        }
+
+        int32_t o_max = 0;
+        int64_t ol_cnt_sum = 0;
+        for (auto it = mdb->orders.LowerBound(OrderKey(w, d, 0));
+             it.Valid() && it.key() < OrderKey(w, d + 1, 0); it.Next()) {
+          o_max = std::max(o_max, it.value().o_id);
+          ol_cnt_sum += it.value().ol_cnt;
+        }
+        int64_t ol_rows = 0;
+        for (auto it = mdb->order_lines.LowerBound(OrderLineKey(w, d, 0, 0));
+             it.Valid() && it.key() < OrderLineKey(w, d + 1, 0, 0); it.Next()) {
+          ol_rows++;
+        }
+
+        const DistrictRow& drow = *dr;
+        if (o_max != drow.next_o_id - 1) {
+          violations.push_back(
+              Msg("C2: w=%d d=%d max(O_ID)=%.0f != D_NEXT_O_ID-1=%.0f", w, d,
+                  static_cast<double>(o_max), static_cast<double>(drow.next_o_id - 1)));
+        }
+        if (no_count > 0) {
+          if (no_max != drow.next_o_id - 1) {
+            violations.push_back(
+                Msg("C2: w=%d d=%d max(NO_O_ID)=%.0f != D_NEXT_O_ID-1=%.0f", w, d,
+                    static_cast<double>(no_max), static_cast<double>(drow.next_o_id - 1)));
+          }
+          if (no_max - no_min + 1 != no_count) {
+            violations.push_back(Msg("C3: w=%d d=%d NEW_ORDER not contiguous (%.0f vs %.0f)", w,
+                                     d, static_cast<double>(no_max - no_min + 1),
+                                     static_cast<double>(no_count)));
+          }
+        }
+        if (ol_cnt_sum != ol_rows) {
+          violations.push_back(Msg("C4: w=%d d=%d sum(O_OL_CNT)=%.0f != order lines=%.0f", w, d,
+                                   static_cast<double>(ol_cnt_sum),
+                                   static_cast<double>(ol_rows)));
+        }
+      }
+
+      // C1: warehouse YTD equals the sum of its districts' YTD.
+      if (!Near(wr->ytd - 300000.0, d_ytd_sum)) {
+        violations.push_back(
+            Msg("C1: w=%d d=%d W_YTD delta=%.2f != sum(D_YTD delta)=%.2f", w, 0,
+                wr->ytd - 300000.0, d_ytd_sum));
+      }
+
+      // A1: payments recorded in history equal the warehouse YTD growth.
+      // Load-time rows are marked by date == 0 (runtime payments stamp a
+      // nonzero H_DATE).
+      double h_sum = 0;
+      db->history.ForEach([&h_sum, w](const uint64_t&, const HistoryRow& h) {
+        if (h.w_id == w && h.date != 0) h_sum += h.amount;
+      });
+      if (!Near(h_sum, wr->ytd - 300000.0)) {
+        violations.push_back(Msg("A1: w=%d d=%d history sum=%.2f != W_YTD delta=%.2f", w, 0,
+                                 h_sum, wr->ytd - 300000.0));
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace tpcc
+}  // namespace partdb

@@ -1,0 +1,30 @@
+// TPC-C consistency conditions (spec clause 3.3.2): structural invariants
+// over the database that must hold in any quiesced, serializable state.
+// Used by the integration tests after mixed-workload runs.
+#ifndef PARTDB_TPCC_TPCC_CONSISTENCY_H_
+#define PARTDB_TPCC_TPCC_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "tpcc/tpcc_db.h"
+
+namespace partdb {
+namespace tpcc {
+
+/// Runs consistency conditions 1-4 plus a warehouse-YTD/history audit over
+/// the given partitions (which together hold the whole database). Returns an
+/// empty vector when consistent; otherwise one message per violation.
+///
+///  C1: W_YTD = sum(D_YTD) of the warehouse's districts.
+///  C2: D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID) per district (when a
+///      NEW_ORDER row exists).
+///  C3: max(NO_O_ID) - min(NO_O_ID) + 1 = count(NEW_ORDER rows) per district.
+///  C4: sum(O_OL_CNT) = count(ORDER_LINE rows) per district.
+///  A1: W_YTD - initial = sum(H_AMOUNT) for payments routed to the warehouse.
+std::vector<std::string> CheckConsistency(const std::vector<const TpccDb*>& partitions);
+
+}  // namespace tpcc
+}  // namespace partdb
+
+#endif  // PARTDB_TPCC_TPCC_CONSISTENCY_H_

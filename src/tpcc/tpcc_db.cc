@@ -1,0 +1,84 @@
+#include "tpcc/tpcc_db.h"
+
+#include "common/rng.h"
+
+namespace partdb {
+namespace tpcc {
+
+namespace {
+
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+template <size_t N>
+uint64_t HashStr(const InlineString<N>& s, uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+uint64_t HashDouble(double v, uint64_t seed) {
+  // Monetary values are sums of exact cent amounts; round to avoid
+  // accumulation-order noise in the hash.
+  const int64_t cents = static_cast<int64_t>(v * 100.0 + (v >= 0 ? 0.5 : -0.5));
+  return Mix64(seed ^ static_cast<uint64_t>(cents));
+}
+
+}  // namespace
+
+uint64_t TpccDb::StateHash() const {
+  uint64_t h = 0;
+
+  warehouses.ForEach([&](const uint64_t& k, const WarehouseRow& r) {
+    h ^= Mix64(k ^ HashDouble(r.ytd, 0x11));
+  });
+  districts.ForEach([&](const uint64_t& k, const DistrictRow& r) {
+    h ^= Mix64(k ^ HashDouble(r.ytd, 0x22) ^ Mix64(static_cast<uint64_t>(r.next_o_id)));
+  });
+  customers.ForEach([&](const uint64_t& k, const CustomerRow& r) {
+    uint64_t c = HashDouble(r.balance, 0x33) ^ HashDouble(r.ytd_payment, 0x44) ^
+                 Mix64(static_cast<uint64_t>(r.payment_cnt) |
+                       (static_cast<uint64_t>(r.delivery_cnt) << 32)) ^
+                 HashStr(r.data, 0x55);
+    h ^= Mix64(k ^ c);
+  });
+  uint64_t hist = 0;
+  history.ForEach([&hist](const uint64_t&, const HistoryRow& r) {
+    // Content-only (the id key depends on execution interleaving).
+    hist ^= Mix64(CustomerKey(r.c_w_id, r.c_d_id, r.c_id) ^ HashDouble(r.amount, 0x66) ^
+                  Mix64(DistrictKey(r.w_id, r.d_id)));
+  });
+  h ^= hist;
+  for (auto it = const_cast<TpccDb*>(this)->orders.Begin(); it.Valid(); it.Next()) {
+    const OrderRow& r = it.value();
+    h ^= Mix64(it.key() ^ Mix64(static_cast<uint64_t>(r.c_id) ^
+                                (static_cast<uint64_t>(r.carrier_id) << 24) ^
+                                (static_cast<uint64_t>(r.ol_cnt) << 48)));
+  }
+  const_cast<TpccDb*>(this)->new_orders.ForEach(
+      [&](const uint64_t& k, bool&) { h ^= Mix64(k ^ 0x77); });
+  for (auto it = const_cast<TpccDb*>(this)->order_lines.Begin(); it.Valid(); it.Next()) {
+    const OrderLineRow& r = it.value();
+    h ^= Mix64(it.key() ^ HashDouble(r.amount, 0x88) ^
+               Mix64(static_cast<uint64_t>(r.i_id) ^
+                     (static_cast<uint64_t>(r.quantity) << 32) ^
+                     static_cast<uint64_t>(r.delivery_d != 0 ? 1 : 0) << 63));
+  }
+  stock.ForEach([&](const uint64_t& k, const StockRow& r) {
+    h ^= Mix64(k ^ Mix64(static_cast<uint64_t>(static_cast<uint32_t>(r.quantity)) ^
+                         (static_cast<uint64_t>(r.order_cnt) << 32) ^
+                         (static_cast<uint64_t>(r.remote_cnt) << 48)) ^
+               HashDouble(r.ytd, 0x99));
+  });
+  last_order_of_customer.ForEach(
+      [&](const uint64_t& k, const int32_t& o) { h ^= Mix64(k ^ (static_cast<uint64_t>(o) << 32)); });
+  return h;
+}
+
+}  // namespace tpcc
+}  // namespace partdb

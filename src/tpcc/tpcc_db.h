@@ -1,0 +1,83 @@
+// Per-partition TPC-C database: tables and indexes (paper §5: "each table is
+// represented as either a B-Tree, a binary tree, or hash table, as
+// appropriate"). Warehouses are range-partitioned; the items table and the
+// read-only stock columns are replicated to every partition (paper §5.5).
+#ifndef PARTDB_TPCC_TPCC_DB_H_
+#define PARTDB_TPCC_TPCC_DB_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "storage/avl_tree.h"
+#include "storage/btree.h"
+#include "storage/hash_table.h"
+#include "tpcc/tpcc_schema.h"
+
+namespace partdb {
+namespace tpcc {
+
+/// Scale and partitioning parameters. Defaults are scaled down from the spec
+/// (100k items, 3000 customers/district) so sweeps over many warehouse counts
+/// stay fast; ratios relevant to the paper's experiments are preserved.
+struct TpccScale {
+  int num_warehouses = 6;
+  int num_partitions = 2;
+  int items = 10000;                 // spec: 100000
+  int customers_per_district = 300;  // spec: 3000
+  int initial_orders_per_district = 300;  // spec: 3000 (last 1/3 undelivered)
+  static constexpr int kDistrictsPerWarehouse = 10;
+
+  /// Warehouses 1..W are block-assigned: partition p owns an equal slice.
+  PartitionId PartitionOf(int32_t w_id) const {
+    return static_cast<PartitionId>((static_cast<int64_t>(w_id - 1) * num_partitions) /
+                                    num_warehouses);
+  }
+  std::vector<int32_t> WarehousesOf(PartitionId p) const {
+    std::vector<int32_t> out;
+    for (int32_t w = 1; w <= num_warehouses; ++w) {
+      if (PartitionOf(w) == p) out.push_back(w);
+    }
+    return out;
+  }
+};
+
+class TpccDb {
+ public:
+  explicit TpccDb(TpccScale scale, PartitionId pid) : scale_(scale), pid_(pid) {}
+
+  const TpccScale& scale() const { return scale_; }
+  PartitionId pid() const { return pid_; }
+
+  // Partitioned tables (hash for point access, B+tree where ranges are
+  // scanned, AVL for the delete-min NEW_ORDER workload).
+  HashTable<uint64_t, WarehouseRow> warehouses;
+  HashTable<uint64_t, DistrictRow> districts;
+  HashTable<uint64_t, CustomerRow> customers;
+  BPlusTree<CustomerNameKey, uint64_t, 16> customers_by_name;  // -> CustomerKey
+  /// Append-only heap, keyed by a per-partition id so that undo can remove a
+  /// specific row (positional pop is unsafe under OCC's selective rollback).
+  HashTable<uint64_t, HistoryRow> history;
+  uint64_t next_history_id = 1;
+  BPlusTree<uint64_t, OrderRow, 16> orders;
+  HashTable<uint64_t, int32_t> last_order_of_customer;  // CustomerKey -> o_id
+  AvlTree<uint64_t, bool> new_orders;                   // NewOrderKey -> exists
+  BPlusTree<uint64_t, OrderLineRow, 16> order_lines;
+  HashTable<uint64_t, StockRow> stock;  // updatable columns, partitioned
+
+  // Replicated tables (read-only in the TPC-C mix; identical on all
+  // partitions).
+  HashTable<uint64_t, ItemRow> items;
+  HashTable<uint64_t, StockInfoRow> stock_info;  // StockKey -> read-only cols
+
+  /// Order-independent hash over all partitioned (mutable) state.
+  uint64_t StateHash() const;
+
+ private:
+  TpccScale scale_;
+  PartitionId pid_;
+};
+
+}  // namespace tpcc
+}  // namespace partdb
+
+#endif  // PARTDB_TPCC_TPCC_DB_H_

@@ -1,0 +1,97 @@
+#include "tpcc/tpcc_engine.h"
+
+#include "common/logging.h"
+#include "tpcc/tpcc_loader.h"
+
+namespace partdb {
+namespace tpcc {
+
+TpccEngine::TpccEngine(TpccScale scale, PartitionId pid, uint64_t seed) : db_(scale, pid) {
+  LoadPartition(&db_, seed);
+}
+
+ExecResult TpccEngine::Execute(const Payload& payload, int round, const Payload* round_input,
+                               UndoBuffer* undo, WorkMeter* meter) {
+  PARTDB_CHECK(round == 0);  // all TPC-C transactions are single-round
+  const auto& args = PayloadCast<TpccArgs>(payload);
+  switch (args.kind) {
+    case TpccArgs::Kind::kNewOrder:
+      return ExecNewOrder(db_, static_cast<const NewOrderArgs&>(args), undo, meter);
+    case TpccArgs::Kind::kPayment:
+      return ExecPayment(db_, static_cast<const PaymentArgs&>(args), undo, meter);
+    case TpccArgs::Kind::kOrderStatus:
+      return ExecOrderStatus(db_, static_cast<const OrderStatusArgs&>(args), meter);
+    case TpccArgs::Kind::kDelivery:
+      return ExecDelivery(db_, static_cast<const DeliveryArgs&>(args), undo, meter);
+    case TpccArgs::Kind::kStockLevel:
+      return ExecStockLevel(db_, static_cast<const StockLevelArgs&>(args), meter);
+  }
+  PARTDB_CHECK(false);
+  return ExecResult{};
+}
+
+void TpccEngine::LockSet(const Payload& payload, int round,
+                         std::vector<LockRequest>* out) const {
+  const auto& args = PayloadCast<TpccArgs>(payload);
+  const TpccScale& scale = db_.scale();
+  const PartitionId pid = db_.pid();
+
+  // Locking protocol: row locks on warehouse + fine-grained stock items;
+  // district locks additionally cover the district's customers, orders,
+  // order lines, and new-orders (coarse umbrella, which also gives phantom
+  // protection for the district-scoped scans). Replicated read-only tables
+  // (items, stock_info) are not locked: nothing in the mix writes them.
+  // StockLevel reads stock quantities without locks, which TPC-C explicitly
+  // allows at relaxed isolation (spec 2.8.2.3).
+  switch (args.kind) {
+    case TpccArgs::Kind::kNewOrder: {
+      const auto& a = static_cast<const NewOrderArgs&>(args);
+      if (scale.PartitionOf(a.w_id) == pid) {
+        out->push_back({LockId(LockSpace::kWarehouse, static_cast<uint64_t>(a.w_id)), false});
+        out->push_back({LockId(LockSpace::kDistrict, DistrictKey(a.w_id, a.d_id)), true});
+      }
+      for (const auto& line : a.lines) {
+        if (scale.PartitionOf(line.supply_w_id) != pid) continue;
+        out->push_back({LockId(LockSpace::kStock, StockKey(line.supply_w_id, line.i_id)), true});
+      }
+      break;
+    }
+    case TpccArgs::Kind::kPayment: {
+      const auto& a = static_cast<const PaymentArgs&>(args);
+      if (scale.PartitionOf(a.w_id) == pid) {
+        out->push_back({LockId(LockSpace::kWarehouse, static_cast<uint64_t>(a.w_id)), true});
+        out->push_back({LockId(LockSpace::kDistrict, DistrictKey(a.w_id, a.d_id)), true});
+      }
+      if (scale.PartitionOf(a.c_w_id) == pid) {
+        out->push_back({LockId(LockSpace::kDistrict, DistrictKey(a.c_w_id, a.c_d_id)), true});
+      }
+      break;
+    }
+    case TpccArgs::Kind::kOrderStatus: {
+      const auto& a = static_cast<const OrderStatusArgs&>(args);
+      out->push_back({LockId(LockSpace::kDistrict, DistrictKey(a.w_id, a.d_id)), false});
+      break;
+    }
+    case TpccArgs::Kind::kDelivery: {
+      const auto& a = static_cast<const DeliveryArgs&>(args);
+      for (int32_t d = 1; d <= TpccScale::kDistrictsPerWarehouse; ++d) {
+        out->push_back({LockId(LockSpace::kDistrict, DistrictKey(a.w_id, d)), true});
+      }
+      break;
+    }
+    case TpccArgs::Kind::kStockLevel: {
+      const auto& a = static_cast<const StockLevelArgs&>(args);
+      out->push_back({LockId(LockSpace::kDistrict, DistrictKey(a.w_id, a.d_id)), false});
+      break;
+    }
+  }
+}
+
+EngineFactory MakeTpccEngineFactory(const TpccScale& scale, uint64_t seed) {
+  return [scale, seed](PartitionId pid) -> std::unique_ptr<Engine> {
+    return std::make_unique<TpccEngine>(scale, pid, seed);
+  };
+}
+
+}  // namespace tpcc
+}  // namespace partdb

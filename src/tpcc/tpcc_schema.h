@@ -1,0 +1,180 @@
+// TPC-C schema: row structs and key encodings. Rows use fixed-size inline
+// strings (no heap) with widths close to the spec (long text columns are
+// trimmed; noted per field). Keys pack (w, d, ...) into uint64 for fast
+// index comparisons.
+#ifndef PARTDB_TPCC_TPCC_SCHEMA_H_
+#define PARTDB_TPCC_TPCC_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/inline_string.h"
+
+namespace partdb {
+namespace tpcc {
+
+using Str2 = InlineString<2>;
+using Str9 = InlineString<9>;
+using Str16 = InlineString<16>;
+using Str20 = InlineString<20>;
+using Str24 = InlineString<24>;
+using Str32 = InlineString<32>;  // trimmed: spec uses up to 500 for C_DATA/S_DATA
+
+struct WarehouseRow {
+  int32_t w_id = 0;
+  Str16 name;
+  Str20 street_1, street_2, city;
+  Str2 state;
+  Str9 zip;
+  double tax = 0;
+  double ytd = 0;
+};
+
+struct DistrictRow {
+  int32_t d_id = 0;
+  int32_t w_id = 0;
+  Str16 name;
+  Str20 street_1, street_2, city;
+  Str2 state;
+  Str9 zip;
+  double tax = 0;
+  double ytd = 0;
+  int32_t next_o_id = 1;
+};
+
+struct CustomerRow {
+  int32_t c_id = 0;
+  int32_t d_id = 0;
+  int32_t w_id = 0;
+  Str16 first;
+  Str2 middle;
+  Str16 last;
+  Str20 street_1, street_2, city;
+  Str2 state;
+  Str9 zip;
+  Str16 phone;
+  int64_t since = 0;
+  Str2 credit;  // "GC" or "BC"
+  double credit_lim = 0;
+  double discount = 0;
+  double balance = 0;
+  double ytd_payment = 0;
+  int32_t payment_cnt = 0;
+  int32_t delivery_cnt = 0;
+  Str32 data;
+};
+
+struct HistoryRow {
+  int32_t c_id = 0, c_d_id = 0, c_w_id = 0;
+  int32_t d_id = 0, w_id = 0;
+  int64_t date = 0;
+  double amount = 0;
+  Str24 data;
+};
+
+struct OrderRow {
+  int32_t o_id = 0;
+  int32_t d_id = 0;
+  int32_t w_id = 0;
+  int32_t c_id = 0;
+  int64_t entry_d = 0;
+  int32_t carrier_id = 0;  // 0 = not delivered
+  int32_t ol_cnt = 0;
+  bool all_local = true;
+};
+
+struct OrderLineRow {
+  int32_t o_id = 0;
+  int32_t d_id = 0;
+  int32_t w_id = 0;
+  int32_t ol_number = 0;
+  int32_t i_id = 0;
+  int32_t supply_w_id = 0;
+  int64_t delivery_d = 0;  // 0 = not delivered
+  int32_t quantity = 0;
+  double amount = 0;
+  Str24 dist_info;
+};
+
+struct ItemRow {
+  int32_t i_id = 0;
+  int32_t im_id = 0;
+  Str24 name;
+  double price = 0;
+  Str32 data;
+};
+
+/// Updatable stock columns: partitioned by warehouse (paper §5.5).
+struct StockRow {
+  int32_t i_id = 0;
+  int32_t w_id = 0;
+  int32_t quantity = 0;
+  double ytd = 0;
+  int32_t order_cnt = 0;
+  int32_t remote_cnt = 0;
+};
+
+/// Read-only stock columns: vertically partitioned out and replicated to all
+/// partitions (paper §5.5), so NewOrder reads them locally.
+struct StockInfoRow {
+  int32_t i_id = 0;
+  int32_t w_id = 0;
+  Str24 dist[10];  // S_DIST_01 .. S_DIST_10
+  Str32 data;
+};
+
+// ------------------------------------------------------------------ keys --
+
+inline uint64_t DistrictKey(int32_t w, int32_t d) {
+  return (static_cast<uint64_t>(w) << 8) | static_cast<uint64_t>(d);
+}
+inline uint64_t CustomerKey(int32_t w, int32_t d, int32_t c) {
+  return (static_cast<uint64_t>(w) << 32) | (static_cast<uint64_t>(d) << 24) |
+         static_cast<uint64_t>(c);
+}
+inline uint64_t OrderKey(int32_t w, int32_t d, int32_t o) {
+  return (static_cast<uint64_t>(w) << 40) | (static_cast<uint64_t>(d) << 32) |
+         static_cast<uint64_t>(o);
+}
+inline uint64_t NewOrderKey(int32_t w, int32_t d, int32_t o) { return OrderKey(w, d, o); }
+inline uint64_t OrderLineKey(int32_t w, int32_t d, int32_t o, int32_t ol) {
+  return (static_cast<uint64_t>(w) << 48) | (static_cast<uint64_t>(d) << 40) |
+         (static_cast<uint64_t>(o) << 8) | static_cast<uint64_t>(ol);
+}
+inline uint64_t StockKey(int32_t w, int32_t i) {
+  return (static_cast<uint64_t>(w) << 32) | static_cast<uint64_t>(i);
+}
+
+/// Secondary index key: customers by (w, d, last name, first name, id).
+struct CustomerNameKey {
+  uint64_t wd = 0;  // DistrictKey
+  Str16 last;
+  Str16 first;
+  int32_t c_id = 0;
+
+  bool operator<(const CustomerNameKey& o) const {
+    if (wd != o.wd) return wd < o.wd;
+    if (last != o.last) return last < o.last;
+    if (first != o.first) return first < o.first;
+    return c_id < o.c_id;
+  }
+  bool operator==(const CustomerNameKey& o) const {
+    return wd == o.wd && last == o.last && first == o.first && c_id == o.c_id;
+  }
+};
+
+// ------------------------------------------------------- lock name space --
+
+enum class LockSpace : uint64_t {
+  kWarehouse = 1,
+  kDistrict = 2,  // also covers the district's customers/orders/lines (coarse)
+  kStock = 3,
+};
+
+inline uint64_t LockId(LockSpace space, uint64_t key) {
+  return Mix64((static_cast<uint64_t>(space) << 56) ^ key);
+}
+
+}  // namespace tpcc
+}  // namespace partdb
+
+#endif  // PARTDB_TPCC_TPCC_SCHEMA_H_

@@ -1,0 +1,57 @@
+// TPC-C workload generator with the paper's modifications (§5.5): no client
+// think time, a fixed number of clients each assigned a warehouse but
+// choosing a random district per request, and a tunable remote-item
+// probability for the multi-partition scaling experiment (§5.6).
+#ifndef PARTDB_TPCC_TPCC_WORKLOAD_H_
+#define PARTDB_TPCC_TPCC_WORKLOAD_H_
+
+#include "client/workload.h"
+#include "tpcc/tpcc_engine.h"
+
+namespace partdb {
+namespace tpcc {
+
+struct TpccWorkloadConfig {
+  TpccScale scale;
+  // Transaction mix in percent (spec 5.2.3 deck proportions).
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+  int pct_stock_level = 4;
+  /// Probability an order line supplies from a remote warehouse (spec: 0.01;
+  /// §5.6 sweeps this).
+  double remote_item_prob = 0.01;
+  /// Probability a payment is for a customer of a remote warehouse (spec 0.15).
+  double remote_payment_prob = 0.15;
+  /// Fraction of Payment/OrderStatus selecting the customer by last name.
+  double by_name_prob = 0.60;
+
+  /// Probability that one generated transaction is multi-partition (used to
+  /// label the x-axis of the §5.6 experiment). Averages over the 5..15 line
+  /// count and the warehouse->partition map.
+  double MultiPartitionProbability() const;
+};
+
+class TpccWorkload : public Workload {
+ public:
+  explicit TpccWorkload(TpccWorkloadConfig config) : config_(config) {}
+
+  TxnRequest Next(int client_index, Rng& rng) override;
+
+  const TpccWorkloadConfig& config() const { return config_; }
+
+ private:
+  TxnRequest MakeNewOrder(int32_t w, Rng& rng);
+  TxnRequest MakePayment(int32_t w, Rng& rng);
+  TxnRequest MakeOrderStatus(int32_t w, Rng& rng);
+  TxnRequest MakeDelivery(int32_t w, Rng& rng);
+  TxnRequest MakeStockLevel(int32_t w, Rng& rng);
+
+  TpccWorkloadConfig config_;
+};
+
+}  // namespace tpcc
+}  // namespace partdb
+
+#endif  // PARTDB_TPCC_TPCC_WORKLOAD_H_

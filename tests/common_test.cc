@@ -1,0 +1,193 @@
+// Tests for the common utilities: Status, Rng, Histogram, FlagSet,
+// InlineString, message size accounting, and metrics arithmetic.
+#include <cstring>
+#include <map>
+
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "common/inline_string.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "kv/kv_engine.h"
+#include "msg/message.h"
+#include "runtime/metrics.h"
+#include "tpcc/tpcc_loader.h"
+
+namespace partdb {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status nf = Status::NotFound("no such key");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(nf.ToString(), "NotFound: no such key");
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBoundsAndCoverage) {
+  Rng rng(7);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    ASSERT_LT(v, 10u);
+    seen[v]++;
+  }
+  EXPECT_EQ(seen.size(), 10u);  // every value hit
+  for (const auto& [v, n] : seen) EXPECT_GT(n, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformRange(5, 15);
+    ASSERT_GE(v, 5);
+    ASSERT_LE(v, 15);
+    lo_hit |= v == 5;
+    hi_hit |= v == 15;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Histogram, PercentilesOrderedAndBounded) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Add(v * 1000);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000000);
+  const double p50 = h.Percentile(50), p95 = h.Percentile(95), p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+  // Log-bucketed: percentile error bounded by ~10%.
+  EXPECT_NEAR(p50, 500000, 500000 * 0.15);
+  EXPECT_NEAR(h.Mean(), 500500, 1.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000000);
+}
+
+TEST(FlagSet, ParsesAllTypesAndForms) {
+  FlagSet flags;
+  int64_t* n = flags.AddInt64("n", 5, "");
+  double* d = flags.AddDouble("d", 0.5, "");
+  bool* b = flags.AddBool("verbose", false, "");
+  std::string* s = flags.AddString("name", "x", "");
+
+  const char* argv[] = {"prog", "--n=42", "--d", "2.75", "--verbose", "--name=hello"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*d, 2.75);
+  EXPECT_TRUE(*b);
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(InlineString, BasicSemantics) {
+  InlineString<8> a("abc"), b("abc"), c("abd"), empty;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(a.str(), "abc");
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(InlineString, BinaryContentsSupported) {
+  const char raw[4] = {0x00, 0x01, 0x7f, 0x00};
+  InlineString<8> s(std::string_view(raw, 4));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(std::memcmp(s.data(), raw, 4), 0);
+}
+
+TEST(MessageSize, GrowsWithPayload) {
+  auto small = std::make_shared<KvArgs>();
+  small->keys.resize(1);
+  small->keys[0].push_back(KvKey("k"));
+  auto big = std::make_shared<KvArgs>();
+  big->keys.resize(1);
+  for (int i = 0; i < 100; ++i) big->keys[0].push_back(KvKey("k"));
+
+  FragmentRequest fs;
+  fs.args = small;
+  FragmentRequest fb;
+  fb.args = big;
+  EXPECT_LT(MessageByteSize(MessageBody(fs)), MessageByteSize(MessageBody(fb)));
+  EXPECT_GT(MessageByteSize(MessageBody(DecisionMessage{})), 0u);
+  EXPECT_STREQ(MessageTypeName(MessageBody(DecisionMessage{})), "Decision");
+}
+
+TEST(Metrics, ThroughputAndUtilization) {
+  Metrics m;
+  m.committed = 900;
+  m.user_aborts = 100;
+  m.window_ns = kSecond;
+  m.num_partitions = 2;
+  m.partition_busy_ns = kSecond;  // both partitions half busy
+  EXPECT_DOUBLE_EQ(m.Throughput(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.PartitionUtilization(), 0.5);
+  m.lock_acquire_ns = 100;
+  m.lock_release_ns = 50;
+  m.lock_table_ns = 50;
+  m.partition_busy_ns = 1000;
+  EXPECT_DOUBLE_EQ(m.LockTimeFraction(), 0.2);
+}
+
+TEST(TxnIdEncoding, RoundTrips) {
+  const TxnId id = MakeTxnId(12, 3456);
+  EXPECT_EQ(TxnClient(id), 12);
+  EXPECT_EQ(TxnSeq(id), 3456u);
+}
+
+TEST(TpccRandom, NURandInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t v = tpcc::NURand(rng, 1023, 1, 3000, 259);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 3000);
+  }
+}
+
+TEST(TpccRandom, LastNameSyllables) {
+  EXPECT_EQ(tpcc::LastName(0).str(), "BARBARBAR");
+  EXPECT_EQ(tpcc::LastName(371).str(), "PRICALLYOUGHT");
+  EXPECT_EQ(tpcc::LastName(999).str(), "EINGEINGEING");
+}
+
+}  // namespace
+}  // namespace partdb

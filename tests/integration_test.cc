@@ -1,0 +1,253 @@
+// End-to-end integration tests: every concurrency-control scheme runs the
+// microbenchmark variants in the simulated cluster, then the committed
+// history must satisfy final-state serializability (serial replay of each
+// partition's commit log reproduces the live state) and cross-partition
+// multi-partition commit orders must agree.
+#include <string>
+
+#include "gtest/gtest.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+#include "test_util.h"
+
+namespace partdb {
+namespace {
+
+struct IntegrationParam {
+  CcSchemeKind scheme;
+  double mp_fraction;
+  double conflict_prob;
+  double abort_prob;
+  int mp_rounds;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<IntegrationParam>& info) {
+  const IntegrationParam& p = info.param;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_mp%d_conf%d_abort%d_r%d_s%llu", CcSchemeName(p.scheme),
+                static_cast<int>(p.mp_fraction * 100), static_cast<int>(p.conflict_prob * 100),
+                static_cast<int>(p.abort_prob * 100), p.mp_rounds,
+                static_cast<unsigned long long>(p.seed));
+  return buf;
+}
+
+class SchemeIntegration : public ::testing::TestWithParam<IntegrationParam> {};
+
+TEST_P(SchemeIntegration, SerializableAndLive) {
+  const IntegrationParam& param = GetParam();
+
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 12;
+  mb.mp_fraction = param.mp_fraction;
+  mb.conflict_prob = param.conflict_prob;
+  mb.pin_first_clients = param.conflict_prob > 0;
+  mb.abort_prob = param.abort_prob;
+  mb.mp_rounds = param.mp_rounds;
+
+  ClusterConfig cfg;
+  cfg.scheme = param.scheme;
+  cfg.num_partitions = mb.num_partitions;
+  cfg.num_clients = mb.num_clients;
+  cfg.seed = param.seed;
+  cfg.log_commits = true;
+
+  EngineFactory factory = MakeKvEngineFactory(mb);
+  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.Run(Micros(20000), Micros(150000));
+  cluster.Quiesce();
+
+  // The system must have made progress.
+  EXPECT_GT(m.completions(), 100u) << m.Summary();
+  if (param.abort_prob == 0) EXPECT_EQ(m.user_aborts, 0u);
+  if (param.abort_prob > 0.05) EXPECT_GT(m.user_aborts, 0u);
+
+  // Final-state serializability per partition.
+  std::vector<const std::vector<CommitRecord>*> logs;
+  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+    const uint64_t live = cluster.engine(p).StateHash();
+    const uint64_t replayed = ReplayStateHash(factory, p, cluster.commit_log(p));
+    EXPECT_EQ(live, replayed) << "partition " << p << " diverged from serial replay ("
+                              << CcSchemeName(param.scheme) << ")";
+    logs.push_back(&cluster.commit_log(p));
+  }
+  ExpectMpOrderConsistent(logs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchemeIntegration,
+    ::testing::Values(
+        // Plain mixes.
+        IntegrationParam{CcSchemeKind::kBlocking, 0.1, 0, 0, 1, 1},
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.1, 0, 0, 1, 1},
+        IntegrationParam{CcSchemeKind::kLocking, 0.1, 0, 0, 1, 1},
+        // Multi-partition heavy.
+        IntegrationParam{CcSchemeKind::kBlocking, 0.8, 0, 0, 1, 2},
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.8, 0, 0, 1, 2},
+        IntegrationParam{CcSchemeKind::kLocking, 0.8, 0, 0, 1, 2},
+        // Conflicts (locking must serialize around the hot keys).
+        IntegrationParam{CcSchemeKind::kLocking, 0.3, 0.6, 0, 1, 3},
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.3, 0.6, 0, 1, 3},
+        IntegrationParam{CcSchemeKind::kBlocking, 0.3, 0.6, 0, 1, 3},
+        // Aborts (speculation must cascade correctly).
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.3, 0, 0.1, 1, 4},
+        IntegrationParam{CcSchemeKind::kBlocking, 0.3, 0, 0.1, 1, 4},
+        IntegrationParam{CcSchemeKind::kLocking, 0.3, 0, 0.1, 1, 4},
+        // Aborts + conflicts + speculation, different seeds.
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.5, 0.4, 0.05, 1, 5},
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.5, 0.4, 0.05, 1, 6},
+        IntegrationParam{CcSchemeKind::kLocking, 0.5, 0.4, 0.05, 1, 7},
+        // General (two-round) multi-partition transactions.
+        IntegrationParam{CcSchemeKind::kBlocking, 0.3, 0, 0, 2, 8},
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.3, 0, 0, 2, 8},
+        IntegrationParam{CcSchemeKind::kLocking, 0.3, 0, 0, 2, 8},
+        IntegrationParam{CcSchemeKind::kSpeculative, 0.7, 0, 0.05, 2, 9},
+        // 100% multi-partition stress.
+        IntegrationParam{CcSchemeKind::kBlocking, 1.0, 0, 0, 1, 10},
+        IntegrationParam{CcSchemeKind::kSpeculative, 1.0, 0, 0, 1, 10},
+        IntegrationParam{CcSchemeKind::kLocking, 1.0, 0, 0, 1, 10},
+        IntegrationParam{CcSchemeKind::kSpeculative, 1.0, 0, 0.1, 2, 11},
+        // OCC extension (paper §5.7) across the regimes.
+        IntegrationParam{CcSchemeKind::kOcc, 0.1, 0, 0, 1, 12},
+        IntegrationParam{CcSchemeKind::kOcc, 0.8, 0, 0, 1, 12},
+        IntegrationParam{CcSchemeKind::kOcc, 0.3, 0.6, 0, 1, 13},
+        IntegrationParam{CcSchemeKind::kOcc, 0.5, 0.4, 0.1, 1, 14},
+        IntegrationParam{CcSchemeKind::kOcc, 1.0, 0, 0.1, 1, 15}),
+    ParamName);
+
+TEST(Integration, CounterSumMatchesCommits) {
+  // Every committed transaction increments each of its keys exactly once, so
+  // the final counter values must equal the per-key committed counts.
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 8;
+  mb.mp_fraction = 0.4;
+  mb.abort_prob = 0.05;
+
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.num_partitions = 2;
+  cfg.num_clients = mb.num_clients;
+  cfg.log_commits = true;
+  cfg.seed = 99;
+
+  EngineFactory factory = MakeKvEngineFactory(mb);
+  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  cluster.Run(Micros(10000), Micros(100000));
+  cluster.Quiesce();
+
+  for (PartitionId p = 0; p < 2; ++p) {
+    std::unordered_map<uint64_t, uint64_t> expected;  // key hash -> count
+    for (const CommitRecord& rec : cluster.commit_log(p)) {
+      const auto& args = PayloadCast<KvArgs>(*rec.args);
+      for (const KvKey& k : args.keys[p]) expected[k.Hash()]++;
+    }
+    auto& store = static_cast<KvEngine&>(cluster.engine(p)).store();
+    for (int c = 0; c < mb.num_clients; ++c) {
+      for (int i = 0; i < mb.keys_per_txn; ++i) {
+        const KvKey key = MicrobenchKey(c, p, i);
+        KvValue v;
+        ASSERT_TRUE(store.Get(key, &v));
+        EXPECT_EQ(DecodeValue(v), expected[key.Hash()])
+            << "client " << c << " slot " << i << " partition " << p;
+      }
+    }
+  }
+}
+
+TEST(Integration, ReplicationBackupsConverge) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 8;
+  mb.mp_fraction = 0.3;
+  mb.abort_prob = 0.05;
+
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.num_partitions = 2;
+  cfg.num_clients = mb.num_clients;
+  cfg.replication = 2;
+  cfg.backups_execute = true;
+  cfg.seed = 77;
+
+  EngineFactory factory = MakeKvEngineFactory(mb);
+  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.Run(Micros(10000), Micros(80000));
+  cluster.Quiesce();
+  EXPECT_GT(m.completions(), 100u);
+
+  for (PartitionId p = 0; p < 2; ++p) {
+    EXPECT_EQ(cluster.engine(p).StateHash(), cluster.backup_engine(p, 0).StateHash())
+        << "backup of partition " << p << " diverged";
+  }
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    MicrobenchConfig mb;
+    mb.num_partitions = 2;
+    mb.num_clients = 10;
+    mb.mp_fraction = 0.25;
+    ClusterConfig cfg;
+    cfg.scheme = CcSchemeKind::kSpeculative;
+    cfg.num_clients = mb.num_clients;
+    cfg.seed = seed;
+    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+    Metrics m = cluster.Run(Micros(10000), Micros(50000));
+    cluster.Quiesce();
+    return std::make_pair(m.completions(),
+                          cluster.engine(0).StateHash() ^ cluster.engine(1).StateHash());
+  };
+  auto [n1, h1] = run(42);
+  auto [n2, h2] = run(42);
+  auto [n3, h3] = run(43);
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);  // different seed, different history
+}
+
+TEST(Integration, LockingFastPathUsedWhenNoMp) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 8;
+  mb.mp_fraction = 0.0;
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kLocking;
+  cfg.num_clients = mb.num_clients;
+  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.Run(Micros(10000), Micros(50000));
+  EXPECT_GT(m.lock_fast_path, 0u);
+  EXPECT_EQ(m.locked_txns, 0u);  // never any active transaction at arrival
+}
+
+TEST(Integration, SpeculationActuallySpeculates) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 20;
+  mb.mp_fraction = 0.3;
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.num_clients = mb.num_clients;
+  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.Run(Micros(10000), Micros(50000));
+  EXPECT_GT(m.speculative_execs, 0u) << m.Summary();
+}
+
+TEST(Integration, AbortsCauseCascadingReexecutions) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 20;
+  mb.mp_fraction = 0.3;
+  mb.abort_prob = 0.1;
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.num_clients = mb.num_clients;
+  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.Run(Micros(10000), Micros(50000));
+  EXPECT_GT(m.cascading_reexecs, 0u) << m.Summary();
+  EXPECT_GT(m.user_aborts, 0u);
+}
+
+}  // namespace
+}  // namespace partdb

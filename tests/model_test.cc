@@ -1,0 +1,76 @@
+// Analytical model (§6) sanity tests: closed forms at the endpoints,
+// monotonicity, and the orderings the paper derives.
+#include "model/analytical.h"
+
+#include "gtest/gtest.h"
+
+namespace partdb {
+namespace {
+
+TEST(Model, BlockingEndpoints) {
+  ModelParams p = ModelParams::PaperTable2();
+  // f=0: two partitions each finish one SP txn every tsp.
+  EXPECT_NEAR(ModelBlockingThroughput(p, 0.0), 2.0 / p.tsp, 1e-6);
+  // f=1: one MP txn every tmp.
+  EXPECT_NEAR(ModelBlockingThroughput(p, 1.0), 1.0 / p.tmp, 1e-6);
+}
+
+TEST(Model, BlockingMonotonicallyDecreasing) {
+  ModelParams p = ModelParams::PaperTable2();
+  double prev = 1e18;
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    const double t = ModelBlockingThroughput(p, f);
+    EXPECT_LT(t, prev + 1e-9);
+    prev = t;
+  }
+}
+
+TEST(Model, SpeculationDominatesBlocking) {
+  ModelParams p = ModelParams::PaperTable2();
+  for (double f = 0.01; f <= 1.0; f += 0.01) {
+    EXPECT_GE(ModelSpeculationThroughput(p, f), ModelBlockingThroughput(p, f) - 1e-6)
+        << "f=" << f;
+    EXPECT_GE(ModelLocalSpeculationThroughput(p, f), ModelBlockingThroughput(p, f) - 1e-6)
+        << "f=" << f;
+  }
+}
+
+TEST(Model, FullSpeculationDominatesLocalSpeculation) {
+  ModelParams p = ModelParams::PaperTable2();
+  for (double f = 0.01; f <= 1.0; f += 0.01) {
+    EXPECT_GE(ModelSpeculationThroughput(p, f),
+              ModelLocalSpeculationThroughput(p, f) - 1e-6)
+        << "f=" << f;
+  }
+}
+
+TEST(Model, AllSchemesAgreeAtZeroMpExceptLockingOverhead) {
+  ModelParams p = ModelParams::PaperTable2();
+  const double blocking = ModelBlockingThroughput(p, 0.0);
+  const double spec = ModelSpeculationThroughput(p, 0.0);
+  EXPECT_NEAR(blocking, spec, blocking * 0.01);
+  // Locking pays undo + overhead even at f=0 in the model's formulation.
+  const double locking = ModelLockingThroughput(p, 0.0);
+  EXPECT_NEAR(locking, 2.0 / ((1.0 + p.lock_overhead) * p.tsp_s), 1e-6);
+  EXPECT_LT(locking, blocking);
+}
+
+TEST(Model, NHiddenShrinksWithMoreMultiPartition) {
+  ModelParams p = ModelParams::PaperTable2();
+  // Once SP transactions are scarce (large f), the supply term dominates.
+  EXPECT_GT(ModelNHidden(p, 0.1), ModelNHidden(p, 0.9));
+  // With abundant SP work it is capped by the idle window.
+  const double tmp_l = std::max(p.tmp_n(), p.tmp_c);
+  EXPECT_NEAR(ModelNHidden(p, 0.001), (tmp_l - p.tmp_c) / p.tsp_s, 1e-9);
+}
+
+TEST(Model, LockingBeatsSpeculationAtHighMpFraction) {
+  // With the paper's parameters the coordinator-free locking scheme wins at
+  // 100% MP in the model only when its overhead is small enough; verify the
+  // crossover structure exists: speculation wins at low f.
+  ModelParams p = ModelParams::PaperTable2();
+  EXPECT_GT(ModelSpeculationThroughput(p, 0.05), ModelLockingThroughput(p, 0.05));
+}
+
+}  // namespace
+}  // namespace partdb

@@ -1,0 +1,68 @@
+// Shared test helpers: serial replay of commit logs (final-state
+// serializability checking) and cross-partition order consistency.
+#ifndef PARTDB_TESTS_TEST_UTIL_H_
+#define PARTDB_TESTS_TEST_UTIL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/partition_actor.h"
+#include "gtest/gtest.h"
+
+namespace partdb {
+
+/// Replays a partition's committed transactions serially, in commit order,
+/// on a fresh engine built by `factory`, and returns the resulting state
+/// hash. If the system is serializable this must match the live partition.
+inline uint64_t ReplayStateHash(const EngineFactory& factory, PartitionId pid,
+                                const std::vector<CommitRecord>& log) {
+  std::unique_ptr<Engine> engine = factory(pid);
+  for (const CommitRecord& rec : log) {
+    const int rounds =
+        rec.round_inputs.empty() ? 1 : static_cast<int>(rec.round_inputs.size());
+    for (int r = 0; r < rounds; ++r) {
+      WorkMeter m;
+      const Payload* input =
+          r < static_cast<int>(rec.round_inputs.size()) ? rec.round_inputs[r].get() : nullptr;
+      ExecResult res = engine->Execute(*rec.args, r, input, nullptr, &m);
+      EXPECT_FALSE(res.aborted) << "committed transaction aborted on replay";
+    }
+  }
+  return engine->StateHash();
+}
+
+/// Verifies that every pair of partitions committed their shared
+/// multi-partition transactions in the same relative order (necessary for a
+/// global serial order to exist).
+inline void ExpectMpOrderConsistent(const std::vector<const std::vector<CommitRecord>*>& logs) {
+  for (size_t a = 0; a < logs.size(); ++a) {
+    for (size_t b = a + 1; b < logs.size(); ++b) {
+      std::unordered_map<TxnId, size_t> pos_b;
+      size_t i = 0;
+      for (const CommitRecord& r : *logs[b]) {
+        if (r.multi_partition) pos_b[r.txn_id] = i++;
+      }
+      // Shared transactions must appear in increasing b-position when walked
+      // in a-order.
+      size_t last = 0;
+      bool first = true;
+      for (const CommitRecord& r : *logs[a]) {
+        if (!r.multi_partition) continue;
+        auto it = pos_b.find(r.txn_id);
+        if (it == pos_b.end()) continue;
+        if (!first) {
+          EXPECT_LT(last, it->second)
+              << "multi-partition commit order differs between partitions " << a << " and "
+              << b;
+        }
+        last = it->second;
+        first = false;
+      }
+    }
+  }
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_TESTS_TEST_UTIL_H_

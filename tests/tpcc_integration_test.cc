@@ -1,0 +1,155 @@
+// TPC-C end-to-end: the full mix runs under every scheme in the simulated
+// cluster; afterwards the database must satisfy the TPC-C consistency
+// conditions, match a serial replay of the commit logs, and agree on
+// multi-partition commit order across partitions.
+#include <string>
+
+#include "gtest/gtest.h"
+#include "runtime/cluster.h"
+#include "test_util.h"
+#include "tpcc/tpcc_consistency.h"
+#include "tpcc/tpcc_engine.h"
+#include "tpcc/tpcc_workload.h"
+
+namespace partdb {
+namespace {
+
+using tpcc::CheckConsistency;
+using tpcc::MakeTpccEngineFactory;
+using tpcc::TpccEngine;
+using tpcc::TpccScale;
+using tpcc::TpccWorkload;
+using tpcc::TpccWorkloadConfig;
+
+TpccScale SmallScale() {
+  TpccScale s;
+  s.num_warehouses = 4;
+  s.num_partitions = 2;
+  s.items = 200;
+  s.customers_per_district = 30;
+  s.initial_orders_per_district = 30;
+  return s;
+}
+
+struct TpccParam {
+  CcSchemeKind scheme;
+  double remote_item_prob;
+  int pct_new_order;  // rest of the mix scales accordingly
+  uint64_t seed;
+};
+
+std::string TpccParamName(const ::testing::TestParamInfo<TpccParam>& info) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s_rem%d_no%d_s%llu", CcSchemeName(info.param.scheme),
+                static_cast<int>(info.param.remote_item_prob * 100), info.param.pct_new_order,
+                static_cast<unsigned long long>(info.param.seed));
+  return buf;
+}
+
+class TpccIntegration : public ::testing::TestWithParam<TpccParam> {};
+
+TEST_P(TpccIntegration, ConsistentAndSerializable) {
+  const TpccParam& param = GetParam();
+  TpccWorkloadConfig wl;
+  wl.scale = SmallScale();
+  wl.remote_item_prob = param.remote_item_prob;
+  if (param.pct_new_order == 100) {
+    wl.pct_new_order = 100;
+    wl.pct_payment = wl.pct_order_status = wl.pct_delivery = wl.pct_stock_level = 0;
+  }
+
+  ClusterConfig cfg;
+  cfg.scheme = param.scheme;
+  cfg.num_partitions = wl.scale.num_partitions;
+  cfg.num_clients = 12;
+  cfg.seed = param.seed;
+  cfg.log_commits = true;
+
+  const uint64_t load_seed = 1000 + param.seed;
+  EngineFactory factory = MakeTpccEngineFactory(wl.scale, load_seed);
+  Cluster cluster(cfg, factory, std::make_unique<TpccWorkload>(wl));
+  Metrics m = cluster.Run(Micros(20000), Micros(150000));
+  cluster.Quiesce();
+
+  EXPECT_GT(m.completions(), 50u) << m.Summary();
+
+  // TPC-C consistency conditions over the whole (partitioned) database.
+  std::vector<const tpcc::TpccDb*> dbs;
+  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+    dbs.push_back(&static_cast<TpccEngine&>(cluster.engine(p)).db());
+  }
+  auto violations = CheckConsistency(dbs);
+  EXPECT_TRUE(violations.empty()) << violations.front() << " [" << m.Summary() << "]";
+
+  // Final-state serializability via serial replay of the commit logs.
+  std::vector<const std::vector<CommitRecord>*> logs;
+  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+    EXPECT_EQ(cluster.engine(p).StateHash(),
+              ReplayStateHash(factory, p, cluster.commit_log(p)))
+        << "partition " << p << " diverged (" << CcSchemeName(param.scheme) << ")";
+    logs.push_back(&cluster.commit_log(p));
+  }
+  ExpectMpOrderConsistent(logs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TpccIntegration,
+    ::testing::Values(TpccParam{CcSchemeKind::kBlocking, 0.01, 45, 1},
+                      TpccParam{CcSchemeKind::kSpeculative, 0.01, 45, 1},
+                      TpccParam{CcSchemeKind::kLocking, 0.01, 45, 1},
+                      // Remote-heavy NewOrder-only (fig. 9 regime, deadlocks
+                      // under locking).
+                      TpccParam{CcSchemeKind::kBlocking, 0.2, 100, 2},
+                      TpccParam{CcSchemeKind::kSpeculative, 0.2, 100, 2},
+                      TpccParam{CcSchemeKind::kLocking, 0.2, 100, 2},
+                      // Different seeds for the full mix.
+                      TpccParam{CcSchemeKind::kSpeculative, 0.05, 45, 3},
+                      TpccParam{CcSchemeKind::kLocking, 0.05, 45, 3},
+                      TpccParam{CcSchemeKind::kBlocking, 0.05, 45, 4},
+                      TpccParam{CcSchemeKind::kSpeculative, 0.01, 45, 5},
+                      // OCC extension (paper §5.7).
+                      TpccParam{CcSchemeKind::kOcc, 0.01, 45, 6},
+                      TpccParam{CcSchemeKind::kOcc, 0.2, 100, 7},
+                      TpccParam{CcSchemeKind::kOcc, 0.05, 45, 8}),
+    TpccParamName);
+
+TEST(TpccIntegrationExtra, LockingUnderContentionMakesProgress) {
+  // One warehouse, many clients: everything fights over the same districts.
+  TpccWorkloadConfig wl;
+  wl.scale = SmallScale();
+  wl.scale.num_warehouses = 2;
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kLocking;
+  cfg.num_partitions = 2;
+  cfg.num_clients = 16;
+  cfg.seed = 9;
+  Cluster cluster(cfg, MakeTpccEngineFactory(wl.scale, 77), std::make_unique<TpccWorkload>(wl));
+  Metrics m = cluster.Run(Micros(20000), Micros(100000));
+  cluster.Quiesce();
+  EXPECT_GT(m.completions(), 50u) << m.Summary();
+  EXPECT_GT(m.locked_txns, 0u);
+}
+
+TEST(TpccIntegrationExtra, ReplicatedTpccBackupConverges) {
+  TpccWorkloadConfig wl;
+  wl.scale = SmallScale();
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.num_partitions = 2;
+  cfg.num_clients = 8;
+  cfg.replication = 2;
+  cfg.backups_execute = true;
+  cfg.seed = 31;
+  EngineFactory factory = MakeTpccEngineFactory(wl.scale, 31);
+  Cluster cluster(cfg, factory, std::make_unique<TpccWorkload>(wl));
+  Metrics m = cluster.Run(Micros(20000), Micros(80000));
+  cluster.Quiesce();
+  EXPECT_GT(m.completions(), 50u);
+  for (PartitionId p = 0; p < 2; ++p) {
+    EXPECT_EQ(cluster.engine(p).StateHash(), cluster.backup_engine(p, 0).StateHash())
+        << "backup " << p;
+  }
+}
+
+}  // namespace
+}  // namespace partdb
