@@ -39,7 +39,7 @@ struct TransferResult : public Payload {
 
 class BankEngine : public Engine {
  public:
-  BankEngine(PartitionId pid, int num_partitions) : pid_(pid) {
+  BankEngine(PartitionId pid, int /*num_partitions*/) : pid_(pid) {
     for (int i = 0; i < kAccountsPerPartition; ++i) {
       accounts_.Put(GlobalId(pid, i), kInitialBalance);
     }
@@ -52,7 +52,7 @@ class BankEngine : public Engine {
     return static_cast<PartitionId>(account / kAccountsPerPartition);
   }
 
-  ExecResult Execute(const Payload& payload, int round, const Payload* round_input,
+  ExecResult Execute(const Payload& payload, int /*round*/, const Payload* /*round_input*/,
                      UndoBuffer* undo, WorkMeter* meter) override {
     const auto& a = PayloadCast<TransferArgs>(payload);
     ExecResult res;
@@ -89,7 +89,7 @@ class BankEngine : public Engine {
     return res;
   }
 
-  void LockSet(const Payload& payload, int round, std::vector<LockRequest>* out) const override {
+  void LockSet(const Payload& payload, int /*round*/, std::vector<LockRequest>* out) const override {
     const auto& a = PayloadCast<TransferArgs>(payload);
     if (PartitionOf(a.from) == pid_) {
       out->push_back({Mix64(static_cast<uint64_t>(a.from)), true});
@@ -125,7 +125,7 @@ class BankWorkload : public Workload {
   BankWorkload(int num_partitions, double cross_partition_fraction)
       : partitions_(num_partitions), cross_(cross_partition_fraction) {}
 
-  TxnRequest Next(int client_index, Rng& rng) override {
+  TxnRequest Next(int /*client_index*/, Rng& rng) override {
     auto args = std::make_shared<TransferArgs>();
     const PartitionId p_from = static_cast<PartitionId>(rng.Uniform(partitions_));
     PartitionId p_to = p_from;

@@ -74,7 +74,7 @@ class CcScheme {
   virtual void OnDecision(const DecisionMessage& d) = 0;
 
   /// A timer set via PartitionExec::SetTimer has fired.
-  virtual void OnTimer(const TimerFire& t) {}
+  virtual void OnTimer(const TimerFire& /*t*/) {}
 
   /// True when no transaction is active or queued (used by tests to verify
   /// quiescence).

@@ -21,13 +21,7 @@ const char* CcSchemeName(CcSchemeKind k) {
 }
 
 void ClientActor::Kick() {
-  sim()->Schedule(sim()->Now(), [this]() {
-    Message m;
-    m.src = node_id();
-    m.dst = node_id();
-    m.body = TimerFire{kInvalidTxn, 0};
-    Deliver(std::move(m));
-  });
+  exec()->SetTimer(node_id(), exec()->Now(), TimerFire{kInvalidTxn, 0});
 }
 
 void ClientActor::OnMessage(Message& msg, ActorContext& ctx) {

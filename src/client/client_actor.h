@@ -13,7 +13,7 @@
 #include "common/rng.h"
 #include "engine/cost_model.h"
 #include "runtime/metrics.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 namespace partdb {
 

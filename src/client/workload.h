@@ -34,8 +34,8 @@ class Workload {
   /// Coordinator-side application code (paper §3.3): computes the input for
   /// `round` from the previous round's per-partition results. Only called for
   /// transactions with rounds > 1.
-  virtual PayloadPtr RoundInput(const Payload& args, int round,
-                                const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) {
+  virtual PayloadPtr RoundInput(const Payload& /*args*/, int /*round*/,
+                                const std::vector<std::pair<PartitionId, PayloadPtr>>& /*prev*/) {
     return nullptr;
   }
 };

@@ -163,7 +163,7 @@ void CoordinatorActor::Decide(MpTxn* t, bool commit, ActorContext& ctx) {
   }
 }
 
-void CoordinatorActor::InvalidateStale(PartitionId p, ActorContext& ctx) {
+void CoordinatorActor::InvalidateStale(PartitionId p, ActorContext& /*ctx*/) {
   for (auto& [id, t] : txns_) {
     auto pi = std::find(t->parts.begin(), t->parts.end(), p);
     if (pi == t->parts.end()) continue;

@@ -15,7 +15,7 @@
 #include "client/workload.h"
 #include "engine/cost_model.h"
 #include "runtime/metrics.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 namespace partdb {
 

@@ -71,7 +71,7 @@ bool LockManager::Acquire(uint64_t lock_id, void* owner, bool exclusive, WorkMet
   return false;
 }
 
-void LockManager::GrantFromQueue(uint64_t lock_id, LockEntry* e, WorkMeter* m,
+void LockManager::GrantFromQueue(uint64_t lock_id, LockEntry* e, WorkMeter* /*m*/,
                                  std::vector<Granted>* granted) {
   for (;;) {
     if (e->queue.empty()) break;

@@ -12,7 +12,7 @@
 #include "engine/cost_model.h"
 #include "engine/engine.h"
 #include "runtime/metrics.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 namespace partdb {
 

@@ -1,0 +1,41 @@
+// Serial replay of a partition's commit log (final-state serializability
+// checking). Shared by the test suite and the self-verifying benches.
+#ifndef PARTDB_ENGINE_REPLAY_H_
+#define PARTDB_ENGINE_REPLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/partition_actor.h"
+
+namespace partdb {
+
+/// Replays a partition's committed transactions serially, in commit order,
+/// on a fresh engine built by `factory`, and returns the resulting state
+/// hash. If the system is serializable this must match the live partition.
+/// A committed transaction user-aborting on replay is itself a violation;
+/// when `aborted_replays` is non-null the count is reported there.
+inline uint64_t ReplayStateHash(const EngineFactory& factory, PartitionId pid,
+                                const std::vector<CommitRecord>& log,
+                                size_t* aborted_replays = nullptr) {
+  std::unique_ptr<Engine> engine = factory(pid);
+  size_t aborted = 0;
+  for (const CommitRecord& rec : log) {
+    const int rounds =
+        rec.round_inputs.empty() ? 1 : static_cast<int>(rec.round_inputs.size());
+    for (int r = 0; r < rounds; ++r) {
+      WorkMeter m;
+      const Payload* input =
+          r < static_cast<int>(rec.round_inputs.size()) ? rec.round_inputs[r].get() : nullptr;
+      ExecResult res = engine->Execute(*rec.args, r, input, nullptr, &m);
+      if (res.aborted) ++aborted;
+    }
+  }
+  if (aborted_replays != nullptr) *aborted_replays = aborted;
+  return engine->StateHash();
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_ENGINE_REPLAY_H_

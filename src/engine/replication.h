@@ -11,7 +11,7 @@
 
 #include "engine/cost_model.h"
 #include "engine/engine.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 namespace partdb {
 

@@ -77,7 +77,7 @@ TxnRequest MicrobenchWorkload::Next(int client_index, Rng& rng) {
 }
 
 PayloadPtr MicrobenchWorkload::RoundInput(
-    const Payload& payload, int round,
+    const Payload& /*payload*/, int round,
     const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) {
   PARTDB_CHECK(round == 1);
   auto input = std::make_shared<KvRoundInput>();

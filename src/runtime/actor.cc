@@ -1,4 +1,4 @@
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 #include "common/logging.h"
 
@@ -9,23 +9,16 @@ void ActorContext::Send(NodeId dst, MessageBody body) {
   m.src = actor_->node_id();
   m.dst = dst;
   m.body = std::move(body);
-  actor_->net()->Send(std::move(m), now());
+  actor_->exec()->Send(std::move(m), now());
 }
 
 void ActorContext::SetTimer(Duration after, TimerFire t) {
-  Actor* a = actor_;
-  a->sim()->Schedule(now() + after, [a, t]() {
-    Message m;
-    m.src = a->node_id();
-    m.dst = a->node_id();
-    m.body = t;
-    a->Deliver(std::move(m));
-  });
+  actor_->exec()->SetTimer(actor_->node_id(), now() + after, t);
 }
 
 void Actor::Deliver(Message msg) {
   inbox_.push_back(std::move(msg));
-  if (!busy_) StartNext(sim_->Now());
+  if (!busy_) StartNext(exec_->Now());
 }
 
 void Actor::StartNext(Time at) {
@@ -39,11 +32,12 @@ void Actor::StartNext(Time at) {
 
   const Duration cost = ctx.charged();
   busy_ns_ += cost;
-  const Time done = at + cost;
-  sim_->Schedule(done, [this, done]() {
-    busy_ = false;
-    if (!inbox_.empty()) StartNext(done);
-  });
+  exec_->HandlerDone(this, at, cost);
+}
+
+void Actor::FinishHandler(Time done) {
+  busy_ = false;
+  if (!inbox_.empty()) StartNext(done);
 }
 
 }  // namespace partdb

@@ -1,17 +1,18 @@
-// Actor: a simulated single-threaded process with one CPU. Messages queue in
-// an inbox; the actor processes one message at a time, and the virtual CPU
-// time charged by the handler determines when the next message starts.
-// Outbound messages depart at the virtual instant they were produced.
-#ifndef PARTDB_SIM_ACTOR_H_
-#define PARTDB_SIM_ACTOR_H_
+// Actor: a single-threaded process with one CPU. Messages queue in an inbox;
+// the actor processes one message at a time, and the CPU time charged by the
+// handler determines when the next message starts. Outbound messages depart
+// at the instant they were produced. Actors are runtime-agnostic: the bound
+// ExecutionContext decides whether time is virtual (discrete-event
+// simulation) or wall-clock (thread-per-partition parallel execution).
+#ifndef PARTDB_RUNTIME_ACTOR_H_
+#define PARTDB_RUNTIME_ACTOR_H_
 
 #include <deque>
 #include <string>
 
 #include "common/types.h"
 #include "msg/message.h"
-#include "sim/network.h"
-#include "sim/simulator.h"
+#include "runtime/execution_context.h"
 
 namespace partdb {
 
@@ -23,7 +24,7 @@ class ActorContext {
  public:
   ActorContext(Actor* actor, Time start) : actor_(actor), start_(start) {}
 
-  /// Virtual time at which the currently-charged work completes.
+  /// Time at which the currently-charged work completes.
   Time now() const { return start_ + charged_; }
   Time start() const { return start_; }
 
@@ -50,21 +51,26 @@ class Actor {
   Actor(const Actor&) = delete;
   Actor& operator=(const Actor&) = delete;
 
-  /// Attaches the actor to a simulation. Must be called before any traffic.
-  void Bind(Simulator* sim, Network* net, NodeId id) {
-    sim_ = sim;
-    net_ = net;
+  /// Attaches the actor to an execution context. Must be called before any
+  /// traffic.
+  void Bind(ExecutionContext* exec, NodeId id) {
+    exec_ = exec;
     node_ = id;
-    net->Register(id, this);
+    exec->Register(id, this);
   }
 
   NodeId node_id() const { return node_; }
   const std::string& name() const { return name_; }
-  Simulator* sim() const { return sim_; }
-  Network* net() const { return net_; }
+  ExecutionContext* exec() const { return exec_; }
 
-  /// Network entry point: enqueue and start processing if idle.
+  /// Runtime entry point: enqueue and start processing if idle. Must only be
+  /// called by the thread that owns this actor (the simulator's event loop,
+  /// or the actor's worker thread in parallel execution).
   void Deliver(Message msg);
+
+  /// Runtime callback: the CPU time charged by the last handler has elapsed
+  /// (see ExecutionContext::HandlerDone); resumes the inbox if non-empty.
+  void FinishHandler(Time done);
 
   /// Total CPU time consumed (for utilization reporting).
   Duration busy_ns() const { return busy_ns_; }
@@ -81,8 +87,7 @@ class Actor {
   void StartNext(Time at);
 
   std::string name_;
-  Simulator* sim_ = nullptr;
-  Network* net_ = nullptr;
+  ExecutionContext* exec_ = nullptr;
   NodeId node_ = kInvalidNode;
   std::deque<Message> inbox_;
   bool busy_ = false;
@@ -91,4 +96,4 @@ class Actor {
 
 }  // namespace partdb
 
-#endif  // PARTDB_SIM_ACTOR_H_
+#endif  // PARTDB_RUNTIME_ACTOR_H_

@@ -1,5 +1,8 @@
 #include "runtime/cluster.h"
 
+#include <chrono>
+#include <thread>
+
 #include "cc/blocking.h"
 #include "cc/locking.h"
 #include "cc/occ.h"
@@ -24,9 +27,30 @@ std::unique_ptr<CcScheme> MakeScheme(CcSchemeKind kind, PartitionExec* part,
   return nullptr;
 }
 
+Metrics* Cluster::MetricsFor(NodeId node) {
+  if (config_.mode == RunMode::kSimulated) return &metrics_;
+  auto m = std::make_unique<Metrics>();
+  Metrics* raw = m.get();
+  actor_metrics_.emplace(node, std::move(m));
+  return raw;
+}
+
+void Cluster::ForEachMeasuredActor(const std::function<void(Actor*, Metrics*)>& fn) {
+  auto sink = [&](Actor* a) {
+    auto it = actor_metrics_.find(a->node_id());
+    fn(a, it == actor_metrics_.end() ? &metrics_ : it->second.get());
+  };
+  for (auto& p : partitions_) sink(p.get());
+  sink(coordinator_.get());
+  for (auto& c : clients_) sink(c.get());
+}
+
 Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
                  std::unique_ptr<Workload> workload)
-    : config_(config), net_(&sim_, config.net), workload_(std::move(workload)) {
+    : config_(config),
+      net_(&sim_, config.net),
+      sim_exec_(&sim_, &net_),
+      workload_(std::move(workload)) {
   PARTDB_CHECK(config_.num_partitions >= 1);
   PARTDB_CHECK(config_.num_clients >= 1);
   PARTDB_CHECK(config_.replication >= 1);
@@ -40,17 +64,36 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
     topo.partition_primary.push_back(coord_node + 1 + p);
   }
 
+  const int num_backups = config_.num_partitions * (config_.replication - 1);
+  if (config_.mode == RunMode::kParallel) {
+    // Thread-per-partition (and per backup); the coordinator gets its own
+    // worker; all closed-loop clients share one (they only generate load).
+    const int P = config_.num_partitions;
+    parallel_ = std::make_unique<ParallelRuntime>(P + num_backups + 2);
+    const int coord_worker = P + num_backups;
+    const int client_worker = P + num_backups + 1;
+    for (int p = 0; p < P; ++p) parallel_->MapNode(topo.partition_primary[p], p);
+    for (int b = 0; b < num_backups; ++b) {
+      parallel_->MapNode(coord_node + 1 + P + b, P + b);
+    }
+    parallel_->MapNode(coord_node, coord_worker);
+    for (int c = 0; c < config_.num_clients; ++c) parallel_->MapNode(c, client_worker);
+    exec_ = parallel_.get();
+  } else {
+    exec_ = &sim_exec_;
+  }
+
   // Partitions.
   for (int p = 0; p < config_.num_partitions; ++p) {
     auto part = std::make_unique<PartitionActor>(
-        "partition-" + std::to_string(p), p, factory(p), config_.cost, &metrics_,
-        config_.lock_timeout);
+        "partition-" + std::to_string(p), p, factory(p), config_.cost,
+        MetricsFor(topo.partition_primary[p]), config_.lock_timeout);
     SchemeOptions opts;
     opts.local_speculation_only = config_.local_speculation_only;
     opts.force_locks = config_.force_locks;
     part->InstallScheme(MakeScheme(config_.scheme, part.get(), opts));
     if (config_.log_commits) part->EnableCommitLog();
-    part->Bind(&sim_, &net_, topo.partition_primary[p]);
+    part->Bind(exec_, topo.partition_primary[p]);
     partitions_.push_back(std::move(part));
   }
 
@@ -63,7 +106,7 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
       auto b = std::make_unique<BackupActor>(
           "backup-" + std::to_string(p) + "." + std::to_string(r), p, factory(p),
           config_.cost, config_.backups_execute);
-      b->Bind(&sim_, &net_, next_node);
+      b->Bind(exec_, next_node);
       backup_nodes.push_back(next_node);
       ++next_node;
       backups_[p].push_back(std::move(b));
@@ -73,16 +116,18 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
 
   // Coordinator (used by blocking and speculation; locking clients
   // self-coordinate, so it simply stays idle).
-  coordinator_ = std::make_unique<CoordinatorActor>("coordinator", config_.cost, &metrics_,
-                                                    workload_.get(), topo.partition_primary);
-  coordinator_->Bind(&sim_, &net_, coord_node);
+  coordinator_ = std::make_unique<CoordinatorActor>("coordinator", config_.cost,
+                                                    MetricsFor(coord_node), workload_.get(),
+                                                    topo.partition_primary);
+  coordinator_->Bind(exec_, coord_node);
 
   // Clients.
   for (int c = 0; c < config_.num_clients; ++c) {
     auto cl = std::make_unique<ClientActor>(
-        "client-" + std::to_string(c), c, workload_.get(), &metrics_, topo, config_.scheme,
-        config_.cost, Mix64(config_.seed ^ (0x9e37u + static_cast<uint64_t>(c) * 0x1357ull)));
-    cl->Bind(&sim_, &net_, c);
+        "client-" + std::to_string(c), c, workload_.get(), MetricsFor(c), topo,
+        config_.scheme, config_.cost,
+        Mix64(config_.seed ^ (0x9e37u + static_cast<uint64_t>(c) * 0x1357ull)));
+    cl->Bind(exec_, c);
     clients_.push_back(std::move(cl));
   }
 }
@@ -92,6 +137,7 @@ Engine& Cluster::backup_engine(PartitionId p, int backup_index) {
 }
 
 void Cluster::Quiesce() {
+  PARTDB_CHECK(config_.mode == RunMode::kSimulated);
   for (auto& c : clients_) c->Stop();
   sim_.Run();
   for (auto& p : partitions_) {
@@ -100,6 +146,7 @@ void Cluster::Quiesce() {
 }
 
 Metrics Cluster::Run(Duration warmup, Duration measure) {
+  PARTDB_CHECK(config_.mode == RunMode::kSimulated);
   for (auto& c : clients_) c->Kick();
   sim_.RunUntil(warmup);
 
@@ -112,6 +159,50 @@ Metrics Cluster::Run(Duration warmup, Duration measure) {
   metrics_.recording = false;
 
   metrics_.window_ns = measure;
+  metrics_.num_partitions = config_.num_partitions;
+  for (auto& p : partitions_) metrics_.partition_busy_ns += p->busy_ns();
+  metrics_.coord_busy_ns = coordinator_->busy_ns();
+  return metrics_;
+}
+
+Metrics Cluster::RunParallel(Duration warmup, Duration measure) {
+  PARTDB_CHECK(config_.mode == RunMode::kParallel);
+  parallel_->Start();
+  for (auto& c : clients_) c->Kick();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+
+  // Begin the measurement window: each actor's private metrics reset on its
+  // own worker thread, so no cross-thread races on the counters.
+  ForEachMeasuredActor([&](Actor* a, Metrics* m) {
+    parallel_->RunOnOwner(a->node_id(), [a, m]() {
+      m->Reset();
+      m->recording = true;
+      a->ResetBusy();
+    });
+  });
+  const Time window_start = parallel_->Now();
+
+  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
+
+  ForEachMeasuredActor([&](Actor* a, Metrics* m) {
+    parallel_->RunOnOwner(a->node_id(), [m]() { m->recording = false; });
+  });
+  const Time window_end = parallel_->Now();
+
+  // Drain: stop load generation, let in-flight transactions finish, join.
+  for (auto& c : clients_) {
+    parallel_->RunOnOwner(c->node_id(), [&c]() { c->Stop(); });
+  }
+  const bool drained = parallel_->WaitQuiescent(std::chrono::seconds(30));
+  parallel_->Stop();
+  PARTDB_CHECK(drained);
+  for (auto& p : partitions_) {
+    PARTDB_CHECK(p->cc().Idle());
+  }
+
+  metrics_.Reset();
+  for (auto& [node, m] : actor_metrics_) metrics_.Merge(*m);
+  metrics_.window_ns = window_end - window_start;
   metrics_.num_partitions = config_.num_partitions;
   for (auto& p : partitions_) metrics_.partition_busy_ns += p->busy_ns();
   metrics_.coord_busy_ns = coordinator_->busy_ns();

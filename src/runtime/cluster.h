@@ -1,11 +1,15 @@
-// Cluster: builds and runs one simulated database instance — partitions with
-// a chosen concurrency-control scheme, optional backups, the central
-// coordinator, and closed-loop clients — and reports measurement-window
-// metrics. This is the main entry point of the library's public API.
+// Cluster: builds and runs one database instance — partitions with a chosen
+// concurrency-control scheme, optional backups, the central coordinator, and
+// closed-loop clients — and reports measurement-window metrics. The same
+// cluster wiring runs on either execution context: the deterministic
+// discrete-event simulator (Run) or the thread-per-partition parallel
+// runtime on real threads and wall-clock time (RunParallel). This is the
+// main entry point of the library's public API.
 #ifndef PARTDB_RUNTIME_CLUSTER_H_
 #define PARTDB_RUNTIME_CLUSTER_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "client/client_actor.h"
@@ -14,13 +18,20 @@
 #include "engine/partition_actor.h"
 #include "engine/replication.h"
 #include "runtime/metrics.h"
+#include "runtime/parallel_runtime.h"
 #include "sim/network.h"
+#include "sim/sim_context.h"
 #include "sim/simulator.h"
 
 namespace partdb {
 
+/// How a cluster executes: on the virtual clock (deterministic, models the
+/// paper's hardware) or on real threads at hardware speed.
+enum class RunMode { kSimulated, kParallel };
+
 struct ClusterConfig {
   CcSchemeKind scheme = CcSchemeKind::kSpeculative;
+  RunMode mode = RunMode::kSimulated;
   int num_partitions = 2;
   int num_clients = 40;  // paper §5.1
   /// Total copies of each partition including the primary (k in §2.2).
@@ -51,19 +62,25 @@ class Cluster {
   Cluster(const ClusterConfig& config, const EngineFactory& factory,
           std::unique_ptr<Workload> workload);
 
-  /// Runs warm-up then a measurement window; returns the window's metrics.
-  /// May be called once per cluster.
+  /// Runs warm-up then a measurement window on the virtual clock; returns the
+  /// window's metrics. Requires mode == kSimulated. May be called once.
   Metrics Run(Duration warmup, Duration measure);
+
+  /// Runs warm-up then a measurement window on real threads: one worker per
+  /// partition (and per backup), one for the coordinator, one shared by the
+  /// clients. Durations are wall-clock. Requires mode == kParallel. May be
+  /// called once; the cluster is drained and stopped on return.
+  Metrics RunParallel(Duration warmup, Duration measure);
 
   /// Stops all clients and drains in-flight work until every partition's
   /// scheme reports Idle(). Call after Run() when tests need a stable state.
+  /// (RunParallel drains before returning; no separate call is needed.)
   void Quiesce();
 
-  /// Runs until all in-flight work quiesces (clients stopped issuing is not
-  /// modeled; use Run for throughput). Exposed for tests that drive traffic
-  /// manually.
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
+  ExecutionContext& exec() { return *exec_; }
+  ParallelRuntime* parallel_runtime() { return parallel_.get(); }
   Metrics& metrics() { return metrics_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -77,10 +94,21 @@ class Cluster {
   }
 
  private:
+  /// Per-actor metrics sink: the shared instance in simulation, a private
+  /// instance per actor in parallel mode (merged after the run, so worker
+  /// threads never contend on counters).
+  Metrics* MetricsFor(NodeId node);
+  /// Applies `fn` to every actor that records metrics, with its sink.
+  void ForEachMeasuredActor(const std::function<void(Actor*, Metrics*)>& fn);
+
   ClusterConfig config_;
   Simulator sim_;
   Network net_;
+  SimContext sim_exec_;
+  std::unique_ptr<ParallelRuntime> parallel_;
+  ExecutionContext* exec_ = nullptr;  // the bound context (sim or parallel)
   Metrics metrics_;
+  std::unordered_map<NodeId, std::unique_ptr<Metrics>> actor_metrics_;
   std::unique_ptr<Workload> workload_;
   std::vector<std::unique_ptr<ClientActor>> clients_;
   std::unique_ptr<CoordinatorActor> coordinator_;

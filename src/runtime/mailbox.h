@@ -1,0 +1,86 @@
+// Unbounded MPSC mailbox for the parallel runtime. Any thread may Push;
+// exactly one consumer thread pops. Ordering is FIFO in push order (a mutex
+// serializes producers), which preserves per-sender FIFO — the delivery
+// guarantee the simulated network provides and the schemes rely on.
+#ifndef PARTDB_RUNTIME_MAILBOX_H_
+#define PARTDB_RUNTIME_MAILBOX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "msg/message.h"
+
+namespace partdb {
+
+/// One unit of work for a parallel worker: either a message addressed to one
+/// of the worker's actors, or an out-of-band control closure (timer
+/// registration, metric flips, stop). `control` non-null means control item.
+struct WorkItem {
+  Message msg;
+  std::function<void()> control;
+};
+
+class Mailbox {
+ public:
+  void Push(WorkItem item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(item));
+      ++pushed_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Pops one item, blocking until one is available or `deadline` passes.
+  /// Returns false on timeout. Single consumer only.
+  bool PopUntil(std::chrono::steady_clock::time_point deadline, WorkItem* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    waiting_.store(true, std::memory_order_release);
+    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty(); })) {
+      waiting_.store(false, std::memory_order_release);
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    ++popped_;
+    // Cleared under the lock, before the item escapes: an observer can never
+    // see waiting==true and an empty queue while the consumer holds an
+    // unprocessed item (quiescence detection relies on this).
+    waiting_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// True while the consumer is blocked in PopUntil (no popped item in hand).
+  bool consumer_waiting() const { return waiting_.load(std::memory_order_acquire); }
+
+  /// Total items ever pushed / popped (for quiescence detection).
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+  uint64_t popped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return popped_;
+  }
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WorkItem> queue_;
+  std::atomic<bool> waiting_{false};
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_RUNTIME_MAILBOX_H_

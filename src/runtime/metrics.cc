@@ -4,6 +4,27 @@
 
 namespace partdb {
 
+void Metrics::Merge(const Metrics& o) {
+  committed += o.committed;
+  sp_committed += o.sp_committed;
+  mp_committed += o.mp_committed;
+  user_aborts += o.user_aborts;
+  speculative_execs += o.speculative_execs;
+  cascading_reexecs += o.cascading_reexecs;
+  lock_fast_path += o.lock_fast_path;
+  locked_txns += o.locked_txns;
+  lock_waits += o.lock_waits;
+  local_deadlocks += o.local_deadlocks;
+  timeout_aborts += o.timeout_aborts;
+  txn_retries += o.txn_retries;
+  occ_survivors += o.occ_survivors;
+  sp_latency.Merge(o.sp_latency);
+  mp_latency.Merge(o.mp_latency);
+  lock_acquire_ns += o.lock_acquire_ns;
+  lock_release_ns += o.lock_release_ns;
+  lock_table_ns += o.lock_table_ns;
+}
+
 std::string Metrics::Summary() const {
   char buf[512];
   std::snprintf(

@@ -52,6 +52,11 @@ struct Metrics {
     recording = rec;
   }
 
+  /// Accumulates another instance's counters, histograms, and time
+  /// breakdowns (parallel runtime: per-actor metrics merged after a run).
+  /// Leaves `recording` and the cluster-filled window fields alone.
+  void Merge(const Metrics& o);
+
   uint64_t completions() const { return committed + user_aborts; }
 
   /// Completed transactions per second of virtual time.

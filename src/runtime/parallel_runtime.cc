@@ -1,0 +1,174 @@
+#include "runtime/parallel_runtime.h"
+
+#include <future>
+
+#include "common/logging.h"
+#include "runtime/actor.h"
+
+namespace partdb {
+
+using std::chrono::steady_clock;
+
+ParallelRuntime::ParallelRuntime(int num_workers) {
+  PARTDB_CHECK(num_workers >= 1);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) workers_.push_back(std::make_unique<Worker>());
+}
+
+ParallelRuntime::~ParallelRuntime() { Stop(); }
+
+void ParallelRuntime::MapNode(NodeId node, int worker) {
+  PARTDB_CHECK(node >= 0 && worker >= 0 && worker < num_workers());
+  if (static_cast<size_t>(node) >= node_worker_.size()) {
+    node_worker_.resize(node + 1, -1);
+  }
+  PARTDB_CHECK(node_worker_[node] == -1);
+  node_worker_[node] = worker;
+}
+
+int ParallelRuntime::worker_of(NodeId node) const {
+  PARTDB_CHECK(node >= 0 && static_cast<size_t>(node) < node_worker_.size());
+  const int w = node_worker_[node];
+  PARTDB_CHECK(w >= 0);
+  return w;
+}
+
+void ParallelRuntime::Register(NodeId node, Actor* actor) {
+  PARTDB_CHECK(!started_.load());
+  worker_of(node);  // must be mapped first
+  if (static_cast<size_t>(node) >= endpoints_.size()) {
+    endpoints_.resize(node + 1, nullptr);
+  }
+  PARTDB_CHECK(endpoints_[node] == nullptr);
+  endpoints_[node] = actor;
+}
+
+Actor* ParallelRuntime::endpoint(NodeId node) const {
+  PARTDB_CHECK(node >= 0 && static_cast<size_t>(node) < endpoints_.size());
+  PARTDB_CHECK(endpoints_[node] != nullptr);
+  return endpoints_[node];
+}
+
+Time ParallelRuntime::Now() const {
+  if (!started_.load(std::memory_order_acquire)) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(steady_clock::now() - start_tp_)
+      .count();
+}
+
+void ParallelRuntime::Send(Message msg, Time /*depart*/) {
+  Worker* w = workers_[worker_of(msg.dst)].get();
+  WorkItem item;
+  item.msg = std::move(msg);
+  w->mailbox.Push(std::move(item));
+}
+
+void ParallelRuntime::SetTimer(NodeId self, Time at, TimerFire t) {
+  // Timer heaps are owned by their worker thread, so registration travels
+  // through the mailbox as a control item (this also makes SetTimer safe to
+  // call from the main thread, e.g. client kicks before Start()).
+  Worker* w = workers_[worker_of(self)].get();
+  WorkItem item;
+  item.control = [w, self, at, t]() {
+    w->timers.push(TimerEntry{at, self, t});
+    w->timer_count.store(w->timers.size(), std::memory_order_relaxed);
+  };
+  w->mailbox.Push(std::move(item));
+}
+
+void ParallelRuntime::HandlerDone(Actor* actor, Time /*start*/, Duration /*charged*/) {
+  // Wall-clock execution: the handler's real elapsed time is its cost; the
+  // charged virtual cost only feeds busy_ns accounting. Resume immediately.
+  actor->FinishHandler(Now());
+}
+
+void ParallelRuntime::Start() {
+  PARTDB_CHECK(!started_.load());
+  start_tp_ = steady_clock::now();
+  started_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()]() { WorkerLoop(worker); });
+  }
+}
+
+void ParallelRuntime::Stop() {
+  if (!started_.load() || stop_.exchange(true)) return;
+  for (auto& w : workers_) {
+    WorkItem wake;
+    wake.control = []() {};
+    w->mailbox.Push(std::move(wake));
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ParallelRuntime::RunOn(int worker, std::function<void()> fn) {
+  std::promise<void> done;
+  std::future<void> fut = done.get_future();
+  WorkItem item;
+  item.control = [&fn, &done]() {
+    fn();
+    done.set_value();
+  };
+  workers_[worker]->mailbox.Push(std::move(item));
+  fut.wait();
+}
+
+void ParallelRuntime::FireDueTimers(Worker* w) {
+  const Time now = Now();
+  while (!w->timers.empty() && w->timers.top().at <= now) {
+    TimerEntry e = w->timers.top();
+    w->timers.pop();
+    w->timer_count.store(w->timers.size(), std::memory_order_relaxed);
+    Message m;
+    m.src = e.self;
+    m.dst = e.self;
+    m.body = e.t;
+    endpoint(e.self)->Deliver(std::move(m));
+  }
+}
+
+void ParallelRuntime::WorkerLoop(Worker* w) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    FireDueTimers(w);
+
+    steady_clock::time_point deadline = steady_clock::now() + std::chrono::milliseconds(100);
+    if (!w->timers.empty()) {
+      const steady_clock::time_point next_timer =
+          start_tp_ + std::chrono::nanoseconds(w->timers.top().at);
+      if (next_timer < deadline) deadline = next_timer;
+    }
+
+    WorkItem item;
+    if (!w->mailbox.PopUntil(deadline, &item)) continue;
+
+    if (item.control) {
+      item.control();
+    } else {
+      endpoint(item.msg.dst)->Deliver(std::move(item.msg));
+    }
+  }
+}
+
+bool ParallelRuntime::WaitQuiescent(std::chrono::steady_clock::duration timeout) {
+  const steady_clock::time_point give_up = steady_clock::now() + timeout;
+  uint64_t prev_pushed = ~0ull;
+  while (steady_clock::now() < give_up) {
+    bool calm = true;
+    uint64_t pushed = 0;
+    for (const auto& w : workers_) {
+      if (!w->mailbox.consumer_waiting() || !w->mailbox.Empty() ||
+          w->timer_count.load(std::memory_order_relaxed) != 0) {
+        calm = false;
+        break;
+      }
+      pushed += w->mailbox.pushed();
+    }
+    if (calm && pushed == prev_pushed) return true;
+    prev_pushed = calm ? pushed : ~0ull;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+}  // namespace partdb

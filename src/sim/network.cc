@@ -1,7 +1,7 @@
 #include "sim/network.h"
 
 #include "common/logging.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 namespace partdb {
 

@@ -10,11 +10,10 @@
 
 #include "common/types.h"
 #include "msg/message.h"
+#include "runtime/execution_context.h"
 #include "sim/simulator.h"
 
 namespace partdb {
-
-class Actor;
 
 struct NetworkConfig {
   /// Effective application-to-application one-way latency. The paper's 40us
@@ -32,7 +31,7 @@ struct NetworkStats {
   uint64_t bytes = 0;
 };
 
-class Network {
+class Network : public Transport {
  public:
   Network(Simulator* sim, NetworkConfig config) : sim_(sim), config_(config) {}
 
@@ -41,7 +40,7 @@ class Network {
 
   /// Sends msg.body from msg.src to msg.dst, departing at `depart` (>= now).
   /// Delivery preserves per-link FIFO order.
-  void Send(Message msg, Time depart);
+  void Send(Message msg, Time depart) override;
 
   const NetworkStats& stats() const { return stats_; }
   Actor* actor(NodeId node) const;

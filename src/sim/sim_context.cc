@@ -1,0 +1,23 @@
+#include "sim/sim_context.h"
+
+#include "runtime/actor.h"
+
+namespace partdb {
+
+void SimContext::SetTimer(NodeId self, Time at, TimerFire t) {
+  Actor* a = net_->actor(self);
+  sim_->Schedule(at, [a, t]() {
+    Message m;
+    m.src = a->node_id();
+    m.dst = a->node_id();
+    m.body = t;
+    a->Deliver(std::move(m));
+  });
+}
+
+void SimContext::HandlerDone(Actor* actor, Time start, Duration charged) {
+  const Time done = start + charged;
+  sim_->Schedule(done, [actor, done]() { actor->FinishHandler(done); });
+}
+
+}  // namespace partdb

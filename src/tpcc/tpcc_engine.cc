@@ -10,7 +10,7 @@ TpccEngine::TpccEngine(TpccScale scale, PartitionId pid, uint64_t seed) : db_(sc
   LoadPartition(&db_, seed);
 }
 
-ExecResult TpccEngine::Execute(const Payload& payload, int round, const Payload* round_input,
+ExecResult TpccEngine::Execute(const Payload& payload, int round, const Payload* /*round_input*/,
                                UndoBuffer* undo, WorkMeter* meter) {
   PARTDB_CHECK(round == 0);  // all TPC-C transactions are single-round
   const auto& args = PayloadCast<TpccArgs>(payload);
@@ -30,7 +30,7 @@ ExecResult TpccEngine::Execute(const Payload& payload, int round, const Payload*
   return ExecResult{};
 }
 
-void TpccEngine::LockSet(const Payload& payload, int round,
+void TpccEngine::LockSet(const Payload& payload, int /*round*/,
                          std::vector<LockRequest>* out) const {
   const auto& args = PayloadCast<TpccArgs>(payload);
   const TpccScale& scale = db_.scale();

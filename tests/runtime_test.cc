@@ -1,0 +1,223 @@
+// Tests for the runtime layer: deterministic-simulation regression (same
+// seed => bit-identical run), the parallel runtime's MPSC mailbox ordering
+// guarantees, and sim-vs-parallel commit-log replay equivalence.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kv/kv_workload.h"
+#include "runtime/cluster.h"
+#include "runtime/mailbox.h"
+#include "test_util.h"
+
+namespace partdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinism regression: two clusters built from the same config and seed
+// must produce identical measurement metrics and process exactly the same
+// number of simulator events. Guards the ExecutionContext refactor — the
+// discrete-event path must stay bit-for-bit reproducible.
+
+struct SimRunResult {
+  Metrics metrics;
+  uint64_t events = 0;
+  std::vector<uint64_t> state_hashes;
+};
+
+SimRunResult RunSimOnce(CcSchemeKind scheme, uint64_t seed) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 3;
+  mb.num_clients = 12;
+  mb.mp_fraction = 0.2;
+
+  ClusterConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_partitions = mb.num_partitions;
+  cfg.num_clients = mb.num_clients;
+  cfg.seed = seed;
+
+  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+  SimRunResult r;
+  r.metrics = cluster.Run(Micros(20000), Micros(100000));
+  cluster.Quiesce();
+  r.events = cluster.sim().events_processed();
+  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+    r.state_hashes.push_back(cluster.engine(p).StateHash());
+  }
+  return r;
+}
+
+TEST(Determinism, SameSeedSameRun) {
+  for (CcSchemeKind scheme :
+       {CcSchemeKind::kSpeculative, CcSchemeKind::kLocking, CcSchemeKind::kBlocking}) {
+    SCOPED_TRACE(CcSchemeName(scheme));
+    SimRunResult a = RunSimOnce(scheme, 777);
+    SimRunResult b = RunSimOnce(scheme, 777);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.metrics.committed, b.metrics.committed);
+    EXPECT_EQ(a.metrics.sp_committed, b.metrics.sp_committed);
+    EXPECT_EQ(a.metrics.mp_committed, b.metrics.mp_committed);
+    EXPECT_EQ(a.metrics.user_aborts, b.metrics.user_aborts);
+    EXPECT_EQ(a.metrics.speculative_execs, b.metrics.speculative_execs);
+    EXPECT_EQ(a.metrics.lock_waits, b.metrics.lock_waits);
+    EXPECT_EQ(a.metrics.partition_busy_ns, b.metrics.partition_busy_ns);
+    EXPECT_EQ(a.metrics.coord_busy_ns, b.metrics.coord_busy_ns);
+    EXPECT_EQ(a.metrics.Summary(), b.metrics.Summary());
+    EXPECT_EQ(a.state_hashes, b.state_hashes);
+    EXPECT_GT(a.metrics.committed, 0u);
+  }
+}
+
+TEST(Determinism, DifferentSeedDifferentRun) {
+  SimRunResult a = RunSimOnce(CcSchemeKind::kSpeculative, 1);
+  SimRunResult b = RunSimOnce(CcSchemeKind::kSpeculative, 2);
+  // Event counts colliding would be a one-in-a-million fluke; state hashes
+  // differ because clients draw different keys and values.
+  EXPECT_NE(a.state_hashes, b.state_hashes);
+}
+
+// ---------------------------------------------------------------------------
+// MPSC mailbox: FIFO per producer under concurrent senders, nothing lost.
+
+TEST(Mailbox, FifoPerProducerUnderConcurrentSenders) {
+  constexpr int kProducers = 4;
+  constexpr uint32_t kPerProducer = 20000;
+  Mailbox box;
+
+  std::vector<std::thread> producers;
+  for (int src = 0; src < kProducers; ++src) {
+    producers.emplace_back([&box, src]() {
+      for (uint32_t seq = 0; seq < kPerProducer; ++seq) {
+        WorkItem item;
+        item.msg.src = src;
+        item.msg.dst = 0;
+        item.msg.body = TimerFire{MakeTxnId(src, seq), 0};
+        box.Push(std::move(item));
+      }
+    });
+  }
+
+  // Single consumer: per-producer sequence numbers must arrive in order.
+  std::vector<uint32_t> next(kProducers, 0);
+  uint64_t received = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+    WorkItem item;
+    ASSERT_TRUE(box.PopUntil(deadline, &item)) << "timed out after " << received;
+    const auto& t = std::get<TimerFire>(item.msg.body);
+    const int src = TxnClient(t.txn_id);
+    const uint32_t seq = TxnSeq(t.txn_id);
+    ASSERT_EQ(seq, next[src]) << "out-of-order delivery from producer " << src;
+    next[src] = seq + 1;
+    ++received;
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_TRUE(box.Empty());
+  EXPECT_EQ(box.pushed(), box.popped());
+}
+
+TEST(Mailbox, PopUntilTimesOutWhenEmpty) {
+  Mailbox box;
+  WorkItem item;
+  EXPECT_FALSE(box.PopUntil(std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
+                            &item));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel runtime: the same workload/seed runs on real threads; both modes
+// must satisfy final-state serializability (serial replay of each partition's
+// commit log reproduces the live engine state), and multi-partition commit
+// order must be consistent across partitions.
+
+void CheckReplayEquivalence(Cluster& cluster, const EngineFactory& factory) {
+  std::vector<const std::vector<CommitRecord>*> logs;
+  for (PartitionId p = 0; p < cluster.config().num_partitions; ++p) {
+    EXPECT_EQ(cluster.engine(p).StateHash(),
+              ExpectCleanReplayStateHash(factory, p, cluster.commit_log(p)))
+        << "partition " << p << " diverges from serial replay";
+    logs.push_back(&cluster.commit_log(p));
+  }
+  ExpectMpOrderConsistent(logs);
+}
+
+TEST(ParallelRuntime, SpeculativeCommitsAndReplaysSerially) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 4;
+  mb.num_clients = 16;
+  mb.mp_fraction = 0.15;
+
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.mode = RunMode::kParallel;
+  cfg.num_partitions = mb.num_partitions;
+  cfg.num_clients = mb.num_clients;
+  cfg.seed = 4242;
+  cfg.log_commits = true;
+
+  const EngineFactory factory = MakeKvEngineFactory(mb);
+  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.RunParallel(Micros(20000), Micros(150000));
+
+  EXPECT_GT(m.committed, 0u);
+  EXPECT_GT(m.mp_committed, 0u);
+  EXPECT_GT(m.window_ns, 0);
+  CheckReplayEquivalence(cluster, factory);
+}
+
+TEST(ParallelRuntime, SimAndParallelAgreeOnSerialReplayState) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 8;
+  mb.mp_fraction = 0.2;
+  const EngineFactory factory = MakeKvEngineFactory(mb);
+
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kSpeculative;
+  cfg.num_partitions = mb.num_partitions;
+  cfg.num_clients = mb.num_clients;
+  cfg.seed = 99;
+  cfg.log_commits = true;
+
+  // Simulated run of the workload/seed.
+  Cluster sim_cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  Metrics sm = sim_cluster.Run(Micros(10000), Micros(50000));
+  sim_cluster.Quiesce();
+  EXPECT_GT(sm.committed, 0u);
+  CheckReplayEquivalence(sim_cluster, factory);
+
+  // Parallel run of the same workload/seed. Thread interleavings differ from
+  // the virtual-clock schedule, so the committed sets differ — but both must
+  // be serializable over the same engines, which replay verifies.
+  ClusterConfig pcfg = cfg;
+  pcfg.mode = RunMode::kParallel;
+  Cluster par_cluster(pcfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  Metrics pm = par_cluster.RunParallel(Micros(10000), Micros(50000));
+  EXPECT_GT(pm.committed, 0u);
+  CheckReplayEquivalence(par_cluster, factory);
+}
+
+TEST(ParallelRuntime, LockingSchemeRunsOnThreads) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 8;
+  mb.mp_fraction = 0.1;
+
+  ClusterConfig cfg;
+  cfg.scheme = CcSchemeKind::kLocking;
+  cfg.mode = RunMode::kParallel;
+  cfg.num_partitions = mb.num_partitions;
+  cfg.num_clients = mb.num_clients;
+  cfg.seed = 5;
+  cfg.log_commits = true;
+
+  const EngineFactory factory = MakeKvEngineFactory(mb);
+  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
+  Metrics m = cluster.RunParallel(Micros(10000), Micros(50000));
+  EXPECT_GT(m.committed, 0u);
+  CheckReplayEquivalence(cluster, factory);
+}
+
+}  // namespace
+}  // namespace partdb

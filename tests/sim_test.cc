@@ -3,8 +3,9 @@
 #include <vector>
 
 #include "gtest/gtest.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 #include "sim/network.h"
+#include "sim/sim_context.h"
 #include "sim/simulator.h"
 
 namespace partdb {
@@ -87,9 +88,10 @@ TEST(Network, DeliversWithLatency) {
   cfg.one_way_latency = Micros(20);
   cfg.ns_per_byte = 0;
   Network net(&sim, cfg);
+  SimContext exec(&sim, &net);
   RecordingActor a("a", 0), b("b", 0);
-  a.Bind(&sim, &net, 0);
-  b.Bind(&sim, &net, 1);
+  a.Bind(&exec, 0);
+  b.Bind(&exec, 1);
 
   net.Send(TimerMsg(0, 1, 7), /*depart=*/0);
   sim.Run();
@@ -103,9 +105,10 @@ TEST(Network, PerLinkFifoEvenWithEqualDeparture) {
   cfg.one_way_latency = Micros(10);
   cfg.ns_per_byte = 0;
   Network net(&sim, cfg);
+  SimContext exec(&sim, &net);
   RecordingActor a("a", 0), b("b", 0);
-  a.Bind(&sim, &net, 0);
-  b.Bind(&sim, &net, 1);
+  a.Bind(&exec, 0);
+  b.Bind(&exec, 1);
 
   net.Send(TimerMsg(0, 1, 1), 0);
   net.Send(TimerMsg(0, 1, 2), 0);
@@ -120,9 +123,10 @@ TEST(Network, BandwidthDelaysLargeMessages) {
   cfg.one_way_latency = 0;
   cfg.ns_per_byte = 8.0;  // 1 Gbit/s
   Network net(&sim, cfg);
+  SimContext exec(&sim, &net);
   RecordingActor a("a", 0), b("b", 0);
-  a.Bind(&sim, &net, 0);
-  b.Bind(&sim, &net, 1);
+  a.Bind(&exec, 0);
+  b.Bind(&exec, 1);
 
   net.Send(TimerMsg(0, 1, 1), 0);  // TimerFire serializes to the 24-byte header
   sim.Run();
@@ -136,10 +140,11 @@ TEST(Actor, BusyCpuSerializesMessages) {
   cfg.one_way_latency = 0;
   cfg.ns_per_byte = 0;
   Network net(&sim, cfg);
+  SimContext exec(&sim, &net);
   RecordingActor a("a", 0);
   RecordingActor b("b", Micros(50));
-  a.Bind(&sim, &net, 0);
-  b.Bind(&sim, &net, 1);
+  a.Bind(&exec, 0);
+  b.Bind(&exec, 1);
 
   net.Send(TimerMsg(0, 1, 1), 0);
   net.Send(TimerMsg(0, 1, 2), 0);
@@ -175,10 +180,11 @@ TEST(Actor, SendDepartsAfterChargedWork) {
   cfg.one_way_latency = Micros(5);
   cfg.ns_per_byte = 0;
   Network net(&sim, cfg);
+  SimContext exec(&sim, &net);
   RecordingActor a("a", 0);
   EchoActor b("b", Micros(30), Micros(100));
-  a.Bind(&sim, &net, 0);
-  b.Bind(&sim, &net, 1);
+  a.Bind(&exec, 0);
+  b.Bind(&exec, 1);
 
   net.Send(TimerMsg(0, 1, 1), 0);
   sim.Run();
@@ -192,6 +198,7 @@ TEST(Actor, TimerFiresAfterDelay) {
   Simulator sim;
   NetworkConfig cfg;
   Network net(&sim, cfg);
+  SimContext exec(&sim, &net);
 
   class TimerActor : public Actor {
    public:
@@ -210,7 +217,7 @@ TEST(Actor, TimerFiresAfterDelay) {
   };
 
   TimerActor a("a");
-  a.Bind(&sim, &net, 0);
+  a.Bind(&exec, 0);
   Message m;
   m.src = 0;
   m.dst = 0;

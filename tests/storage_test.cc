@@ -127,7 +127,9 @@ TEST_P(BTreeRandomized, MatchesReferenceModel) {
         break;
       }
     }
-    if (i % 64 == 0) ASSERT_TRUE(t.Validate()) << "op " << i;
+    if (i % 64 == 0) {
+      ASSERT_TRUE(t.Validate()) << "op " << i;
+    }
   }
   ASSERT_TRUE(t.Validate());
   EXPECT_EQ(t.size(), ref.size());
@@ -207,7 +209,9 @@ TEST_P(AvlRandomized, MatchesReferenceModel) {
     } else {
       EXPECT_EQ(t.Erase(k), ref.erase(k) > 0);
     }
-    if (i % 128 == 0) ASSERT_TRUE(t.Validate());
+    if (i % 128 == 0) {
+      ASSERT_TRUE(t.Validate());
+    }
   }
   ASSERT_TRUE(t.Validate());
   EXPECT_EQ(t.size(), ref.size());

@@ -8,28 +8,19 @@
 
 #include "engine/engine.h"
 #include "engine/partition_actor.h"
+#include "engine/replay.h"
 #include "gtest/gtest.h"
 
 namespace partdb {
 
-/// Replays a partition's committed transactions serially, in commit order,
-/// on a fresh engine built by `factory`, and returns the resulting state
-/// hash. If the system is serializable this must match the live partition.
-inline uint64_t ReplayStateHash(const EngineFactory& factory, PartitionId pid,
-                                const std::vector<CommitRecord>& log) {
-  std::unique_ptr<Engine> engine = factory(pid);
-  for (const CommitRecord& rec : log) {
-    const int rounds =
-        rec.round_inputs.empty() ? 1 : static_cast<int>(rec.round_inputs.size());
-    for (int r = 0; r < rounds; ++r) {
-      WorkMeter m;
-      const Payload* input =
-          r < static_cast<int>(rec.round_inputs.size()) ? rec.round_inputs[r].get() : nullptr;
-      ExecResult res = engine->Execute(*rec.args, r, input, nullptr, &m);
-      EXPECT_FALSE(res.aborted) << "committed transaction aborted on replay";
-    }
-  }
-  return engine->StateHash();
+/// Serial replay with the expectation that no committed transaction aborts
+/// (see engine/replay.h for the shared replay itself).
+inline uint64_t ExpectCleanReplayStateHash(const EngineFactory& factory, PartitionId pid,
+                                           const std::vector<CommitRecord>& log) {
+  size_t aborted = 0;
+  const uint64_t hash = ReplayStateHash(factory, pid, log, &aborted);
+  EXPECT_EQ(aborted, 0u) << "committed transaction aborted on replay";
+  return hash;
 }
 
 /// Verifies that every pair of partitions committed their shared
