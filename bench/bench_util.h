@@ -9,6 +9,7 @@
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/types.h"
+#include "engine/replay.h"
 #include "runtime/cluster.h"
 
 namespace partdb {
@@ -38,6 +39,33 @@ struct BenchFlags {
 inline std::string FmtInt(double v) { return StrFormat("%.0f", v); }
 inline std::string FmtPct(double v) { return StrFormat("%.1f%%", v * 100.0); }
 inline std::string Fmt2(double v) { return StrFormat("%.2f", v); }
+
+/// Final-state serializability check shared by the self-verifying benches:
+/// replays each partition's commit log serially on a fresh engine and
+/// compares against the live state (requires log_commits). Prints a verdict
+/// line tagged `label`; returns false on any mismatch or replay-time abort.
+inline bool VerifyReplay(Cluster& cluster, const EngineFactory& factory, const char* label) {
+  bool ok = true;
+  for (PartitionId p = 0; p < cluster.config().num_partitions; ++p) {
+    const uint64_t live = cluster.engine(p).StateHash();
+    size_t aborted = 0;
+    const uint64_t replayed = ReplayStateHash(factory, p, cluster.commit_log(p), &aborted);
+    if (aborted != 0) {
+      std::printf("%s: partition %d had %zu committed txns abort on replay\n", label, p,
+                  aborted);
+      ok = false;
+    }
+    if (live != replayed) {
+      std::printf("%s: partition %d replay MISMATCH (live=%016llx replay=%016llx)\n", label,
+                  p, static_cast<unsigned long long>(live),
+                  static_cast<unsigned long long>(replayed));
+      ok = false;
+    }
+  }
+  std::printf("%s: serial commit-log replay %s (%d partitions)\n", label,
+              ok ? "matches live state" : "FAILED", cluster.config().num_partitions);
+  return ok;
+}
 
 }  // namespace partdb
 

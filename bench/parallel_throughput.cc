@@ -1,42 +1,44 @@
-// Parallel runtime throughput: the same microbenchmark the paper's figure 4
-// runs on the simulator, executed for real on thread-per-partition workers
-// with MPSC mailboxes and wall-clock time. Reports real transactions/second
-// across N partition threads, and verifies final-state serializability by
-// replaying each partition's commit log serially on a fresh engine (plus an
-// equivalent sim-mode run of the same workload/seed as a cross-check).
+// Parallel runtime throughput, driven entirely through the public
+// Database/Session API: the paper's microbenchmark procedure registered in a
+// ProcedureRegistry, closed-loop logical clients running over sessions (the
+// legacy Workload path re-expressed as the session adapter), one run per
+// concurrency-control scheme on thread-per-partition workers at wall-clock
+// speed. Verifies final-state serializability by replaying each partition's
+// commit log serially on a fresh engine, cross-checks the speculative scheme
+// on the deterministic simulator, and emits machine-readable results to
+// BENCH_parallel_throughput.json so the perf trajectory is tracked across
+// PRs.
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "common/flags.h"
-#include "engine/replay.h"
+#include "db/closed_loop.h"
+#include "db/database.h"
+#include "kv/kv_procs.h"
 #include "kv/kv_workload.h"
-#include "runtime/cluster.h"
 
 using namespace partdb;
 
 namespace {
 
-bool VerifyReplay(Cluster& cluster, const EngineFactory& factory, const char* label) {
-  bool ok = true;
-  for (PartitionId p = 0; p < cluster.config().num_partitions; ++p) {
-    const uint64_t live = cluster.engine(p).StateHash();
-    size_t aborted = 0;
-    const uint64_t replayed = ReplayStateHash(factory, p, cluster.commit_log(p), &aborted);
-    if (aborted != 0) {
-      std::printf("%s: partition %d had %zu committed txns abort on replay\n", label, p,
-                  aborted);
-      ok = false;
-    }
-    if (live != replayed) {
-      std::printf("%s: partition %d replay MISMATCH (live=%016llx replay=%016llx)\n", label,
-                  p, static_cast<unsigned long long>(live),
-                  static_cast<unsigned long long>(replayed));
-      ok = false;
-    }
-  }
-  std::printf("%s: serial commit-log replay %s (%d partitions)\n", label,
-              ok ? "matches live state" : "FAILED", cluster.config().num_partitions);
-  return ok;
+struct SchemeResult {
+  CcSchemeKind scheme;
+  Metrics m;
+};
+
+DbOptions MakeDbOptions(CcSchemeKind scheme, RunMode mode, const MicrobenchConfig& mb,
+                        uint64_t seed, bool log_commits) {
+  DbOptions opts;
+  opts.scheme = scheme;
+  opts.mode = mode;
+  opts.num_partitions = mb.num_partitions;
+  opts.max_sessions = mb.num_clients;
+  opts.seed = seed;
+  opts.log_commits = log_commits;
+  opts.engine_factory = MakeKvEngineFactory(mb);
+  opts.procedures.push_back(KvReadUpdateProcedure(mb));
+  return opts;
 }
 
 }  // namespace
@@ -45,58 +47,110 @@ int main(int argc, char** argv) {
   FlagSet flags;
   BenchFlags bench(&flags, /*warmup_default=*/200, /*measure_default=*/1000);
   int64_t* partitions = flags.AddInt64("partitions", 4, "partition worker threads");
-  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop clients");
+  int64_t* clients = flags.AddInt64("clients", 40, "closed-loop logical clients (sessions)");
   int64_t* mp_pct = flags.AddInt64("mp_pct", 10, "multi-partition transaction percentage");
   int64_t* verify = flags.AddInt64("verify", 1, "replay commit logs + sim cross-check");
+  std::string* json =
+      flags.AddString("json", "BENCH_parallel_throughput.json", "machine-readable results");
   if (!flags.Parse(argc, argv)) return 0;
 
   MicrobenchConfig mb;
   mb.num_partitions = static_cast<int>(*partitions);
   mb.num_clients = static_cast<int>(*clients);
   mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
+  const uint64_t seed = static_cast<uint64_t>(*bench.seed);
 
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.mode = RunMode::kParallel;
-  cfg.num_partitions = mb.num_partitions;
-  cfg.num_clients = mb.num_clients;
-  cfg.seed = static_cast<uint64_t>(*bench.seed);
-  cfg.log_commits = *verify != 0;
-
-  const EngineFactory factory = MakeKvEngineFactory(mb);
-
-  std::printf("parallel runtime: %d partition threads, %d clients, %d%% multi-partition, "
-              "speculative scheme\n",
+  std::printf("parallel runtime via Database/Session: %d partition threads, %d sessions, "
+              "%d%% multi-partition\n",
               mb.num_partitions, mb.num_clients, static_cast<int>(*mp_pct));
-  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.RunParallel(bench.warmup(), bench.measure());
 
-  std::printf("wall-clock window: %.3f s\n", ToSeconds(m.window_ns));
-  std::printf("committed: %llu (sp=%llu mp=%llu)  throughput: %.0f txn/s\n",
-              static_cast<unsigned long long>(m.committed),
-              static_cast<unsigned long long>(m.sp_committed),
-              static_cast<unsigned long long>(m.mp_committed), m.Throughput());
-  std::printf("sp latency: %s\n", m.sp_latency.Summary(1e-3).c_str());
-  if (m.mp_latency.count() > 0) {
-    std::printf("mp latency: %s\n", m.mp_latency.Summary(1e-3).c_str());
+  bool ok = true;
+  std::vector<SchemeResult> results;
+  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
+                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+    MicrobenchWorkload workload(mb);
+    auto db = Database::Open(
+        MakeDbOptions(scheme, RunMode::kParallel, mb, seed, /*log_commits=*/*verify != 0));
+
+    ClosedLoopOptions loop;
+    loop.num_clients = mb.num_clients;
+    loop.proc = db->proc(kKvReadUpdateProc);
+    loop.next_args = WorkloadArgs(&workload);
+    loop.seed = seed;
+    loop.warmup = bench.warmup();
+    loop.measure = bench.measure();
+    Metrics m = RunClosedLoop(*db, loop);
+    db->Close();
+
+    std::printf("%-12s %8.0f txn/s  committed=%llu (sp=%llu mp=%llu)\n",
+                CcSchemeName(scheme), m.Throughput(),
+                static_cast<unsigned long long>(m.committed),
+                static_cast<unsigned long long>(m.sp_committed),
+                static_cast<unsigned long long>(m.mp_committed));
+    std::printf("  sp latency: %s\n", m.sp_latency.Summary(1e-3).c_str());
+    if (m.mp_latency.count() > 0) {
+      std::printf("  mp latency: %s\n", m.mp_latency.Summary(1e-3).c_str());
+    }
+    if (m.committed == 0) {
+      std::printf("ERROR: no transactions committed under %s\n", CcSchemeName(scheme));
+      ok = false;
+    }
+    if (*verify != 0) {
+      ok = VerifyReplay(db->cluster(), db->options().engine_factory, CcSchemeName(scheme)) &&
+           ok;
+    }
+    results.push_back({scheme, m});
   }
 
-  bool ok = m.committed > 0;
-  if (!ok) std::printf("ERROR: no transactions committed\n");
-
   if (*verify != 0) {
-    ok = VerifyReplay(cluster, factory, "parallel") && ok;
-
-    // Cross-check: the same workload/seed on the deterministic simulator must
-    // also pass serial-replay equivalence (same code paths, virtual clock).
-    ClusterConfig sim_cfg = cfg;
-    sim_cfg.mode = RunMode::kSimulated;
-    Cluster sim_cluster(sim_cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-    Metrics sm = sim_cluster.Run(bench.warmup(), bench.measure());
-    sim_cluster.Quiesce();
+    // Cross-check: the same procedure/sessions path on the deterministic
+    // simulator must also pass serial-replay equivalence.
+    MicrobenchWorkload workload(mb);
+    auto db = Database::Open(
+        MakeDbOptions(CcSchemeKind::kSpeculative, RunMode::kSimulated, mb, seed, true));
+    ClosedLoopOptions loop;
+    loop.num_clients = mb.num_clients;
+    loop.proc = db->proc(kKvReadUpdateProc);
+    loop.next_args = WorkloadArgs(&workload);
+    loop.seed = seed;
+    loop.warmup = bench.warmup();
+    loop.measure = bench.measure();
+    Metrics sm = RunClosedLoop(*db, loop);
+    db->Close();
     std::printf("sim cross-check: %.0f txn/s (virtual), %llu events\n", sm.Throughput(),
-                static_cast<unsigned long long>(sim_cluster.sim().events_processed()));
-    ok = VerifyReplay(sim_cluster, factory, "sim") && ok;
+                static_cast<unsigned long long>(db->cluster().sim().events_processed()));
+    ok = VerifyReplay(db->cluster(), db->options().engine_factory, "sim") && ok;
+  }
+
+  if (!json->empty()) {
+    std::FILE* f = std::fopen(json->c_str(), "w");
+    if (f == nullptr) {
+      std::printf("ERROR: cannot write %s\n", json->c_str());
+      ok = false;
+    } else {
+      std::fprintf(f, "{\n  \"bench\": \"parallel_throughput\",\n");
+      std::fprintf(f, "  \"partitions\": %d,\n  \"clients\": %d,\n  \"mp_pct\": %d,\n",
+                   mb.num_partitions, mb.num_clients, static_cast<int>(*mp_pct));
+      std::fprintf(f, "  \"measure_ms\": %lld,\n",
+                   static_cast<long long>(*bench.measure_ms));
+      std::fprintf(f, "  \"schemes\": [\n");
+      for (size_t i = 0; i < results.size(); ++i) {
+        const Metrics& m = results[i].m;
+        std::fprintf(f,
+                     "    {\"scheme\": \"%s\", \"txn_per_sec\": %.0f, "
+                     "\"committed\": %llu, "
+                     "\"sp_p50_us\": %.1f, \"sp_p99_us\": %.1f, "
+                     "\"mp_p50_us\": %.1f, \"mp_p99_us\": %.1f}%s\n",
+                     CcSchemeName(results[i].scheme), m.Throughput(),
+                     static_cast<unsigned long long>(m.committed),
+                     m.sp_latency.Percentile(50) / 1000.0, m.sp_latency.Percentile(99) / 1000.0,
+                     m.mp_latency.Percentile(50) / 1000.0, m.mp_latency.Percentile(99) / 1000.0,
+                     i + 1 == results.size() ? "" : ",");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", json->c_str());
+    }
   }
 
   return ok ? 0 : 1;

@@ -1,17 +1,21 @@
-// bank_transfer: implementing your own engine and workload on the public
-// API. Accounts are range-partitioned; a Transfer moves money between two
-// accounts (multi-partition when they live on different partitions), and a
-// Deposit/Audit run single-partition. The invariant checked at the end —
-// total money is conserved — holds only if the concurrency control scheme is
-// serializable, so this example doubles as a demonstration of the guarantees.
+// bank_transfer: implementing your own engine and stored procedure on the
+// public Database/Session API. Accounts are range-partitioned; a Transfer
+// moves money between two accounts (multi-partition when they live on
+// different partitions) and aborts on insufficient funds. The registered
+// procedure's router derives the participating partitions from the
+// arguments — there is no Workload subclass, just an engine, a descriptor,
+// and sessions. The invariant checked at the end — total money is
+// conserved — holds only if the concurrency control scheme is serializable,
+// so this example doubles as a demonstration of the guarantees.
 //
-//   $ ./build/examples/bank_transfer
+//   $ ./build/example_bank_transfer
 //
 #include <cstdio>
 #include <memory>
 
+#include "db/closed_loop.h"
+#include "db/database.h"
 #include "engine/engine.h"
-#include "runtime/cluster.h"
 #include "storage/hash_table.h"
 
 using namespace partdb;
@@ -118,37 +122,40 @@ class BankEngine : public Engine {
   HashTable<uint64_t, int64_t> accounts_;
 };
 
-// ------------------------------------------------------------ workload ----
+// ----------------------------------------------------------- procedure ---
 
-class BankWorkload : public Workload {
- public:
-  BankWorkload(int num_partitions, double cross_partition_fraction)
-      : partitions_(num_partitions), cross_(cross_partition_fraction) {}
+/// The "transfer" stored procedure: fragment logic lives in BankEngine; the
+/// descriptor carries what the client library needs — routing derived from
+/// the arguments, and the user-abort annotation (insufficient funds).
+ProcedureDescriptor TransferProcedure() {
+  ProcedureDescriptor d;
+  d.name = "transfer";
+  d.route = [](const Payload& payload) {
+    const auto& a = PayloadCast<TransferArgs>(payload);
+    TxnRouting r;
+    r.participants.push_back(BankEngine::PartitionOf(a.from));
+    const PartitionId p_to = BankEngine::PartitionOf(a.to);
+    if (p_to != r.participants[0]) r.participants.push_back(p_to);
+    r.can_abort = true;  // insufficient funds aborts
+    return r;
+  };
+  return d;
+}
 
-  TxnRequest Next(int /*client_index*/, Rng& rng) override {
-    auto args = std::make_shared<TransferArgs>();
-    const PartitionId p_from = static_cast<PartitionId>(rng.Uniform(partitions_));
-    PartitionId p_to = p_from;
-    if (rng.Bernoulli(cross_) && partitions_ > 1) {
-      p_to = static_cast<PartitionId>(rng.Uniform(partitions_ - 1));
-      if (p_to >= p_from) p_to++;
-    }
-    args->from = BankEngine::GlobalId(p_from, static_cast<int>(rng.Uniform(kAccountsPerPartition)));
-    args->to = BankEngine::GlobalId(p_to, static_cast<int>(rng.Uniform(kAccountsPerPartition)));
-    args->amount = static_cast<int64_t>(rng.UniformRange(1, 50));
-
-    TxnRequest req;
-    req.args = std::move(args);
-    req.participants.push_back(p_from);
-    if (p_to != p_from) req.participants.push_back(p_to);
-    req.can_abort = true;  // insufficient funds aborts
-    return req;
+/// Random transfer arguments: 25% of transfers cross partitions.
+PayloadPtr NextTransfer(int num_partitions, Rng& rng) {
+  auto args = std::make_shared<TransferArgs>();
+  const PartitionId p_from = static_cast<PartitionId>(rng.Uniform(num_partitions));
+  PartitionId p_to = p_from;
+  if (rng.Bernoulli(0.25) && num_partitions > 1) {
+    p_to = static_cast<PartitionId>(rng.Uniform(num_partitions - 1));
+    if (p_to >= p_from) p_to++;
   }
-
- private:
-  int partitions_;
-  double cross_;
-};
+  args->from = BankEngine::GlobalId(p_from, static_cast<int>(rng.Uniform(kAccountsPerPartition)));
+  args->to = BankEngine::GlobalId(p_to, static_cast<int>(rng.Uniform(kAccountsPerPartition)));
+  args->amount = static_cast<int64_t>(rng.UniformRange(1, 50));
+  return args;
+}
 
 }  // namespace
 
@@ -159,22 +166,32 @@ int main() {
 
   for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
                               CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
-    ClusterConfig config;
-    config.scheme = scheme;
-    config.num_partitions = kPartitions;
-    config.num_clients = 24;
-
-    EngineFactory factory = [](PartitionId pid) -> std::unique_ptr<Engine> {
+    DbOptions options;
+    options.scheme = scheme;
+    options.mode = RunMode::kSimulated;
+    options.num_partitions = kPartitions;
+    options.max_sessions = 24;
+    options.engine_factory = [](PartitionId pid) -> std::unique_ptr<Engine> {
       return std::make_unique<BankEngine>(pid, 4);
     };
-    Cluster cluster(config, factory, std::make_unique<BankWorkload>(kPartitions, 0.25));
-    Metrics m = cluster.Run(Micros(100000), Micros(400000));
-    cluster.Quiesce();
+    options.procedures.push_back(TransferProcedure());
+    auto db = Database::Open(options);
+
+    ClosedLoopOptions loop;
+    loop.num_clients = 24;
+    loop.proc = db->proc("transfer");
+    loop.next_args = [kPartitions](int /*client*/, Rng& rng) {
+      return NextTransfer(kPartitions, rng);
+    };
+    loop.warmup = Micros(100000);
+    loop.measure = Micros(400000);
+    Metrics m = RunClosedLoop(*db, loop);
+    db->Close();
 
     // The serializability guarantee in one number: money is conserved.
     int64_t total = 0;
     for (PartitionId p = 0; p < kPartitions; ++p) {
-      total += static_cast<BankEngine&>(cluster.engine(p)).TotalMoney();
+      total += static_cast<BankEngine&>(db->cluster().engine(p)).TotalMoney();
     }
     const int64_t expected =
         static_cast<int64_t>(kPartitions) * kAccountsPerPartition * kInitialBalance;

@@ -14,6 +14,25 @@
 
 namespace partdb {
 
+/// The concurrency-control schemes a partition can run: the paper's three
+/// (blocking §4.1, speculation §4.2, locking §4.3) plus the OCC extension
+/// (§5.7).
+enum class CcSchemeKind { kBlocking, kSpeculative, kLocking, kOcc };
+
+inline const char* CcSchemeName(CcSchemeKind k) {
+  switch (k) {
+    case CcSchemeKind::kBlocking:
+      return "blocking";
+    case CcSchemeKind::kSpeculative:
+      return "speculation";
+    case CcSchemeKind::kLocking:
+      return "locking";
+    case CcSchemeKind::kOcc:
+      return "occ";
+  }
+  return "?";
+}
+
 /// Services a scheme uses, implemented by PartitionActor. All CPU consumed
 /// through these calls is charged to the partition's virtual CPU at the
 /// moment of the call, so streams of work within one event are serialized.

@@ -6,20 +6,6 @@
 
 namespace partdb {
 
-const char* CcSchemeName(CcSchemeKind k) {
-  switch (k) {
-    case CcSchemeKind::kBlocking:
-      return "blocking";
-    case CcSchemeKind::kSpeculative:
-      return "speculation";
-    case CcSchemeKind::kLocking:
-      return "locking";
-    case CcSchemeKind::kOcc:
-      return "occ";
-  }
-  return "?";
-}
-
 void ClientActor::Kick() {
   exec()->SetTimer(node_id(), exec()->Now(), TimerFire{kInvalidTxn, 0});
 }

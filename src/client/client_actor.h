@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "cc/cc_scheme.h"
 #include "client/workload.h"
 #include "common/rng.h"
 #include "engine/cost_model.h"
@@ -16,10 +17,6 @@
 #include "runtime/actor.h"
 
 namespace partdb {
-
-enum class CcSchemeKind { kBlocking, kSpeculative, kLocking, kOcc };
-
-const char* CcSchemeName(CcSchemeKind k);
 
 class ClientActor : public Actor {
  public:

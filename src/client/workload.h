@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "coord/txn_continuations.h"
 #include "msg/message.h"
 #include "msg/payload.h"
 
@@ -24,10 +25,8 @@ struct TxnRequest {
   bool single_partition() const { return participants.size() == 1 && rounds == 1; }
 };
 
-class Workload {
+class Workload : public TxnContinuations {
  public:
-  virtual ~Workload() = default;
-
   /// Next transaction for client `client_index` (closed loop, no think time).
   virtual TxnRequest Next(int client_index, Rng& rng) = 0;
 
@@ -37,6 +36,12 @@ class Workload {
   virtual PayloadPtr RoundInput(const Payload& /*args*/, int /*round*/,
                                 const std::vector<std::pair<PartitionId, PayloadPtr>>& /*prev*/) {
     return nullptr;
+  }
+
+  /// TxnContinuations: legacy workloads key continuations off the args alone.
+  PayloadPtr NextRoundInput(ProcId /*proc*/, const Payload& args, int round,
+                            const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) final {
+    return RoundInput(args, round, prev);
   }
 };
 

@@ -33,6 +33,11 @@ using NodeId = int32_t;
 
 constexpr NodeId kInvalidNode = -1;
 
+/// Identifies one registered stored procedure within a database instance.
+using ProcId = int32_t;
+
+constexpr ProcId kInvalidProc = -1;
+
 /// Globally unique transaction identifier: (client id << 32) | client-local
 /// sequence number. Assigned by the issuing client.
 using TxnId = uint64_t;

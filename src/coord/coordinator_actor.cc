@@ -26,6 +26,7 @@ void CoordinatorActor::OnRequest(ClientRequest& r, NodeId src, ActorContext& ctx
   t->id = r.txn_id;
   t->seq = next_seq_++;
   t->client = src;
+  t->proc = r.proc;
   t->args = r.args;
   t->parts = r.participants;
   t->rounds = r.num_rounds;
@@ -109,7 +110,8 @@ void CoordinatorActor::TryAdvance(MpTxn* t, ActorContext& ctx) {
     for (size_t i = 0; i < t->parts.size(); ++i) {
       t->last_results.emplace_back(t->parts[i], t->resp[i].resp.result);
     }
-    PayloadPtr input = workload_->RoundInput(*t->args, t->round + 1, t->last_results);
+    PayloadPtr input =
+        continuations_->NextRoundInput(t->proc, *t->args, t->round + 1, t->last_results);
     t->round++;
     t->resp.assign(t->parts.size(), PendingResponse{});
     SendRound(t, std::move(input), ctx);

@@ -12,8 +12,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "client/workload.h"
+#include "coord/txn_continuations.h"
 #include "engine/cost_model.h"
+#include "msg/message.h"
 #include "runtime/metrics.h"
 #include "runtime/actor.h"
 
@@ -22,11 +23,11 @@ namespace partdb {
 class CoordinatorActor : public Actor {
  public:
   CoordinatorActor(std::string name, const CostModel& cost, Metrics* metrics,
-                   Workload* workload, std::vector<NodeId> partition_nodes)
+                   TxnContinuations* continuations, std::vector<NodeId> partition_nodes)
       : Actor(std::move(name)),
         cost_(cost),
         metrics_(metrics),
-        workload_(workload),
+        continuations_(continuations),
         partition_nodes_(std::move(partition_nodes)),
         expected_epoch_(partition_nodes_.size(), 0) {}
 
@@ -44,6 +45,7 @@ class CoordinatorActor : public Actor {
     TxnId id = kInvalidTxn;
     uint64_t seq = 0;
     NodeId client = kInvalidNode;
+    ProcId proc = kInvalidProc;
     PayloadPtr args;
     std::vector<PartitionId> parts;
     int rounds = 1;
@@ -66,7 +68,7 @@ class CoordinatorActor : public Actor {
 
   CostModel cost_;
   Metrics* metrics_;
-  Workload* workload_;
+  TxnContinuations* continuations_;
   std::vector<NodeId> partition_nodes_;
   std::vector<uint32_t> expected_epoch_;  // abort decisions sent, per partition
 

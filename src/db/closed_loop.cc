@@ -1,0 +1,92 @@
+#include "db/closed_loop.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+ArgsGenerator WorkloadArgs(Workload* workload) {
+  return [workload](int client_index, Rng& rng) {
+    return workload->Next(client_index, rng).args;
+  };
+}
+
+namespace {
+
+/// One logical closed-loop client. Owned on the heap so the resubmitting
+/// callback has a stable address; all fields after construction are touched
+/// only from the client's session worker (or the sim pump).
+struct ClientLoop {
+  Database* db = nullptr;
+  ProcId proc = kInvalidProc;
+  ArgsGenerator next_args;
+  Rng rng{0};
+  int index = 0;
+  std::shared_ptr<std::atomic<bool>> stop;
+  // Last member: its destructor (Session::Drain) must run before the fields
+  // the completion callback reads (next_args, rng) are destroyed.
+  std::unique_ptr<Session> session;
+
+  void IssueNext() {
+    PayloadPtr args = next_args(index, rng);
+    // The stop flag is captured by value: the final completion callback runs
+    // while ~ClientLoop is draining the session, after the members have begun
+    // destructing. Once stop is set (always before destruction), the callback
+    // must not touch `this` at all.
+    session->Submit(proc, std::move(args),
+                    [this, stop_flag = stop](const TxnResult&) {
+                      if (!stop_flag->load(std::memory_order_relaxed)) IssueNext();
+                    });
+  }
+};
+
+}  // namespace
+
+Metrics RunClosedLoop(Database& db, const ClosedLoopOptions& options) {
+  PARTDB_CHECK(options.num_clients >= 1);
+  PARTDB_CHECK(options.proc != kInvalidProc);
+  PARTDB_CHECK(options.next_args != nullptr);
+
+  auto stop = std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::unique_ptr<ClientLoop>> clients;
+  for (int c = 0; c < options.num_clients; ++c) {
+    auto cl = std::make_unique<ClientLoop>();
+    cl->db = &db;
+    cl->session = db.CreateSession();
+    cl->proc = options.proc;
+    cl->next_args = options.next_args;
+    cl->rng.Seed(Mix64(options.seed ^ (0x9e37u + static_cast<uint64_t>(c) * 0x1357ull)));
+    cl->index = c;
+    cl->stop = stop;
+    clients.push_back(std::move(cl));
+  }
+  for (auto& cl : clients) cl->IssueNext();
+
+  Metrics m;
+  if (db.mode() == RunMode::kParallel) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(options.warmup));
+    db.BeginMeasurement();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(options.measure));
+    m = db.EndMeasurement();
+  } else {
+    db.AdvanceSim(options.warmup);
+    db.BeginMeasurement();
+    db.AdvanceSim(options.measure);
+    m = db.EndMeasurement();
+  }
+
+  stop->store(true, std::memory_order_relaxed);
+  // Drain every session before tearing the loops down: a callback that
+  // raced past the stop flag may resubmit once more, and Drain returns only
+  // when no completion callback is running or pending — after that, no
+  // callback can touch the ClientLoop fields being destroyed.
+  for (auto& cl : clients) cl->session->Drain();
+  clients.clear();
+  return m;
+}
+
+}  // namespace partdb

@@ -1,0 +1,42 @@
+// Closed-loop driver over sessions: the legacy ClientActor/Workload bench
+// path re-expressed through the public Database/Session API. N logical
+// clients each own a session and keep exactly one transaction in flight —
+// the completion callback generates and submits the next one (paper §5: no
+// think time). Works on both execution contexts: wall-clock warmup/measure
+// windows in parallel mode, virtual-clock windows in simulation.
+#ifndef PARTDB_DB_CLOSED_LOOP_H_
+#define PARTDB_DB_CLOSED_LOOP_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "db/database.h"
+
+namespace partdb {
+
+/// Generates the arguments of the next invocation for one logical client.
+/// Runs on the session's worker thread (parallel) or inside the sim pump.
+using ArgsGenerator = std::function<PayloadPtr(int client_index, Rng& rng)>;
+
+/// Adapter: draws arguments from a legacy Workload (routing is re-derived by
+/// the procedure's router, which must agree with the workload's own routing).
+ArgsGenerator WorkloadArgs(Workload* workload);
+
+struct ClosedLoopOptions {
+  int num_clients = 8;  // logical closed-loop clients, one session each
+  ProcId proc = kInvalidProc;
+  ArgsGenerator next_args;
+  uint64_t seed = 12345;
+  Duration warmup = Micros(20000);
+  Duration measure = Micros(100000);
+};
+
+/// Runs the closed loop for warmup+measure and returns the window's metrics.
+/// On return all transactions have drained (parallel mode: the database is
+/// still running and can be measured again or closed).
+Metrics RunClosedLoop(Database& db, const ClosedLoopOptions& options);
+
+}  // namespace partdb
+
+#endif  // PARTDB_DB_CLOSED_LOOP_H_

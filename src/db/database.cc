@@ -1,0 +1,143 @@
+#include "db/database.h"
+
+#include "common/logging.h"
+
+namespace partdb {
+
+std::unique_ptr<Database> Database::Open(DbOptions options) {
+  PARTDB_CHECK(options.engine_factory != nullptr);
+  PARTDB_CHECK(options.max_sessions >= 1);
+  PARTDB_CHECK(options.session_workers >= 1);
+  return std::unique_ptr<Database>(new Database(std::move(options)));
+}
+
+Database::Database(DbOptions options) : options_(std::move(options)) {
+  for (ProcedureDescriptor& d : options_.procedures) {
+    registry_.Register(std::move(d));
+  }
+  options_.procedures.clear();
+
+  ClusterConfig cfg;
+  cfg.scheme = options_.scheme;
+  cfg.mode = options_.mode;
+  cfg.num_partitions = options_.num_partitions;
+  cfg.num_clients = 0;
+  cfg.num_sessions = options_.max_sessions;
+  cfg.session_workers = options_.session_workers;
+  cfg.replication = options_.replication;
+  cfg.backups_execute = options_.backups_execute;
+  cfg.net = options_.net;
+  cfg.cost = options_.cost;
+  cfg.lock_timeout = options_.lock_timeout;
+  cfg.seed = options_.seed;
+  cfg.log_commits = options_.log_commits;
+  cfg.local_speculation_only = options_.local_speculation_only;
+  cfg.force_locks = options_.force_locks;
+  cluster_ = std::make_unique<Cluster>(cfg, options_.engine_factory, nullptr, &registry_);
+
+  for (int i = 0; i < options_.max_sessions; ++i) {
+    auto actor = std::make_unique<SessionActor>(
+        "session-" + std::to_string(i), &registry_, cluster_->topology(), options_.scheme,
+        options_.cost,
+        Mix64(options_.seed ^ (0x5e55u + static_cast<uint64_t>(i) * 0x2467ull)));
+    actor->set_metrics(cluster_->BindSession(i, actor.get()));
+    session_actors_.push_back(std::move(actor));
+    free_slots_.push_back(i);
+  }
+
+  if (options_.mode == RunMode::kParallel) cluster_->StartParallel();
+}
+
+Database::~Database() { Close(); }
+
+ProcId Database::proc(std::string_view name) const {
+  const ProcId id = registry_.Find(name);
+  PARTDB_CHECK(id != kInvalidProc);
+  return id;
+}
+
+std::unique_ptr<Session> Database::CreateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARTDB_CHECK(!closed_);
+  PARTDB_CHECK(!free_slots_.empty());  // raise DbOptions::max_sessions
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  return std::unique_ptr<Session>(new Session(this, session_actors_[slot].get()));
+}
+
+void Database::ReleaseSession(SessionActor* actor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < session_actors_.size(); ++i) {
+    if (session_actors_[i].get() == actor) {
+      free_slots_.push_back(static_cast<int>(i));
+      return;
+    }
+  }
+  PARTDB_CHECK(false);  // not one of ours
+}
+
+void Database::BeginMeasurement() {
+  if (options_.mode == RunMode::kParallel) {
+    cluster_->BeginWindow();
+    return;
+  }
+  Metrics& m = cluster_->metrics();
+  m.Reset();
+  m.recording = true;
+  for (PartitionId p = 0; p < options_.num_partitions; ++p) {
+    cluster_->partition(p).ResetBusy();
+  }
+  cluster_->coordinator()->ResetBusy();
+  sim_window_start_ = cluster_->sim().Now();
+}
+
+Metrics Database::EndMeasurement() {
+  if (options_.mode == RunMode::kParallel) return cluster_->EndWindow();
+  Metrics& m = cluster_->metrics();
+  m.recording = false;
+  Metrics out = m;
+  out.window_ns = cluster_->sim().Now() - sim_window_start_;
+  out.num_partitions = options_.num_partitions;
+  out.partition_busy_ns = 0;
+  for (PartitionId p = 0; p < options_.num_partitions; ++p) {
+    out.partition_busy_ns += cluster_->partition(p).busy_ns();
+  }
+  out.coord_busy_ns = cluster_->coordinator()->busy_ns();
+  return out;
+}
+
+void Database::AdvanceSim(Duration d) {
+  PARTDB_CHECK(options_.mode == RunMode::kSimulated);
+  cluster_->sim().RunUntil(cluster_->sim().Now() + d);
+}
+
+void Database::PumpSimUntil(const std::function<bool()>& done) {
+  PARTDB_CHECK(options_.mode == RunMode::kSimulated);
+  while (!done()) {
+    PARTDB_CHECK(cluster_->sim().RunOne());  // empty queue: txn can never finish
+  }
+}
+
+void Database::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  if (options_.mode == RunMode::kParallel) {
+    // Submissions have ceased (sessions drain on destruction; any still-open
+    // session must be idle by now). Wait out stragglers, then join.
+    for (auto& a : session_actors_) {
+      PARTDB_CHECK(a->WaitDrained(std::chrono::seconds(30)));
+    }
+    cluster_->StopParallel();
+    return;
+  }
+  // Simulated: run the event queue dry and verify quiescence.
+  cluster_->Quiesce();
+  for (auto& a : session_actors_) {
+    PARTDB_CHECK(a->outstanding() == 0);
+  }
+}
+
+}  // namespace partdb

@@ -1,0 +1,118 @@
+// Database: the embedded-database façade and main public entry point of the
+// library. Database::Open builds one database instance — partitions running
+// the chosen concurrency-control scheme, optional backups, the central
+// coordinator — on either execution context (deterministic simulation or the
+// thread-per-partition parallel runtime), seals the stored-procedure
+// registry, and hands out Sessions that driver threads submit named
+// procedures through. The closed-loop bench harness (Cluster + Workload)
+// remains available underneath as the internal wiring layer; cluster() is
+// the escape hatch tests and benches use for engines and commit logs.
+#ifndef PARTDB_DB_DATABASE_H_
+#define PARTDB_DB_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "db/procedure_registry.h"
+#include "db/session.h"
+#include "runtime/cluster.h"
+
+namespace partdb {
+
+struct DbOptions {
+  CcSchemeKind scheme = CcSchemeKind::kSpeculative;
+  RunMode mode = RunMode::kParallel;
+  int num_partitions = 2;
+  /// Total copies of each partition including the primary (k in §2.2).
+  int replication = 1;
+  bool backups_execute = false;
+  /// Session slots created at Open (sessions must bind before the parallel
+  /// workers start); CreateSession hands them out and recycles them.
+  int max_sessions = 16;
+  /// Parallel-mode worker threads shared by the session ingress actors.
+  int session_workers = 2;
+  NetworkConfig net;
+  CostModel cost;
+  Duration lock_timeout = Micros(20000);
+  uint64_t seed = 12345;
+  /// Record per-partition commit logs (serializability verification).
+  bool log_commits = false;
+  bool local_speculation_only = false;
+  bool force_locks = false;
+  /// Builds the engine for each partition, primaries and backups alike.
+  /// Required.
+  EngineFactory engine_factory;
+  /// Stored procedures to register. The registry is sealed once Open returns
+  /// (sessions and the coordinator read it concurrently afterwards).
+  std::vector<ProcedureDescriptor> procedures;
+};
+
+class Database {
+ public:
+  /// Builds and starts a database. In parallel mode the worker threads are
+  /// running when this returns; in simulated mode the virtual clock advances
+  /// whenever a session Execute/Drain pumps it.
+  static std::unique_ptr<Database> Open(DbOptions options);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Id of a registered procedure. CHECK-fails when absent (use
+  /// registry().Find for a probing lookup).
+  ProcId proc(std::string_view name) const;
+  const ProcedureRegistry& registry() const { return registry_; }
+  RunMode mode() const { return options_.mode; }
+  const DbOptions& options() const { return options_; }
+
+  /// Hands out a session slot. Thread-safe. Destroy every Session before the
+  /// Database; the destructor returns the slot.
+  std::unique_ptr<Session> CreateSession();
+
+  /// Begins/ends a metrics window (throughput, latency histograms, CPU
+  /// utilization). In parallel mode the flips run on each actor's worker;
+  /// in simulated mode they gate the shared metrics instance.
+  void BeginMeasurement();
+  Metrics EndMeasurement();
+
+  /// Simulated mode: advances the virtual clock by `d` (closed-loop
+  /// measurement windows with traffic already in flight).
+  void AdvanceSim(Duration d);
+
+  /// Drains every session, stops the runtime (parallel mode joins all
+  /// workers) and verifies the partitions are quiescent. Idempotent; the
+  /// destructor calls it. Submissions after Close are illegal.
+  void Close();
+
+  /// Internal wiring layer (engines, commit logs, the simulator). The
+  /// cluster stays valid until the Database is destroyed.
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  friend class Session;
+
+  explicit Database(DbOptions options);
+
+  /// Simulated mode: runs events until `done()`; CHECK-fails if the event
+  /// queue empties first (the transaction could never complete).
+  void PumpSimUntil(const std::function<bool()>& done);
+  void ReleaseSession(SessionActor* actor);
+
+  DbOptions options_;
+  ProcedureRegistry registry_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<SessionActor>> session_actors_;
+
+  std::mutex mu_;
+  std::vector<int> free_slots_;
+  bool closed_ = false;
+
+  Time sim_window_start_ = 0;  // simulated-mode measurement window
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_DB_DATABASE_H_

@@ -1,0 +1,77 @@
+// ProcedureRegistry: the stored-procedure catalog of one Database instance
+// (paper §3.1). Each named procedure bundles the client-library routing logic
+// (arguments -> participating partitions / communication rounds) and the
+// coordinator-side continuation for multi-round procedures (paper §3.3). The
+// fragment logic itself lives in the Engine the DbOptions factory builds for
+// each partition; the registry carries everything *around* the engine that
+// the old Workload interface used to own.
+#ifndef PARTDB_DB_PROCEDURE_REGISTRY_H_
+#define PARTDB_DB_PROCEDURE_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "coord/txn_continuations.h"
+#include "msg/payload.h"
+
+namespace partdb {
+
+/// Routing facts the client library derives from a procedure's arguments:
+/// which partitions participate, how many communication rounds, and whether
+/// the transaction may user-abort (and therefore needs undo on fast paths).
+struct TxnRouting {
+  std::vector<PartitionId> participants;
+  int rounds = 1;
+  bool can_abort = false;
+
+  bool single_partition() const { return participants.size() == 1 && rounds == 1; }
+};
+
+struct ProcedureDescriptor {
+  std::string name;
+
+  /// args -> routing. Must be deterministic in the arguments (a retry after a
+  /// deadlock abort re-routes identically).
+  std::function<TxnRouting(const Payload& args)> route;
+
+  /// Coordinator-side continuation: computes the input of `round` (>= 1)
+  /// from the previous round's per-partition results. May be null for
+  /// single-round procedures.
+  std::function<PayloadPtr(const Payload& args, int round,
+                           const std::vector<std::pair<PartitionId, PayloadPtr>>& prev)>
+      round_input;
+};
+
+/// Name -> descriptor table shared by the coordinator and every session of a
+/// Database. Sealed before traffic starts (Database::Open registers
+/// DbOptions::procedures); afterwards all lookups are concurrent lock-free
+/// reads.
+class ProcedureRegistry : public TxnContinuations {
+ public:
+  /// Registers `desc` and returns its id. Names must be unique and non-empty;
+  /// `desc.route` must be set.
+  ProcId Register(ProcedureDescriptor desc);
+
+  /// Id for `name`, or kInvalidProc when not registered.
+  ProcId Find(std::string_view name) const;
+
+  const ProcedureDescriptor& Get(ProcId id) const;
+  size_t size() const { return procs_.size(); }
+
+  // TxnContinuations (called by the coordinator for rounds >= 1):
+  PayloadPtr NextRoundInput(ProcId proc, const Payload& args, int round,
+                            const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) override;
+
+ private:
+  std::vector<ProcedureDescriptor> procs_;
+  std::unordered_map<std::string, ProcId> by_name_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_DB_PROCEDURE_REGISTRY_H_

@@ -1,0 +1,34 @@
+#include "kv/kv_procs.h"
+
+#include "common/logging.h"
+
+namespace partdb {
+
+ProcedureDescriptor KvReadUpdateProcedure(const MicrobenchConfig& config) {
+  ProcedureDescriptor d;
+  d.name = kKvReadUpdateProc;
+  d.route = [config](const Payload& payload) {
+    const auto& args = PayloadCast<KvArgs>(payload);
+    TxnRouting r;
+    for (PartitionId p = 0; p < static_cast<PartitionId>(args.keys.size()); ++p) {
+      if (!args.keys[p].empty()) r.participants.push_back(p);
+    }
+    r.rounds = args.rounds;
+    r.can_abort = config.force_undo || args.abort_txn || args.abort_at >= 0;
+    return r;
+  };
+  d.round_input = [config](const Payload& /*args*/, int round,
+                           const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) {
+    PARTDB_CHECK(round == 1);
+    auto input = std::make_shared<KvRoundInput>();
+    input->values.resize(config.num_partitions);
+    for (const auto& [p, result] : prev) {
+      PARTDB_CHECK(result != nullptr);
+      input->values[p] = PayloadCast<KvResult>(*result).values;
+    }
+    return input;
+  };
+  return d;
+}
+
+}  // namespace partdb

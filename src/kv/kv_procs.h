@@ -1,0 +1,24 @@
+// Stored-procedure descriptors for the KV microbenchmark: the registry-based
+// counterpart of MicrobenchWorkload. The router re-derives the routing facts
+// (participants, rounds, abort annotation) from the KvArgs payload — the
+// same facts MicrobenchWorkload::Next computes alongside the arguments — and
+// the continuation is the §5.4 general-transaction round input.
+#ifndef PARTDB_KV_KV_PROCS_H_
+#define PARTDB_KV_KV_PROCS_H_
+
+#include "db/procedure_registry.h"
+#include "kv/kv_workload.h"
+
+namespace partdb {
+
+/// Name the microbench procedure registers under.
+inline constexpr const char* kKvReadUpdateProc = "kv_read_update";
+
+/// Descriptor for the paper's read/update microbenchmark procedure
+/// (register via DbOptions::procedures). Pair with MakeKvEngineFactory and
+/// KvArgs built by hand or drawn from MicrobenchWorkload.
+ProcedureDescriptor KvReadUpdateProcedure(const MicrobenchConfig& config);
+
+}  // namespace partdb
+
+#endif  // PARTDB_KV_KV_PROCS_H_

@@ -43,41 +43,61 @@ void Cluster::ForEachMeasuredActor(const std::function<void(Actor*, Metrics*)>& 
   for (auto& p : partitions_) sink(p.get());
   sink(coordinator_.get());
   for (auto& c : clients_) sink(c.get());
+  for (Actor* s : sessions_) sink(s);
 }
 
 Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
-                 std::unique_ptr<Workload> workload)
+                 std::unique_ptr<Workload> workload, TxnContinuations* continuations)
     : config_(config),
       net_(&sim_, config.net),
       sim_exec_(&sim_, &net_),
       workload_(std::move(workload)) {
   PARTDB_CHECK(config_.num_partitions >= 1);
-  PARTDB_CHECK(config_.num_clients >= 1);
+  PARTDB_CHECK(config_.num_clients >= 0);
+  PARTDB_CHECK(config_.num_sessions >= 0);
+  PARTDB_CHECK(config_.num_clients + config_.num_sessions >= 1);
+  PARTDB_CHECK(config_.num_clients == 0 || workload_ != nullptr);
   PARTDB_CHECK(config_.replication >= 1);
+  if (continuations == nullptr) continuations = workload_.get();
+  PARTDB_CHECK(continuations != nullptr);
 
   // Node layout: clients [0, C), coordinator C, primaries [C+1, C+1+P),
-  // backups afterwards.
+  // backups afterwards, session slots last.
   const NodeId coord_node = config_.num_clients;
-  Topology topo;
+  Topology& topo = topology_;
   topo.coordinator = coord_node;
   for (int p = 0; p < config_.num_partitions; ++p) {
     topo.partition_primary.push_back(coord_node + 1 + p);
   }
 
   const int num_backups = config_.num_partitions * (config_.replication - 1);
+  const NodeId first_session_node = coord_node + 1 + config_.num_partitions + num_backups;
+  for (int s = 0; s < config_.num_sessions; ++s) {
+    session_nodes_.push_back(first_session_node + s);
+  }
   if (config_.mode == RunMode::kParallel) {
     // Thread-per-partition (and per backup); the coordinator gets its own
-    // worker; all closed-loop clients share one (they only generate load).
+    // worker; all closed-loop clients share one (they only generate load);
+    // session ingress actors spread round-robin over their own worker pool.
     const int P = config_.num_partitions;
-    parallel_ = std::make_unique<ParallelRuntime>(P + num_backups + 2);
+    const int client_workers = config_.num_clients > 0 ? 1 : 0;
+    const int session_workers = config_.num_sessions > 0 ? config_.session_workers : 0;
+    PARTDB_CHECK(config_.num_sessions == 0 || config_.session_workers >= 1);
+    parallel_ = std::make_unique<ParallelRuntime>(P + num_backups + 1 + client_workers +
+                                                  session_workers);
     const int coord_worker = P + num_backups;
-    const int client_worker = P + num_backups + 1;
     for (int p = 0; p < P; ++p) parallel_->MapNode(topo.partition_primary[p], p);
     for (int b = 0; b < num_backups; ++b) {
       parallel_->MapNode(coord_node + 1 + P + b, P + b);
     }
     parallel_->MapNode(coord_node, coord_worker);
-    for (int c = 0; c < config_.num_clients; ++c) parallel_->MapNode(c, client_worker);
+    for (int c = 0; c < config_.num_clients; ++c) {
+      parallel_->MapNode(c, coord_worker + 1);
+    }
+    for (int s = 0; s < config_.num_sessions; ++s) {
+      parallel_->MapNode(session_nodes_[s],
+                         coord_worker + 1 + client_workers + s % session_workers);
+    }
     exec_ = parallel_.get();
   } else {
     exec_ = &sim_exec_;
@@ -117,7 +137,7 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
   // Coordinator (used by blocking and speculation; locking clients
   // self-coordinate, so it simply stays idle).
   coordinator_ = std::make_unique<CoordinatorActor>("coordinator", config_.cost,
-                                                    MetricsFor(coord_node), workload_.get(),
+                                                    MetricsFor(coord_node), continuations,
                                                     topo.partition_primary);
   coordinator_->Bind(exec_, coord_node);
 
@@ -134,6 +154,20 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
 
 Engine& Cluster::backup_engine(PartitionId p, int backup_index) {
   return backups_[p][backup_index]->engine();
+}
+
+NodeId Cluster::session_node(int i) const {
+  PARTDB_CHECK(i >= 0 && static_cast<size_t>(i) < session_nodes_.size());
+  return session_nodes_[i];
+}
+
+Metrics* Cluster::BindSession(int i, Actor* actor) {
+  PARTDB_CHECK(!parallel_started_);
+  const NodeId node = session_node(i);
+  Metrics* sink = MetricsFor(node);
+  actor->Bind(exec_, node);
+  sessions_.push_back(actor);
+  return sink;
 }
 
 void Cluster::Quiesce() {
@@ -165,14 +199,19 @@ Metrics Cluster::Run(Duration warmup, Duration measure) {
   return metrics_;
 }
 
-Metrics Cluster::RunParallel(Duration warmup, Duration measure) {
+void Cluster::StartParallel() {
   PARTDB_CHECK(config_.mode == RunMode::kParallel);
+  PARTDB_CHECK(!parallel_started_);
+  PARTDB_CHECK(sessions_.size() == static_cast<size_t>(config_.num_sessions));
+  parallel_started_ = true;
   parallel_->Start();
   for (auto& c : clients_) c->Kick();
-  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+}
 
-  // Begin the measurement window: each actor's private metrics reset on its
-  // own worker thread, so no cross-thread races on the counters.
+void Cluster::BeginWindow() {
+  PARTDB_CHECK(parallel_started_);
+  // Each actor's private metrics reset on its own worker thread, so no
+  // cross-thread races on the counters.
   ForEachMeasuredActor([&](Actor* a, Metrics* m) {
     parallel_->RunOnOwner(a->node_id(), [a, m]() {
       m->Reset();
@@ -180,16 +219,46 @@ Metrics Cluster::RunParallel(Duration warmup, Duration measure) {
       a->ResetBusy();
     });
   });
-  const Time window_start = parallel_->Now();
+  window_start_ = parallel_->Now();
+}
 
-  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
-
+Metrics Cluster::EndWindow() {
+  PARTDB_CHECK(parallel_started_);
+  Metrics merged;
+  Duration partition_busy = 0;
+  Duration coord_busy = 0;
   ForEachMeasuredActor([&](Actor* a, Metrics* m) {
-    parallel_->RunOnOwner(a->node_id(), [m]() { m->recording = false; });
+    // Copies are taken on the owning worker (RunOnOwner blocks until run),
+    // so the merge below reads stable snapshots.
+    parallel_->RunOnOwner(a->node_id(), [&, a, m]() {
+      m->recording = false;
+      merged.Merge(*m);
+      const Duration busy = a->busy_ns();
+      if (a == coordinator_.get()) {
+        coord_busy += busy;
+      } else {
+        for (auto& p : partitions_) {
+          if (a == p.get()) {
+            partition_busy += busy;
+            break;
+          }
+        }
+      }
+    });
   });
-  const Time window_end = parallel_->Now();
+  window_end_ = parallel_->Now();
+  merged.window_ns = window_end_ - window_start_;
+  merged.num_partitions = config_.num_partitions;
+  merged.partition_busy_ns = partition_busy;
+  merged.coord_busy_ns = coord_busy;
+  return merged;
+}
 
+Metrics Cluster::StopParallel() {
+  PARTDB_CHECK(parallel_started_);
   // Drain: stop load generation, let in-flight transactions finish, join.
+  // Session traffic must have ceased before this is called (the db layer
+  // waits for its sessions to drain).
   for (auto& c : clients_) {
     parallel_->RunOnOwner(c->node_id(), [&c]() { c->Stop(); });
   }
@@ -202,11 +271,21 @@ Metrics Cluster::RunParallel(Duration warmup, Duration measure) {
 
   metrics_.Reset();
   for (auto& [node, m] : actor_metrics_) metrics_.Merge(*m);
-  metrics_.window_ns = window_end - window_start;
+  metrics_.window_ns = window_end_ - window_start_;
   metrics_.num_partitions = config_.num_partitions;
   for (auto& p : partitions_) metrics_.partition_busy_ns += p->busy_ns();
   metrics_.coord_busy_ns = coordinator_->busy_ns();
   return metrics_;
+}
+
+Metrics Cluster::RunParallel(Duration warmup, Duration measure) {
+  PARTDB_CHECK(config_.mode == RunMode::kParallel);
+  StartParallel();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
+  BeginWindow();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
+  EndWindow();
+  return StopParallel();
 }
 
 }  // namespace partdb

@@ -1,10 +1,16 @@
 // Cluster: builds and runs one database instance — partitions with a chosen
 // concurrency-control scheme, optional backups, the central coordinator, and
-// closed-loop clients — and reports measurement-window metrics. The same
-// cluster wiring runs on either execution context: the deterministic
-// discrete-event simulator (Run) or the thread-per-partition parallel
-// runtime on real threads and wall-clock time (RunParallel). This is the
-// main entry point of the library's public API.
+// the ingress tier (closed-loop bench clients and/or session slots for the
+// db layer) — and reports measurement-window metrics. The same cluster
+// wiring runs on either execution context: the deterministic discrete-event
+// simulator (Run) or the thread-per-partition parallel runtime on real
+// threads and wall-clock time (RunParallel).
+//
+// This is the *internal* wiring layer. Applications embed the database
+// through the `Database`/`Session` façade in src/db/ (which builds a Cluster
+// underneath); the figure benches drive Cluster directly because their
+// closed-loop clients and virtual-clock windows are part of the experiment
+// setup.
 #ifndef PARTDB_RUNTIME_CLUSTER_H_
 #define PARTDB_RUNTIME_CLUSTER_H_
 
@@ -33,7 +39,12 @@ struct ClusterConfig {
   CcSchemeKind scheme = CcSchemeKind::kSpeculative;
   RunMode mode = RunMode::kSimulated;
   int num_partitions = 2;
-  int num_clients = 40;  // paper §5.1
+  int num_clients = 40;  // paper §5.1 (closed-loop bench clients; 0 = none)
+  /// Session ingress slots for the db layer (Database/Session). Each slot is
+  /// one externally-owned actor bound via BindSession before the run starts.
+  int num_sessions = 0;
+  /// Parallel-mode worker threads shared by the session ingress actors.
+  int session_workers = 1;
   /// Total copies of each partition including the primary (k in §2.2).
   int replication = 1;
   /// Backups replay transactions for real (tests) vs. charging cost only.
@@ -58,9 +69,13 @@ struct ClusterConfig {
 class Cluster {
  public:
   /// `factory` creates the engine for each partition (primary and backups
-  /// alike); `workload` drives all clients and coordinator continuations.
+  /// alike); `workload` drives all closed-loop clients and, by default, the
+  /// coordinator continuations. `continuations` overrides the coordinator's
+  /// continuation source (the db layer passes its ProcedureRegistry); it may
+  /// be the only source when `workload` is null (session-driven cluster,
+  /// num_clients == 0).
   Cluster(const ClusterConfig& config, const EngineFactory& factory,
-          std::unique_ptr<Workload> workload);
+          std::unique_ptr<Workload> workload, TxnContinuations* continuations = nullptr);
 
   /// Runs warm-up then a measurement window on the virtual clock; returns the
   /// window's metrics. Requires mode == kSimulated. May be called once.
@@ -72,10 +87,33 @@ class Cluster {
   /// called once; the cluster is drained and stopped on return.
   Metrics RunParallel(Duration warmup, Duration measure);
 
+  // Parallel lifecycle, piecewise (the db layer drives these; RunParallel is
+  // the closed-loop composition). All require mode == kParallel.
+
+  /// Launches the worker threads and kicks any closed-loop clients. All
+  /// BindSession calls must have happened before this.
+  void StartParallel();
+  /// Begins a measurement window: every actor's private metrics reset on its
+  /// own worker thread, so there are no cross-thread races on the counters.
+  void BeginWindow();
+  /// Ends the window and returns the merged metrics snapshot, with the
+  /// cluster still running (per-actor copies are taken on the owning workers).
+  Metrics EndWindow();
+  /// Drains in-flight work (closed-loop clients stop issuing; session traffic
+  /// must already have ceased), joins all workers, and returns the final
+  /// merged metrics. Checks every partition's scheme reports Idle().
+  Metrics StopParallel();
+
   /// Stops all clients and drains in-flight work until every partition's
   /// scheme reports Idle(). Call after Run() when tests need a stable state.
   /// (RunParallel drains before returning; no separate call is needed.)
   void Quiesce();
+
+  /// Binds `actor` as session ingress slot `i` (node session_node(i)) and
+  /// returns the metrics sink the actor should record into. Must be called
+  /// before StartParallel()/Run().
+  Metrics* BindSession(int i, Actor* actor);
+  NodeId session_node(int i) const;
 
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
@@ -89,6 +127,7 @@ class Cluster {
   Engine& backup_engine(PartitionId p, int backup_index);
   CoordinatorActor* coordinator() { return coordinator_.get(); }
   Workload& workload() { return *workload_; }
+  const Topology& topology() const { return topology_; }
   const std::vector<CommitRecord>& commit_log(PartitionId p) const {
     return partitions_[p]->commit_log();
   }
@@ -110,10 +149,16 @@ class Cluster {
   Metrics metrics_;
   std::unordered_map<NodeId, std::unique_ptr<Metrics>> actor_metrics_;
   std::unique_ptr<Workload> workload_;
+  Topology topology_;
   std::vector<std::unique_ptr<ClientActor>> clients_;
   std::unique_ptr<CoordinatorActor> coordinator_;
   std::vector<std::unique_ptr<PartitionActor>> partitions_;
   std::vector<std::vector<std::unique_ptr<BackupActor>>> backups_;  // [partition][replica]
+  std::vector<NodeId> session_nodes_;
+  std::vector<Actor*> sessions_;  // bound session actors (externally owned)
+  Time window_start_ = 0;
+  Time window_end_ = 0;
+  bool parallel_started_ = false;
 };
 
 struct SchemeOptions {

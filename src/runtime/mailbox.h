@@ -55,6 +55,29 @@ class Mailbox {
     return true;
   }
 
+  /// Batched drain: swaps the entire queue into `out` (which must be empty)
+  /// under one mutex acquisition, blocking until at least one item is
+  /// available or `deadline` passes. Returns false on timeout. Amortizes the
+  /// lock + wake to one per *batch* instead of one per message — under load a
+  /// partition worker takes its mailbox lock once for dozens of fragments.
+  /// Single consumer only; push-order FIFO is preserved.
+  bool DrainUntil(std::chrono::steady_clock::time_point deadline, std::deque<WorkItem>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    waiting_.store(true, std::memory_order_release);
+    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty(); })) {
+      waiting_.store(false, std::memory_order_release);
+      return false;
+    }
+    // waiting_ clears before the queue empties (both under the lock): an
+    // observer never sees waiting==true with an empty queue while the
+    // consumer holds undrained items.
+    waiting_.store(false, std::memory_order_release);
+    out->swap(queue_);
+    popped_ += out->size();
+    return true;
+  }
+
   /// True while the consumer is blocked in PopUntil (no popped item in hand).
   bool consumer_waiting() const { return waiting_.load(std::memory_order_acquire); }
 

@@ -129,6 +129,7 @@ void ParallelRuntime::FireDueTimers(Worker* w) {
 }
 
 void ParallelRuntime::WorkerLoop(Worker* w) {
+  std::deque<WorkItem> batch;
   while (!stop_.load(std::memory_order_relaxed)) {
     FireDueTimers(w);
 
@@ -139,14 +140,20 @@ void ParallelRuntime::WorkerLoop(Worker* w) {
       if (next_timer < deadline) deadline = next_timer;
     }
 
-    WorkItem item;
-    if (!w->mailbox.PopUntil(deadline, &item)) continue;
+    // Swap-under-lock batch drain: one mutex acquisition per batch rather
+    // than per message. Due timers still fire between items, so timer
+    // fidelity matches the one-message-at-a-time loop.
+    if (!w->mailbox.DrainUntil(deadline, &batch)) continue;
 
-    if (item.control) {
-      item.control();
-    } else {
-      endpoint(item.msg.dst)->Deliver(std::move(item.msg));
+    for (WorkItem& item : batch) {
+      if (item.control) {
+        item.control();
+      } else {
+        endpoint(item.msg.dst)->Deliver(std::move(item.msg));
+      }
+      FireDueTimers(w);
     }
+    batch.clear();
   }
 }
 

@@ -21,6 +21,16 @@ void Simulator::Run() {
   }
 }
 
+bool Simulator::RunOne() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
 void Simulator::RunUntil(Time until) {
   while (!queue_.empty() && queue_.top().at <= until) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));

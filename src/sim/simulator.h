@@ -38,6 +38,11 @@ class Simulator {
   /// Runs events with timestamp <= `until`; afterwards Now() == until.
   void RunUntil(Time until);
 
+  /// Runs the single earliest event. Returns false (and leaves Now()
+  /// unchanged) when the queue is empty. Lets an embedding driver pump the
+  /// simulation to a condition of its own (e.g. Session::Execute).
+  bool RunOne();
+
   /// Number of events processed so far.
   uint64_t events_processed() const { return events_processed_; }
 

@@ -1,0 +1,311 @@
+// Tests for the embedded Database/Session façade: procedure registry
+// semantics, synchronous Execute on both execution contexts (including user
+// abort propagation), concurrent multi-threaded Submit with replay-verified
+// serializability across every concurrency-control scheme, the closed-loop
+// session adapter, and the open-loop Poisson load driver's rate accuracy.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "db/closed_loop.h"
+#include "db/database.h"
+#include "db/load_driver.h"
+#include "kv/kv_procs.h"
+#include "kv/kv_workload.h"
+#include "test_util.h"
+
+namespace partdb {
+namespace {
+
+MicrobenchConfig SmallConfig(int clients, double mp_fraction, double abort_prob = 0.0) {
+  MicrobenchConfig mb;
+  mb.num_partitions = 2;
+  mb.num_clients = clients;
+  mb.mp_fraction = mp_fraction;
+  mb.abort_prob = abort_prob;
+  return mb;
+}
+
+DbOptions SmallDb(const MicrobenchConfig& mb, CcSchemeKind scheme, RunMode mode,
+                  int max_sessions) {
+  DbOptions opts;
+  opts.scheme = scheme;
+  opts.mode = mode;
+  opts.num_partitions = mb.num_partitions;
+  opts.max_sessions = max_sessions;
+  opts.log_commits = true;
+  opts.seed = 4711;
+  opts.engine_factory = MakeKvEngineFactory(mb);
+  opts.procedures.push_back(KvReadUpdateProcedure(mb));
+  return opts;
+}
+
+/// Single-partition read/update args for logical client `c` on partition `p`.
+std::shared_ptr<KvArgs> SpArgs(const MicrobenchConfig& mb, int c, PartitionId p,
+                               bool abort_txn = false) {
+  auto args = std::make_shared<KvArgs>();
+  args->keys.resize(mb.num_partitions);
+  for (int i = 0; i < mb.keys_per_txn; ++i) {
+    args->keys[p].push_back(MicrobenchKey(c, p, i));
+  }
+  args->abort_txn = abort_txn;
+  return args;
+}
+
+/// Multi-partition args touching every partition.
+std::shared_ptr<KvArgs> MpArgs(const MicrobenchConfig& mb, int c, int rounds = 1) {
+  auto args = std::make_shared<KvArgs>();
+  args->keys.resize(mb.num_partitions);
+  const int per = mb.keys_per_txn / mb.num_partitions;
+  for (PartitionId p = 0; p < mb.num_partitions; ++p) {
+    for (int i = 0; i < per; ++i) args->keys[p].push_back(MicrobenchKey(c, p, i));
+  }
+  args->rounds = rounds;
+  return args;
+}
+
+void ExpectReplayClean(Database& db, const MicrobenchConfig& mb) {
+  std::vector<const std::vector<CommitRecord>*> logs;
+  const EngineFactory& factory = db.options().engine_factory;
+  for (PartitionId p = 0; p < mb.num_partitions; ++p) {
+    EXPECT_EQ(db.cluster().engine(p).StateHash(),
+              ExpectCleanReplayStateHash(factory, p, db.cluster().commit_log(p)))
+        << "partition " << p << " diverged from serial replay";
+    logs.push_back(&db.cluster().commit_log(p));
+  }
+  ExpectMpOrderConsistent(logs);
+}
+
+TEST(ProcedureRegistry, RegisterFindDispatch) {
+  ProcedureRegistry reg;
+  EXPECT_EQ(reg.Find(kKvReadUpdateProc), kInvalidProc);
+  const ProcId id = reg.Register(KvReadUpdateProcedure(SmallConfig(2, 0.5)));
+  EXPECT_EQ(reg.Find(kKvReadUpdateProc), id);
+  EXPECT_EQ(reg.size(), 1u);
+
+  const MicrobenchConfig mb = SmallConfig(2, 0.5);
+  auto sp = SpArgs(mb, 0, 1);
+  TxnRouting r = reg.Get(id).route(*sp);
+  EXPECT_TRUE(r.single_partition());
+  EXPECT_EQ(r.participants, std::vector<PartitionId>{1});
+  EXPECT_FALSE(r.can_abort);
+
+  auto mp = MpArgs(mb, 0, /*rounds=*/2);
+  r = reg.Get(id).route(*mp);
+  EXPECT_EQ(r.participants.size(), 2u);
+  EXPECT_EQ(r.rounds, 2);
+
+  auto ab = SpArgs(mb, 0, 0, /*abort_txn=*/true);
+  EXPECT_TRUE(reg.Get(id).route(*ab).can_abort);
+}
+
+TEST(SimSession, ExecuteCommitsAndReturnsPayload) {
+  const MicrobenchConfig mb = SmallConfig(4, 0.2);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 2));
+  auto session = db->CreateSession();
+
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+  for (int i = 0; i < 20; ++i) {
+    TxnResult r = session->Execute(proc, SpArgs(mb, 0, i % 2));
+    EXPECT_TRUE(r.committed);
+    EXPECT_GT(r.latency_ns, 0);
+    EXPECT_EQ(r.attempts, 1u);
+    ASSERT_NE(r.payload, nullptr);
+    // The microbench returns the pre-update counter values in key order.
+    EXPECT_EQ(PayloadCast<KvResult>(*r.payload).values.size(),
+              static_cast<size_t>(mb.keys_per_txn));
+  }
+  // Multi-partition (coordinator path) and two-round general transactions.
+  TxnResult mp = session->Execute(proc, MpArgs(mb, 1));
+  EXPECT_TRUE(mp.committed);
+  TxnResult general = session->Execute(proc, MpArgs(mb, 1, /*rounds=*/2));
+  EXPECT_TRUE(general.committed);
+
+  session.reset();
+  db->Close();
+  ExpectReplayClean(*db, mb);
+}
+
+TEST(SimSession, ExecutePropagatesUserAborts) {
+  const MicrobenchConfig mb = SmallConfig(2, 0.0);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1));
+  auto session = db->CreateSession();
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+
+  TxnResult committed = session->Execute(proc, SpArgs(mb, 0, 0));
+  EXPECT_TRUE(committed.committed);
+
+  TxnResult aborted = session->Execute(proc, SpArgs(mb, 0, 0, /*abort_txn=*/true));
+  EXPECT_FALSE(aborted.committed);
+  EXPECT_EQ(aborted.payload, nullptr);
+
+  // A multi-partition user abort surfaces the same way.
+  auto mp = MpArgs(mb, 1);
+  mp->abort_at = 1;
+  TxnResult mp_aborted = session->Execute(proc, mp);
+  EXPECT_FALSE(mp_aborted.committed);
+}
+
+TEST(ParallelSession, ExecutePropagatesUserAborts) {
+  const MicrobenchConfig mb = SmallConfig(2, 0.0);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 1));
+  auto session = db->CreateSession();
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+
+  EXPECT_TRUE(session->Execute(proc, SpArgs(mb, 0, 0)).committed);
+  EXPECT_FALSE(session->Execute(proc, SpArgs(mb, 0, 0, /*abort_txn=*/true)).committed);
+  auto mp = MpArgs(mb, 1);
+  mp->abort_at = 0;
+  EXPECT_FALSE(session->Execute(proc, mp).committed);
+}
+
+struct SchemeParam {
+  CcSchemeKind scheme;
+  double mp_fraction;
+  double abort_prob;
+};
+
+class ConcurrentSubmit : public ::testing::TestWithParam<SchemeParam> {};
+
+// Many driver threads, each with its own session, submit concurrently; the
+// committed history must satisfy final-state serializability (serial replay
+// of each partition's commit log reproduces the live state) and consistent
+// cross-partition multi-partition commit order.
+TEST_P(ConcurrentSubmit, SerializableUnderConcurrentSessions) {
+  const SchemeParam param = GetParam();
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 150;
+
+  const MicrobenchConfig mb = SmallConfig(kThreads, param.mp_fraction, param.abort_prob);
+  auto db = Database::Open(SmallDb(mb, param.scheme, RunMode::kParallel, kThreads));
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> user_aborts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      MicrobenchWorkload workload(mb);
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      auto session = db->CreateSession();
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        // Half sync Execute, half async Submit (drained by the session dtor).
+        PayloadPtr args = workload.Next(t, rng).args;
+        if (i % 2 == 0) {
+          TxnResult r = session->Execute(proc, std::move(args));
+          (r.committed ? committed : user_aborts)++;
+        } else {
+          session->Submit(proc, std::move(args), [&](const TxnResult& r) {
+            (r.committed ? committed : user_aborts)++;
+          });
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  db->Close();
+
+  EXPECT_EQ(committed + user_aborts, static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  EXPECT_GT(committed, 0u);
+  if (param.abort_prob == 0) {
+    EXPECT_EQ(user_aborts, 0u);
+  }
+  ExpectReplayClean(*db, mb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ConcurrentSubmit,
+    ::testing::Values(SchemeParam{CcSchemeKind::kSpeculative, 0.3, 0.0},
+                      SchemeParam{CcSchemeKind::kSpeculative, 0.5, 0.1},
+                      SchemeParam{CcSchemeKind::kBlocking, 0.3, 0.05},
+                      SchemeParam{CcSchemeKind::kLocking, 0.3, 0.05},
+                      SchemeParam{CcSchemeKind::kOcc, 0.3, 0.05}),
+    [](const ::testing::TestParamInfo<SchemeParam>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s_mp%d_abort%d", CcSchemeName(info.param.scheme),
+                    static_cast<int>(info.param.mp_fraction * 100),
+                    static_cast<int>(info.param.abort_prob * 100));
+      return std::string(buf);
+    });
+
+TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInSim) {
+  const MicrobenchConfig mb = SmallConfig(8, 0.25);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 8));
+  MicrobenchWorkload workload(mb);
+
+  ClosedLoopOptions loop;
+  loop.num_clients = 8;
+  loop.proc = db->proc(kKvReadUpdateProc);
+  loop.next_args = WorkloadArgs(&workload);
+  loop.warmup = Micros(10000);
+  loop.measure = Micros(80000);
+  Metrics m = RunClosedLoop(*db, loop);
+  db->Close();
+
+  EXPECT_GT(m.committed, 100u);
+  EXPECT_GT(m.mp_committed, 0u);
+  EXPECT_GT(m.sp_latency.count(), 0u);
+  EXPECT_GT(m.Throughput(), 0.0);
+  ExpectReplayClean(*db, mb);
+}
+
+TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInParallel) {
+  const MicrobenchConfig mb = SmallConfig(6, 0.2);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 6));
+  MicrobenchWorkload workload(mb);
+
+  ClosedLoopOptions loop;
+  loop.num_clients = 6;
+  loop.proc = db->proc(kKvReadUpdateProc);
+  loop.next_args = WorkloadArgs(&workload);
+  loop.warmup = Micros(20000);
+  loop.measure = Micros(150000);
+  Metrics m = RunClosedLoop(*db, loop);
+  db->Close();
+
+  EXPECT_GT(m.committed, 0u);
+  EXPECT_GT(m.window_ns, 0);
+  ExpectReplayClean(*db, mb);
+}
+
+TEST(OpenLoopDriver, HitsTargetRateWithinTolerance) {
+  const MicrobenchConfig mb = SmallConfig(2, 0.1);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
+  MicrobenchWorkload workload(mb);
+
+  LoadDriverOptions load;
+  load.threads = 2;
+  load.target_tps = 2000.0;
+  load.duration = 600 * kMillisecond;
+  load.proc = db->proc(kKvReadUpdateProc);
+  load.next_args = WorkloadArgs(&workload);
+  LoadDriverReport r = RunOpenLoop(*db, load);
+  db->Close();
+
+  // Poisson stddev at 1200 arrivals is ~3%; allow generous headroom for
+  // scheduling jitter on loaded CI machines.
+  EXPECT_GT(r.offered_tps, load.target_tps * 0.80) << "driver under-delivered arrivals";
+  EXPECT_LT(r.offered_tps, load.target_tps * 1.20) << "driver over-delivered arrivals";
+  EXPECT_EQ(r.completed, r.submitted);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.latency.count(), 0u);
+  ExpectReplayClean(*db, mb);
+}
+
+TEST(Database, SessionSlotsRecycle) {
+  const MicrobenchConfig mb = SmallConfig(2, 0.0);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+  for (int round = 0; round < 3; ++round) {
+    auto a = db->CreateSession();
+    auto b = db->CreateSession();
+    EXPECT_TRUE(a->Execute(proc, SpArgs(mb, 0, 0)).committed);
+    EXPECT_TRUE(b->Execute(proc, SpArgs(mb, 1, 1)).committed);
+  }
+  db->Close();
+}
+
+}  // namespace
+}  // namespace partdb

@@ -125,6 +125,59 @@ TEST(Mailbox, PopUntilTimesOutWhenEmpty) {
                             &item));
 }
 
+// Batched swap-under-lock drain: everything arrives, FIFO per producer, and
+// the accounting (pushed/popped) stays exact across whole-queue swaps.
+TEST(Mailbox, DrainUntilBatchesFifoUnderConcurrentSenders) {
+  constexpr int kProducers = 4;
+  constexpr uint32_t kPerProducer = 20000;
+  Mailbox box;
+
+  std::vector<std::thread> producers;
+  for (int src = 0; src < kProducers; ++src) {
+    producers.emplace_back([&box, src]() {
+      for (uint32_t seq = 0; seq < kPerProducer; ++seq) {
+        WorkItem item;
+        item.msg.src = src;
+        item.msg.dst = 0;
+        item.msg.body = TimerFire{MakeTxnId(src, seq), 0};
+        box.Push(std::move(item));
+      }
+    });
+  }
+
+  std::vector<uint32_t> next(kProducers, 0);
+  uint64_t received = 0;
+  uint64_t batches = 0;
+  std::deque<WorkItem> batch;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+    ASSERT_TRUE(box.DrainUntil(deadline, &batch)) << "timed out after " << received;
+    ASSERT_FALSE(batch.empty());
+    ++batches;
+    for (const WorkItem& item : batch) {
+      const auto& t = std::get<TimerFire>(item.msg.body);
+      const int src = TxnClient(t.txn_id);
+      const uint32_t seq = TxnSeq(t.txn_id);
+      ASSERT_EQ(seq, next[src]) << "out-of-order delivery from producer " << src;
+      next[src] = seq + 1;
+      ++received;
+    }
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_TRUE(box.Empty());
+  EXPECT_EQ(box.pushed(), box.popped());
+  // The whole point: far fewer lock acquisitions than messages.
+  EXPECT_LT(batches, received);
+}
+
+TEST(Mailbox, DrainUntilTimesOutWhenEmpty) {
+  Mailbox box;
+  std::deque<WorkItem> batch;
+  EXPECT_FALSE(box.DrainUntil(std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
+                              &batch));
+  EXPECT_TRUE(batch.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Parallel runtime: the same workload/seed runs on real threads; both modes
 // must satisfy final-state serializability (serial replay of each partition's
