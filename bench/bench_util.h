@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
@@ -39,6 +40,48 @@ struct BenchFlags {
 inline std::string FmtInt(double v) { return StrFormat("%.0f", v); }
 inline std::string FmtPct(double v) { return StrFormat("%.1f%%", v * 100.0); }
 inline std::string Fmt2(double v) { return StrFormat("%.2f", v); }
+
+/// Per-scheme result of a self-verifying bench run.
+struct SchemeResult {
+  CcSchemeKind scheme;
+  Metrics m;
+};
+
+/// Writes the machine-readable results file the perf-tracking CI compares
+/// across PRs (tools/check_bench.py): bench name, scalar config fields, and
+/// per-scheme throughput + committed count + latency percentiles. Returns
+/// false (after printing) when the file cannot be written.
+inline bool WriteSchemeJson(const std::string& path, const char* bench_name,
+                            const std::vector<std::pair<const char*, long long>>& config,
+                            const std::vector<SchemeResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name);
+  for (const auto& [key, value] : config) {
+    std::fprintf(f, "  \"%s\": %lld,\n", key, value);
+  }
+  std::fprintf(f, "  \"schemes\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Metrics& m = results[i].m;
+    std::fprintf(f,
+                 "    {\"scheme\": \"%s\", \"txn_per_sec\": %.0f, "
+                 "\"committed\": %llu, "
+                 "\"sp_p50_us\": %.1f, \"sp_p99_us\": %.1f, "
+                 "\"mp_p50_us\": %.1f, \"mp_p99_us\": %.1f}%s\n",
+                 CcSchemeName(results[i].scheme), m.Throughput(),
+                 static_cast<unsigned long long>(m.committed),
+                 m.sp_latency.Percentile(50) / 1000.0, m.sp_latency.Percentile(99) / 1000.0,
+                 m.mp_latency.Percentile(50) / 1000.0, m.mp_latency.Percentile(99) / 1000.0,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
 
 /// Final-state serializability check shared by the self-verifying benches:
 /// replays each partition's commit log serially on a fresh engine and

@@ -3,13 +3,16 @@
 // count. Expected shape: speculation best (paper: +9.7% over blocking, +63%
 // over locking at 20 warehouses); blocking close behind; locking lowest but
 // improving with more warehouses as per-district conflicts thin out.
+//
+// Drives the public Database/Session ingress path: TPC-C registered as
+// stored procedures, closed-loop clients over sessions on the deterministic
+// simulator (bit-for-bit the legacy Cluster harness's figures).
 #include <memory>
 
 #include "bench_util.h"
 #include "common/flags.h"
-#include "runtime/cluster.h"
-#include "tpcc/tpcc_engine.h"
-#include "tpcc/tpcc_workload.h"
+#include "db/closed_loop.h"
+#include "tpcc/tpcc_procedures.h"
 
 using namespace partdb;
 using namespace partdb::tpcc;
@@ -41,14 +44,15 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(w), Fmt2(wl.MultiPartitionProbability())};
     for (CcSchemeKind scheme :
          {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = static_cast<int>(*clients);
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeTpccEngineFactory(wl.scale, cfg.seed),
-                      std::make_unique<TpccWorkload>(wl));
-      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      auto db = Database::Open(TpccDbOptions(wl.scale, scheme, RunMode::kSimulated,
+                                             static_cast<int>(*clients),
+                                             static_cast<uint64_t>(*bench.seed)));
+      ClosedLoopOptions loop;
+      loop.num_clients = static_cast<int>(*clients);
+      loop.next = TpccInvocations(wl, *db);
+      loop.warmup = bench.warmup();
+      loop.measure = bench.measure();
+      Metrics m = RunClosedLoop(*db, loop);
       row.push_back(FmtInt(m.Throughput()));
     }
     table.AddRow(row);

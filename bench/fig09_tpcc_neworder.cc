@@ -6,14 +6,17 @@
 // and local + distributed deadlocks. Also reports the §5.6 lock-manager time
 // profile (paper: 34% of execution time at 10% MP — 14% acquire, 12% lock
 // table, 6% release).
+//
+// Drives the public Database/Session ingress path: TPC-C registered as
+// stored procedures, closed-loop clients over sessions on the deterministic
+// simulator (bit-for-bit the legacy Cluster harness's figures).
 #include <cmath>
 #include <memory>
 
 #include "bench_util.h"
 #include "common/flags.h"
-#include "runtime/cluster.h"
-#include "tpcc/tpcc_engine.h"
-#include "tpcc/tpcc_workload.h"
+#include "db/closed_loop.h"
+#include "tpcc/tpcc_procedures.h"
 
 using namespace partdb;
 using namespace partdb::tpcc;
@@ -75,14 +78,15 @@ int main(int argc, char** argv) {
     uint64_t deadlocks = 0, timeouts = 0;
     for (CcSchemeKind scheme :
          {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = static_cast<int>(*clients);
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeTpccEngineFactory(wl.scale, cfg.seed),
-                      std::make_unique<TpccWorkload>(wl));
-      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      auto db = Database::Open(TpccDbOptions(wl.scale, scheme, RunMode::kSimulated,
+                                             static_cast<int>(*clients),
+                                             static_cast<uint64_t>(*bench.seed)));
+      ClosedLoopOptions loop;
+      loop.num_clients = static_cast<int>(*clients);
+      loop.next = TpccInvocations(wl, *db);
+      loop.warmup = bench.warmup();
+      loop.measure = bench.measure();
+      Metrics m = RunClosedLoop(*db, loop);
       row.push_back(FmtInt(m.Throughput()));
       if (scheme == CcSchemeKind::kLocking) {
         lock_pct = m.LockTimeFraction();

@@ -22,11 +22,6 @@ using namespace partdb;
 
 namespace {
 
-struct SchemeResult {
-  CcSchemeKind scheme;
-  Metrics m;
-};
-
 DbOptions MakeDbOptions(CcSchemeKind scheme, RunMode mode, const MicrobenchConfig& mb,
                         uint64_t seed, bool log_commits) {
   DbOptions opts;
@@ -76,7 +71,6 @@ int main(int argc, char** argv) {
     loop.num_clients = mb.num_clients;
     loop.proc = db->proc(kKvReadUpdateProc);
     loop.next_args = WorkloadArgs(&workload);
-    loop.seed = seed;
     loop.warmup = bench.warmup();
     loop.measure = bench.measure();
     Metrics m = RunClosedLoop(*db, loop);
@@ -112,7 +106,6 @@ int main(int argc, char** argv) {
     loop.num_clients = mb.num_clients;
     loop.proc = db->proc(kKvReadUpdateProc);
     loop.next_args = WorkloadArgs(&workload);
-    loop.seed = seed;
     loop.warmup = bench.warmup();
     loop.measure = bench.measure();
     Metrics sm = RunClosedLoop(*db, loop);
@@ -123,34 +116,13 @@ int main(int argc, char** argv) {
   }
 
   if (!json->empty()) {
-    std::FILE* f = std::fopen(json->c_str(), "w");
-    if (f == nullptr) {
-      std::printf("ERROR: cannot write %s\n", json->c_str());
-      ok = false;
-    } else {
-      std::fprintf(f, "{\n  \"bench\": \"parallel_throughput\",\n");
-      std::fprintf(f, "  \"partitions\": %d,\n  \"clients\": %d,\n  \"mp_pct\": %d,\n",
-                   mb.num_partitions, mb.num_clients, static_cast<int>(*mp_pct));
-      std::fprintf(f, "  \"measure_ms\": %lld,\n",
-                   static_cast<long long>(*bench.measure_ms));
-      std::fprintf(f, "  \"schemes\": [\n");
-      for (size_t i = 0; i < results.size(); ++i) {
-        const Metrics& m = results[i].m;
-        std::fprintf(f,
-                     "    {\"scheme\": \"%s\", \"txn_per_sec\": %.0f, "
-                     "\"committed\": %llu, "
-                     "\"sp_p50_us\": %.1f, \"sp_p99_us\": %.1f, "
-                     "\"mp_p50_us\": %.1f, \"mp_p99_us\": %.1f}%s\n",
-                     CcSchemeName(results[i].scheme), m.Throughput(),
-                     static_cast<unsigned long long>(m.committed),
-                     m.sp_latency.Percentile(50) / 1000.0, m.sp_latency.Percentile(99) / 1000.0,
-                     m.mp_latency.Percentile(50) / 1000.0, m.mp_latency.Percentile(99) / 1000.0,
-                     i + 1 == results.size() ? "" : ",");
-      }
-      std::fprintf(f, "  ]\n}\n");
-      std::fclose(f);
-      std::printf("wrote %s\n", json->c_str());
-    }
+    ok = WriteSchemeJson(*json, "parallel_throughput",
+                         {{"partitions", mb.num_partitions},
+                          {"clients", mb.num_clients},
+                          {"mp_pct", *mp_pct},
+                          {"measure_ms", *bench.measure_ms}},
+                         results) &&
+         ok;
   }
 
   return ok ? 0 : 1;

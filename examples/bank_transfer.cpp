@@ -93,7 +93,8 @@ class BankEngine : public Engine {
     return res;
   }
 
-  void LockSet(const Payload& payload, int /*round*/, std::vector<LockRequest>* out) const override {
+  void LockSet(const Payload& payload, int /*round*/,
+               std::vector<LockRequest>* out) const override {
     const auto& a = PayloadCast<TransferArgs>(payload);
     if (PartitionOf(a.from) == pid_) {
       out->push_back({Mix64(static_cast<uint64_t>(a.from)), true});

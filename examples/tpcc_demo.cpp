@@ -1,16 +1,17 @@
 // tpcc_demo: run the full TPC-C mix (the paper's §5.5 configuration) under
-// all four schemes, then verify the TPC-C consistency conditions on the
-// final database — the workload the paper's introduction motivates.
+// all four schemes through the public embedded API — TPC-C registered as
+// stored procedures, closed-loop clients over Database/Session on the
+// deterministic simulator — then verify the TPC-C consistency conditions on
+// the final database, the workload the paper's introduction motivates.
 //
-//   $ ./build/examples/tpcc_demo
+//   $ ./build/example_tpcc_demo
 //
 #include <cstdio>
 #include <memory>
 
-#include "runtime/cluster.h"
+#include "db/closed_loop.h"
 #include "tpcc/tpcc_consistency.h"
-#include "tpcc/tpcc_engine.h"
-#include "tpcc/tpcc_workload.h"
+#include "tpcc/tpcc_procedures.h"
 
 using namespace partdb;
 using namespace partdb::tpcc;
@@ -30,21 +31,22 @@ int main() {
       workload.pct_payment, 100 - workload.pct_new_order - workload.pct_payment,
       workload.MultiPartitionProbability() * 100);
 
+  const int kClients = 40;
   for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
                               CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
-    ClusterConfig config;
-    config.scheme = scheme;
-    config.num_partitions = workload.scale.num_partitions;
-    config.num_clients = 40;
-
-    Cluster cluster(config, MakeTpccEngineFactory(workload.scale, config.seed),
-                    std::make_unique<TpccWorkload>(workload));
-    Metrics m = cluster.Run(Micros(100000), Micros(500000));
-    cluster.Quiesce();
+    auto db = Database::Open(TpccDbOptions(workload.scale, scheme, RunMode::kSimulated,
+                                           kClients, /*seed=*/12345));
+    ClosedLoopOptions loop;
+    loop.num_clients = kClients;
+    loop.next = TpccInvocations(workload, *db);
+    loop.warmup = Micros(100000);
+    loop.measure = Micros(500000);
+    Metrics m = RunClosedLoop(*db, loop);
+    db->Close();  // drains the cluster to a quiescent state
 
     std::vector<const TpccDb*> dbs;
-    for (PartitionId p = 0; p < config.num_partitions; ++p) {
-      dbs.push_back(&static_cast<TpccEngine&>(cluster.engine(p)).db());
+    for (PartitionId p = 0; p < workload.scale.num_partitions; ++p) {
+      dbs.push_back(&static_cast<TpccEngine&>(db->cluster().engine(p)).db());
     }
     const auto violations = CheckConsistency(dbs);
 

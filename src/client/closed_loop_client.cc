@@ -1,0 +1,15 @@
+#include "client/closed_loop_client.h"
+
+namespace partdb {
+
+void ClosedLoopClient::Kick() { IssueNext(); }
+
+void ClosedLoopClient::IssueNext() {
+  TxnRequest req = workload_->Next(index_, actor_.rng());
+  actor_.SubmitRouted(std::move(req.args), req.routing(),
+                      [this, stop = stopped_](const TxnResult&) {
+                        if (!stop->load(std::memory_order_relaxed)) IssueNext();
+                      });
+}
+
+}  // namespace partdb

@@ -1,0 +1,54 @@
+// Closed-loop bench client (paper §5: no think time; issues the next request
+// as soon as the previous response arrives), built on the unified
+// SessionActor client library: the completion callback draws the next
+// transaction from the Workload and resubmits inline, so one logical client
+// keeps exactly one transaction in flight. This replaced the dedicated
+// ClientActor; the 2PC/retry machinery lives solely in SessionActor now.
+#ifndef PARTDB_CLIENT_CLOSED_LOOP_CLIENT_H_
+#define PARTDB_CLIENT_CLOSED_LOOP_CLIENT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "client/session_actor.h"
+#include "client/workload.h"
+
+namespace partdb {
+
+class ClosedLoopClient {
+ public:
+  ClosedLoopClient(std::string name, int client_index, Workload* workload, Topology topology,
+                   CcSchemeKind scheme, const CostModel& cost, uint64_t seed)
+      : actor_(std::move(name), /*router=*/nullptr, workload, std::move(topology), scheme,
+               cost, seed),
+        workload_(workload),
+        index_(client_index),
+        stopped_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// The underlying ingress actor (bind it into the cluster, point it at a
+  /// metrics sink).
+  SessionActor& actor() { return actor_; }
+
+  /// Issues the first request; call once, before traffic starts (the
+  /// generator touches the actor's rng from the calling thread).
+  void Kick();
+
+  /// Stops issuing new transactions once the in-flight one completes
+  /// (lets tests drain the cluster to a quiescent state). Thread-safe.
+  void Stop() { stopped_->store(true, std::memory_order_relaxed); }
+
+ private:
+  void IssueNext();
+
+  SessionActor actor_;
+  Workload* workload_;
+  int index_;
+  // Shared with the completion callback: the final callback may run while
+  // this client is being torn down, after which it must not touch `this`.
+  std::shared_ptr<std::atomic<bool>> stopped_;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_CLIENT_CLOSED_LOOP_CLIENT_H_

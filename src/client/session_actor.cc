@@ -1,0 +1,311 @@
+#include "client/session_actor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+TxnId SessionActor::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
+  PARTDB_CHECK(args != nullptr);  // fail at the call site, not on the worker
+  PARTDB_CHECK(router_ != nullptr);
+  PendingSubmit p;
+  p.proc = proc;
+  p.args = std::move(args);
+  p.cb = std::move(cb);
+  return Enqueue(std::move(p));
+}
+
+TxnId SessionActor::SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb) {
+  PARTDB_CHECK(args != nullptr);
+  PendingSubmit p;
+  p.args = std::move(args);
+  p.routed = true;
+  p.route = std::move(route);
+  p.cb = std::move(cb);
+  return Enqueue(std::move(p));
+}
+
+TxnId SessionActor::Enqueue(PendingSubmit p) {
+  // A submission made from within one of this actor's own handlers (a
+  // completion callback issuing the next closed-loop request) starts inline:
+  // the wake-up hop would only charge an extra client message and delay the
+  // send, and no other thread can be running this actor concurrently.
+  if (handler_thread_.load(std::memory_order_relaxed) == std::this_thread::get_id()) {
+    ActorContext& ctx = *handler_ctx_;
+    p.submit_time = ctx.now();
+    TxnId id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      id = MakeTxnId(node_id(), next_seq_++);
+      ++outstanding_;
+    }
+    p.id = id;
+    StartTxn(id, std::move(p), ctx);
+    return id;
+  }
+
+  // Latency is measured from here: ingress queueing (the wait until the
+  // session's worker drains the submission) is part of what the open-loop
+  // driver exists to observe.
+  p.submit_time = exec()->Now();
+  TxnId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = MakeTxnId(node_id(), next_seq_++);
+    p.id = id;
+    pending_.push_back(std::move(p));
+    ++outstanding_;
+  }
+  // Wake the actor on its own worker; SetTimer is safe from any thread.
+  exec()->SetTimer(node_id(), exec()->Now(), TimerFire{kInvalidTxn, 0});
+  return id;
+}
+
+bool SessionActor::WaitDrained(std::chrono::steady_clock::duration timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return drained_cv_.wait_for(lock, timeout, [&] { return outstanding_ == 0; });
+}
+
+void SessionActor::OnMessage(Message& msg, ActorContext& ctx) {
+  ctx.Charge(cost_.client_msg);
+  handler_ctx_ = &ctx;
+  handler_thread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  struct HandlerScope {
+    SessionActor* self;
+    ~HandlerScope() {
+      self->handler_thread_.store(std::thread::id(), std::memory_order_relaxed);
+      self->handler_ctx_ = nullptr;
+    }
+  } scope{this};
+
+  if (auto* t = std::get_if<TimerFire>(&msg.body)) {
+    if (t->txn_id == kInvalidTxn) {
+      DrainSubmissions(ctx);
+      return;
+    }
+    // Retry backoff expired.
+    auto it = txns_.find(t->txn_id);
+    if (it != txns_.end() && it->second.attempt == t->generation) {
+      SendCurrent(it->first, it->second, ctx);
+    }
+    return;
+  }
+  if (auto* r = std::get_if<ClientResponse>(&msg.body)) {
+    auto it = txns_.find(r->txn_id);
+    if (it == txns_.end()) return;  // stale
+    Complete(r->txn_id, r->committed, r->result,
+             std::max(it->second.attempt, r->attempt) + 1, ctx);
+    return;
+  }
+  if (auto* r = std::get_if<FragmentResponse>(&msg.body)) {
+    PARTDB_CHECK(scheme_ == CcSchemeKind::kLocking);
+    OnFragmentResponse(*r, ctx);
+    return;
+  }
+  PARTDB_CHECK(false);
+}
+
+void SessionActor::DrainSubmissions(ActorContext& ctx) {
+  std::deque<PendingSubmit> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(pending_);
+  }
+  for (PendingSubmit& p : batch) {
+    const TxnId id = p.id;
+    StartTxn(id, std::move(p), ctx);
+  }
+}
+
+void SessionActor::StartTxn(TxnId id, PendingSubmit p, ActorContext& ctx) {
+  Txn t;
+  t.proc = p.proc;
+  t.args = std::move(p.args);
+  t.route = p.routed ? std::move(p.route) : router_(p.proc, *t.args);
+  PARTDB_CHECK(!t.route.participants.empty());
+  PARTDB_CHECK(t.route.rounds >= 1);
+  for (PartitionId part : t.route.participants) {
+    PARTDB_CHECK(part >= 0 && static_cast<size_t>(part) < topology_.partition_primary.size());
+  }
+  t.cb = std::move(p.cb);
+  t.issue_time = p.submit_time;
+  auto [it, inserted] = txns_.emplace(id, std::move(t));
+  PARTDB_CHECK(inserted);
+  SendCurrent(it->first, it->second, ctx);
+}
+
+void SessionActor::SendCurrent(TxnId id, Txn& t, ActorContext& ctx) {
+  if (t.route.single_partition()) {
+    FragmentRequest f;
+    f.txn_id = id;
+    f.attempt = t.attempt;
+    f.round = 0;
+    f.last_round = true;
+    f.multi_partition = false;
+    f.can_abort = t.route.can_abort;
+    f.coordinator = node_id();
+    f.args = t.args;
+    ctx.Send(topology_.partition_primary[t.route.participants[0]], std::move(f));
+    return;
+  }
+  if (scheme_ != CcSchemeKind::kLocking) {
+    ClientRequest r;
+    r.txn_id = id;
+    r.attempt = t.attempt;
+    r.proc = t.proc;
+    r.args = t.args;
+    r.participants = t.route.participants;
+    r.num_rounds = t.route.rounds;
+    r.can_abort = t.route.can_abort;
+    ctx.Send(topology_.coordinator, std::move(r));
+    return;
+  }
+  // Locking: the session is the 2PC coordinator (paper §4.3).
+  t.round = 0;
+  SendLockingRound(id, t, nullptr, ctx);
+}
+
+void SessionActor::SendLockingRound(TxnId id, Txn& t, PayloadPtr round_input,
+                                    ActorContext& ctx) {
+  t.got.assign(t.route.participants.size(), false);
+  t.resp.assign(t.route.participants.size(), FragmentResponse{});
+  const bool last = t.round == t.route.rounds - 1;
+  for (PartitionId p : t.route.participants) {
+    FragmentRequest f;
+    f.txn_id = id;
+    f.attempt = t.attempt;
+    f.round = t.round;
+    f.last_round = last;
+    f.multi_partition = true;
+    f.can_abort = t.route.can_abort;
+    f.coordinator = node_id();
+    f.args = t.args;
+    f.round_input = round_input;
+    ctx.Send(topology_.partition_primary[p], std::move(f));
+  }
+}
+
+void SessionActor::OnFragmentResponse(FragmentResponse& r, ActorContext& ctx) {
+  auto it = txns_.find(r.txn_id);
+  if (it == txns_.end()) return;  // stale
+  Txn& t = it->second;
+  if (r.attempt != t.attempt || r.round != t.round) return;  // stale round
+  auto pi = std::find(t.route.participants.begin(), t.route.participants.end(), r.partition);
+  PARTDB_CHECK(pi != t.route.participants.end());
+  const size_t idx = static_cast<size_t>(pi - t.route.participants.begin());
+  if (t.got[idx]) return;
+  t.got[idx] = true;
+  t.resp[idx] = r;
+  for (bool g : t.got) {
+    if (!g) return;
+  }
+  // Round complete.
+  bool user_abort = false;
+  bool system_abort = false;
+  for (const auto& fr : t.resp) {
+    if (fr.vote == Vote::kAbort) {
+      if (fr.system_abort) {
+        system_abort = true;
+      } else {
+        user_abort = true;
+      }
+    }
+  }
+  if (system_abort) {
+    FinishLockingTxn(r.txn_id, t, false, /*retry=*/true, ctx);
+    return;
+  }
+  if (user_abort) {
+    FinishLockingTxn(r.txn_id, t, false, /*retry=*/false, ctx);
+    return;
+  }
+  if (t.round < t.route.rounds - 1) {
+    std::vector<std::pair<PartitionId, PayloadPtr>> prev;
+    for (size_t i = 0; i < t.route.participants.size(); ++i) {
+      prev.emplace_back(t.route.participants[i], t.resp[i].result);
+    }
+    PayloadPtr input = continuations_ == nullptr
+                           ? nullptr
+                           : continuations_->NextRoundInput(t.proc, *t.args, t.round + 1, prev);
+    t.round++;
+    SendLockingRound(r.txn_id, t, std::move(input), ctx);
+    return;
+  }
+  FinishLockingTxn(r.txn_id, t, true, false, ctx);
+}
+
+void SessionActor::FinishLockingTxn(TxnId id, Txn& t, bool commit, bool retry,
+                                    ActorContext& ctx) {
+  for (PartitionId p : t.route.participants) {
+    ctx.Send(topology_.partition_primary[p], DecisionMessage{id, t.attempt, commit});
+  }
+  if (retry) {
+    if (metrics_->recording) metrics_->txn_retries++;
+    t.attempt++;
+    // Jittered backoff so the same transactions do not re-deadlock in
+    // lockstep (the paper resolves distributed deadlock by timeout; retry
+    // policy is the client library's).
+    const Duration backoff = static_cast<Duration>(rng_.Uniform(Micros(500)));
+    ctx.SetTimer(backoff, TimerFire{id, t.attempt});
+    return;
+  }
+  PayloadPtr result;
+  if (commit) {
+    for (const auto& fr : t.resp) {
+      if (fr.result != nullptr) {
+        result = fr.result;
+        break;
+      }
+    }
+  }
+  Complete(id, commit, std::move(result), t.attempt + 1, ctx);
+}
+
+void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_t attempts,
+                            ActorContext& ctx) {
+  auto it = txns_.find(id);
+  PARTDB_CHECK(it != txns_.end());
+  Txn t = std::move(it->second);
+  txns_.erase(it);
+
+  const bool sp = t.route.single_partition();
+  if (metrics_->recording) {
+    if (committed) {
+      metrics_->committed++;
+      if (sp) {
+        metrics_->sp_committed++;
+      } else {
+        metrics_->mp_committed++;
+      }
+    } else {
+      metrics_->user_aborts++;
+    }
+    const Duration lat = ctx.now() - t.issue_time;
+    if (sp) {
+      metrics_->sp_latency.Add(lat);
+    } else {
+      metrics_->mp_latency.Add(lat);
+    }
+  }
+
+  TxnResult r;
+  r.committed = committed;
+  r.latency_ns = ctx.now() - t.issue_time;
+  r.attempts = attempts;
+  r.payload = committed ? std::move(result) : nullptr;
+
+  // The callback runs before outstanding_ drops: a Drain that returns must
+  // observe every completion's side effects (it may also Submit again —
+  // closed-loop drivers — which keeps the session non-drained, correctly).
+  if (t.cb) t.cb(r);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PARTDB_CHECK(outstanding_ > 0);
+    --outstanding_;
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace partdb

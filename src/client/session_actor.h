@@ -1,0 +1,173 @@
+// SessionActor: the one client-library ingress actor of the system — the
+// paper's client library (§3.1/§4.3) as an actor bound into the cluster. It
+// owns the in-flight bookkeeping for every transaction submitted through it:
+// single-partition invocations go straight to the owning partition,
+// multi-partition ones go through the central coordinator under
+// blocking/speculation, and under locking the actor itself runs the 2PC
+// rounds and retries deadlock victims with jittered backoff. This is the only
+// client-side 2PC implementation; both ingress styles build on it:
+//
+//  - open loop: the db layer's Session handle (any number of transactions in
+//    flight, Submit from any thread),
+//  - closed loop: the internal bench tier's ClosedLoopClient (at most one in
+//    flight, the completion callback submits the next request).
+//
+// Submissions arriving from foreign threads are queued and drained on the
+// actor's own worker. Submissions made from within one of this actor's own
+// handlers (a completion callback resubmitting — the closed-loop pattern)
+// start inline, with no extra wake-up message and no extra CPU charge, so a
+// closed loop over a session costs exactly what the legacy dedicated client
+// actor used to cost — in the simulator this keeps metrics bit-for-bit
+// identical to the pre-session harness.
+#ifndef PARTDB_CLIENT_SESSION_ACTOR_H_
+#define PARTDB_CLIENT_SESSION_ACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/cc_scheme.h"
+#include "client/workload.h"
+#include "common/rng.h"
+#include "coord/txn_continuations.h"
+#include "engine/cost_model.h"
+#include "runtime/actor.h"
+#include "runtime/metrics.h"
+
+namespace partdb {
+
+/// Outcome of one transaction, as observed by the submitting session.
+struct TxnResult {
+  /// True when the transaction committed; false means a user abort (system
+  /// aborts — deadlock victims, timeouts — are retried internally and never
+  /// surface here).
+  bool committed = false;
+  /// Submission-to-completion latency (wall-clock in parallel mode, virtual
+  /// time in simulation).
+  Duration latency_ns = 0;
+  /// 1 + the number of system-induced retries this transaction needed.
+  uint32_t attempts = 1;
+  /// Last round's result payload (engine-defined; null on abort).
+  PayloadPtr payload;
+};
+
+/// Runs on the session's worker thread (parallel mode) or inside the sim
+/// pump (simulated mode). Must not block; it may submit new transactions.
+using TxnCallback = std::function<void(const TxnResult&)>;
+
+/// Derives routing facts for a registered procedure invocation (the db layer
+/// passes its ProcedureRegistry's router). Must be deterministic in the
+/// arguments. May be null when only SubmitRouted is used.
+using ProcRouter = std::function<TxnRouting(ProcId proc, const Payload& args)>;
+
+class SessionActor : public Actor {
+ public:
+  /// `continuations` supplies coordinator-style round inputs when this actor
+  /// self-coordinates multi-round 2PC under locking (the db layer passes its
+  /// ProcedureRegistry, the legacy bench tier its Workload).
+  SessionActor(std::string name, ProcRouter router, TxnContinuations* continuations,
+               Topology topology, CcSchemeKind scheme, const CostModel& cost, uint64_t seed)
+      : Actor(std::move(name)),
+        router_(std::move(router)),
+        continuations_(continuations),
+        topology_(std::move(topology)),
+        scheme_(scheme),
+        cost_(cost),
+        rng_(seed) {}
+
+  void set_metrics(Metrics* m) { metrics_ = m; }
+
+  /// Queues one invocation and wakes the actor. Thread-safe; returns the
+  /// assigned transaction id. Routing comes from the actor's ProcRouter.
+  TxnId Submit(ProcId proc, PayloadPtr args, TxnCallback cb);
+
+  /// Like Submit, but with caller-supplied routing (the legacy Workload path,
+  /// where the generator derives routing alongside the arguments).
+  TxnId SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb);
+
+  /// Queued + in-flight transactions. Thread-safe.
+  uint64_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_;
+  }
+
+  /// Blocks until outstanding() == 0 (parallel mode; the sim pump drains
+  /// simulated sessions). Returns false on timeout.
+  bool WaitDrained(std::chrono::steady_clock::duration timeout);
+
+  /// The actor's private random stream (client stream `index` when seeded via
+  /// ClientStreamSeed). Owned by the actor's worker: callers may touch it
+  /// only from within this actor's callbacks, or before any traffic reaches
+  /// the actor (a closed-loop driver generating its first request).
+  Rng& rng() { return rng_; }
+
+ protected:
+  void OnMessage(Message& msg, ActorContext& ctx) override;
+
+ private:
+  struct PendingSubmit {
+    TxnId id = kInvalidTxn;
+    ProcId proc = kInvalidProc;
+    PayloadPtr args;
+    bool routed = false;  // `route` below is authoritative (SubmitRouted)
+    TxnRouting route;
+    TxnCallback cb;
+    Time submit_time = 0;  // latency measures from submission, not pickup
+  };
+
+  struct Txn {
+    ProcId proc = kInvalidProc;
+    PayloadPtr args;
+    TxnRouting route;
+    TxnCallback cb;
+    Time issue_time = 0;
+    uint32_t attempt = 0;
+    // Locking-mode 2PC round state.
+    int round = 0;
+    std::vector<bool> got;
+    std::vector<FragmentResponse> resp;
+  };
+
+  TxnId Enqueue(PendingSubmit p);
+  void DrainSubmissions(ActorContext& ctx);
+  void StartTxn(TxnId id, PendingSubmit p, ActorContext& ctx);
+  void SendCurrent(TxnId id, Txn& t, ActorContext& ctx);
+  void SendLockingRound(TxnId id, Txn& t, PayloadPtr round_input, ActorContext& ctx);
+  void OnFragmentResponse(FragmentResponse& r, ActorContext& ctx);
+  void FinishLockingTxn(TxnId id, Txn& t, bool commit, bool retry, ActorContext& ctx);
+  void Complete(TxnId id, bool committed, PayloadPtr result, uint32_t attempts,
+                ActorContext& ctx);
+
+  ProcRouter router_;
+  TxnContinuations* continuations_;
+  Topology topology_;
+  CcSchemeKind scheme_;
+  CostModel cost_;
+  Metrics* metrics_ = nullptr;
+  Rng rng_;
+
+  // Shared with submitting threads.
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::deque<PendingSubmit> pending_;
+  uint64_t outstanding_ = 0;
+  uint32_t next_seq_ = 0;
+
+  // Owned by the actor's worker (or the sim pump).
+  std::unordered_map<TxnId, Txn> txns_;
+
+  // Set for the duration of OnMessage so Enqueue can detect a submission made
+  // from within one of this actor's own handlers and start it inline.
+  std::atomic<std::thread::id> handler_thread_{};
+  ActorContext* handler_ctx_ = nullptr;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_CLIENT_SESSION_ACTOR_H_

@@ -14,6 +14,18 @@
 
 namespace partdb {
 
+/// Routing facts the client library derives from a transaction's arguments
+/// (paper §3.1): which partitions participate, how many communication rounds,
+/// and whether the transaction may user-abort (and therefore needs undo on
+/// fast paths).
+struct TxnRouting {
+  std::vector<PartitionId> participants;
+  int rounds = 1;
+  bool can_abort = false;
+
+  bool single_partition() const { return participants.size() == 1 && rounds == 1; }
+};
+
 /// One transaction to run: arguments plus routing facts the client library
 /// derives from the catalog (paper §3.1).
 struct TxnRequest {
@@ -23,6 +35,7 @@ struct TxnRequest {
   bool can_abort = false;
 
   bool single_partition() const { return participants.size() == 1 && rounds == 1; }
+  TxnRouting routing() const { return TxnRouting{participants, rounds, can_abort}; }
 };
 
 class Workload : public TxnContinuations {

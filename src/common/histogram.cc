@@ -64,9 +64,9 @@ double Histogram::Percentile(double p) const {
     if (static_cast<double>(next) >= target) {
       const int64_t lo = i == 0 ? 0 : BucketLimit(i - 1);
       const int64_t hi = BucketLimit(i);
-      const double frac =
-          buckets_[i] == 0 ? 0.0
-                           : (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      const double frac = buckets_[i] == 0 ? 0.0
+                                           : (target - static_cast<double>(seen)) /
+                                                 static_cast<double>(buckets_[i]);
       double v = static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
       if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
       if (v > static_cast<double>(max_)) v = static_cast<double>(max_);

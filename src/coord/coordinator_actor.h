@@ -15,8 +15,8 @@
 #include "coord/txn_continuations.h"
 #include "engine/cost_model.h"
 #include "msg/message.h"
-#include "runtime/metrics.h"
 #include "runtime/actor.h"
+#include "runtime/metrics.h"
 
 namespace partdb {
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -21,23 +22,23 @@ namespace {
 /// callback has a stable address; all fields after construction are touched
 /// only from the client's session worker (or the sim pump).
 struct ClientLoop {
-  Database* db = nullptr;
-  ProcId proc = kInvalidProc;
-  ArgsGenerator next_args;
-  Rng rng{0};
+  InvocationGenerator next;
   int index = 0;
   std::shared_ptr<std::atomic<bool>> stop;
   // Last member: its destructor (Session::Drain) must run before the fields
-  // the completion callback reads (next_args, rng) are destroyed.
+  // the completion callback reads (next) are destroyed.
   std::unique_ptr<Session> session;
 
   void IssueNext() {
-    PayloadPtr args = next_args(index, rng);
+    // The client draws from its session actor's stream — client c of a run is
+    // always session slot c, so the draw sequence matches the legacy
+    // dedicated-client harness.
+    Invocation inv = next(index, session->actor().rng());
     // The stop flag is captured by value: the final completion callback runs
     // while ~ClientLoop is draining the session, after the members have begun
     // destructing. Once stop is set (always before destruction), the callback
     // must not touch `this` at all.
-    session->Submit(proc, std::move(args),
+    session->Submit(inv.proc, std::move(inv.args),
                     [this, stop_flag = stop](const TxnResult&) {
                       if (!stop_flag->load(std::memory_order_relaxed)) IssueNext();
                     });
@@ -48,18 +49,21 @@ struct ClientLoop {
 
 Metrics RunClosedLoop(Database& db, const ClosedLoopOptions& options) {
   PARTDB_CHECK(options.num_clients >= 1);
-  PARTDB_CHECK(options.proc != kInvalidProc);
-  PARTDB_CHECK(options.next_args != nullptr);
+  InvocationGenerator next = options.next;
+  if (next == nullptr) {
+    PARTDB_CHECK(options.proc != kInvalidProc);
+    PARTDB_CHECK(options.next_args != nullptr);
+    next = [proc = options.proc, args = options.next_args](int c, Rng& rng) {
+      return Invocation{proc, args(c, rng)};
+    };
+  }
 
   auto stop = std::make_shared<std::atomic<bool>>(false);
   std::vector<std::unique_ptr<ClientLoop>> clients;
   for (int c = 0; c < options.num_clients; ++c) {
     auto cl = std::make_unique<ClientLoop>();
-    cl->db = &db;
     cl->session = db.CreateSession();
-    cl->proc = options.proc;
-    cl->next_args = options.next_args;
-    cl->rng.Seed(Mix64(options.seed ^ (0x9e37u + static_cast<uint64_t>(c) * 0x1357ull)));
+    cl->next = next;
     cl->index = c;
     cl->stop = stop;
     clients.push_back(std::move(cl));

@@ -1,9 +1,13 @@
-// Closed-loop driver over sessions: the legacy ClientActor/Workload bench
-// path re-expressed through the public Database/Session API. N logical
-// clients each own a session and keep exactly one transaction in flight —
-// the completion callback generates and submits the next one (paper §5: no
-// think time). Works on both execution contexts: wall-clock warmup/measure
-// windows in parallel mode, virtual-clock windows in simulation.
+// Closed-loop driver over sessions: the legacy bench path re-expressed
+// through the public Database/Session API. N logical clients each own a
+// session and keep exactly one transaction in flight — the completion
+// callback generates and submits the next one (paper §5: no think time).
+// Client c draws from the database's session-slot-c random stream
+// (ClientStreamSeed), and resubmissions start inline on the session's actor,
+// so in simulated mode a closed loop over sessions reproduces the legacy
+// dedicated-client harness bit-for-bit. Works on both execution contexts:
+// wall-clock warmup/measure windows in parallel mode, virtual-clock windows
+// in simulation.
 #ifndef PARTDB_DB_CLOSED_LOOP_H_
 #define PARTDB_DB_CLOSED_LOOP_H_
 
@@ -15,8 +19,18 @@
 
 namespace partdb {
 
-/// Generates the arguments of the next invocation for one logical client.
-/// Runs on the session's worker thread (parallel) or inside the sim pump.
+/// One invocation of a registered procedure.
+struct Invocation {
+  ProcId proc = kInvalidProc;
+  PayloadPtr args;
+};
+
+/// Generates the next invocation for one logical client. Runs on the
+/// session's worker thread (parallel) or inside the sim pump; `rng` is the
+/// client's session-owned stream.
+using InvocationGenerator = std::function<Invocation(int client_index, Rng& rng)>;
+
+/// Generates only arguments, for single-procedure loops.
 using ArgsGenerator = std::function<PayloadPtr(int client_index, Rng& rng)>;
 
 /// Adapter: draws arguments from a legacy Workload (routing is re-derived by
@@ -25,9 +39,11 @@ ArgsGenerator WorkloadArgs(Workload* workload);
 
 struct ClosedLoopOptions {
   int num_clients = 8;  // logical closed-loop clients, one session each
+  /// Mixed-procedure workloads set `next`; single-procedure loops may set
+  /// `proc` + `next_args` instead.
+  InvocationGenerator next;
   ProcId proc = kInvalidProc;
   ArgsGenerator next_args;
-  uint64_t seed = 12345;
   Duration warmup = Micros(20000);
   Duration measure = Micros(100000);
 };

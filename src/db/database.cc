@@ -35,15 +35,20 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
   cfg.force_locks = options_.force_locks;
   cluster_ = std::make_unique<Cluster>(cfg, options_.engine_factory, nullptr, &registry_);
 
+  ProcRouter router = [reg = &registry_](ProcId proc, const Payload& args) {
+    return reg->Get(proc).route(args);
+  };
   for (int i = 0; i < options_.max_sessions; ++i) {
+    // Session slot i draws from client stream i (ClientStreamSeed), and
+    // CreateSession hands slots out in ascending order, so a closed loop over
+    // sessions replays the legacy bench clients' streams exactly.
     auto actor = std::make_unique<SessionActor>(
-        "session-" + std::to_string(i), &registry_, cluster_->topology(), options_.scheme,
-        options_.cost,
-        Mix64(options_.seed ^ (0x5e55u + static_cast<uint64_t>(i) * 0x2467ull)));
+        "session-" + std::to_string(i), router, &registry_, cluster_->topology(),
+        options_.scheme, options_.cost, ClientStreamSeed(options_.seed, i));
     actor->set_metrics(cluster_->BindSession(i, actor.get()));
     session_actors_.push_back(std::move(actor));
-    free_slots_.push_back(i);
   }
+  for (int i = options_.max_sessions - 1; i >= 0; --i) free_slots_.push_back(i);
 
   if (options_.mode == RunMode::kParallel) cluster_->StartParallel();
 }

@@ -15,22 +15,12 @@
 #include <utility>
 #include <vector>
 
+#include "client/workload.h"
 #include "common/types.h"
 #include "coord/txn_continuations.h"
 #include "msg/payload.h"
 
 namespace partdb {
-
-/// Routing facts the client library derives from a procedure's arguments:
-/// which partitions participate, how many communication rounds, and whether
-/// the transaction may user-abort (and therefore needs undo on fast paths).
-struct TxnRouting {
-  std::vector<PartitionId> participants;
-  int rounds = 1;
-  bool can_abort = false;
-
-  bool single_partition() const { return participants.size() == 1 && rounds == 1; }
-};
 
 struct ProcedureDescriptor {
   std::string name;

@@ -1,138 +1,19 @@
 // Session: the submission endpoint of an embedded partdb Database. Many
 // sessions can exist concurrently (one per driver thread is the intended
-// pattern); each is backed by a SessionActor — an ingress actor bound into
-// the cluster that owns the in-flight bookkeeping for every transaction the
-// session has submitted. Unlike the closed-loop bench ClientActor (at most
-// one outstanding request), a session is open-loop: any number of
-// transactions can be in flight, which is what the Poisson load driver and
-// multi-threaded embeddings need.
-//
-// The actor mirrors the paper's client library (§3.1/§4.3): single-partition
-// invocations go straight to the owning partition, multi-partition ones go
-// through the central coordinator under blocking/speculation, and under
-// locking the session itself runs the 2PC rounds and retries deadlock
-// victims with jittered backoff.
+// pattern); each is a handle on a SessionActor — the client-library ingress
+// actor (src/client/session_actor.h) bound into the cluster. A session is
+// open-loop: any number of transactions can be in flight, which is what the
+// Poisson load driver and multi-threaded embeddings need.
 #ifndef PARTDB_DB_SESSION_H_
 #define PARTDB_DB_SESSION_H_
 
-#include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <mutex>
 #include <string_view>
-#include <unordered_map>
-#include <vector>
 
-#include "cc/cc_scheme.h"
-#include "client/workload.h"
-#include "common/rng.h"
-#include "db/procedure_registry.h"
-#include "engine/cost_model.h"
-#include "runtime/actor.h"
-#include "runtime/metrics.h"
+#include "client/session_actor.h"
 
 namespace partdb {
 
 class Database;
-
-/// Outcome of one transaction, as observed by the submitting session.
-struct TxnResult {
-  /// True when the transaction committed; false means a user abort (system
-  /// aborts — deadlock victims, timeouts — are retried internally and never
-  /// surface here).
-  bool committed = false;
-  /// Submission-to-completion latency (wall-clock in parallel mode, virtual
-  /// time in simulation).
-  Duration latency_ns = 0;
-  /// 1 + the number of system-induced retries this transaction needed.
-  uint32_t attempts = 1;
-  /// Last round's result payload (engine-defined; null on abort).
-  PayloadPtr payload;
-};
-
-/// Runs on the session's worker thread (parallel mode) or inside the sim
-/// pump (simulated mode). Must not block; it may submit new transactions.
-using TxnCallback = std::function<void(const TxnResult&)>;
-
-class SessionActor : public Actor {
- public:
-  SessionActor(std::string name, const ProcedureRegistry* registry, Topology topology,
-               CcSchemeKind scheme, const CostModel& cost, uint64_t seed)
-      : Actor(std::move(name)),
-        registry_(registry),
-        topology_(std::move(topology)),
-        scheme_(scheme),
-        cost_(cost),
-        rng_(seed) {}
-
-  void set_metrics(Metrics* m) { metrics_ = m; }
-
-  /// Queues one invocation and wakes the actor. Thread-safe; returns the
-  /// assigned transaction id. Routing comes from the procedure's router.
-  TxnId Submit(ProcId proc, PayloadPtr args, TxnCallback cb);
-
-  /// Queued + in-flight transactions. Thread-safe.
-  uint64_t outstanding() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return outstanding_;
-  }
-
-  /// Blocks until outstanding() == 0 (parallel mode; the sim pump drains
-  /// simulated sessions). Returns false on timeout.
-  bool WaitDrained(std::chrono::steady_clock::duration timeout);
-
- protected:
-  void OnMessage(Message& msg, ActorContext& ctx) override;
-
- private:
-  struct PendingSubmit {
-    TxnId id = kInvalidTxn;
-    ProcId proc = kInvalidProc;
-    PayloadPtr args;
-    TxnCallback cb;
-    Time submit_time = 0;  // latency measures from submission, not pickup
-  };
-
-  struct Txn {
-    ProcId proc = kInvalidProc;
-    PayloadPtr args;
-    TxnRouting route;
-    TxnCallback cb;
-    Time issue_time = 0;
-    uint32_t attempt = 0;
-    // Locking-mode 2PC round state.
-    int round = 0;
-    std::vector<bool> got;
-    std::vector<FragmentResponse> resp;
-  };
-
-  TxnId Enqueue(PendingSubmit p);
-  void DrainSubmissions(ActorContext& ctx);
-  void SendCurrent(TxnId id, Txn& t, ActorContext& ctx);
-  void SendLockingRound(TxnId id, Txn& t, PayloadPtr round_input, ActorContext& ctx);
-  void OnFragmentResponse(FragmentResponse& r, ActorContext& ctx);
-  void FinishLockingTxn(TxnId id, Txn& t, bool commit, bool retry, ActorContext& ctx);
-  void Complete(TxnId id, bool committed, PayloadPtr result, uint32_t attempts,
-                ActorContext& ctx);
-
-  const ProcedureRegistry* registry_;
-  Topology topology_;
-  CcSchemeKind scheme_;
-  CostModel cost_;
-  Metrics* metrics_ = nullptr;
-  Rng rng_;
-
-  // Shared with submitting threads.
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::deque<PendingSubmit> pending_;
-  uint64_t outstanding_ = 0;
-  uint32_t next_seq_ = 0;
-
-  // Owned by the actor's worker (or the sim pump).
-  std::unordered_map<TxnId, Txn> txns_;
-};
 
 /// Handle a driver thread submits through. Create via Database::CreateSession
 /// (thread-safe); destroy before the Database. The destructor drains any

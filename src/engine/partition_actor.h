@@ -11,8 +11,8 @@
 #include "cc/cc_scheme.h"
 #include "engine/cost_model.h"
 #include "engine/engine.h"
-#include "runtime/metrics.h"
 #include "runtime/actor.h"
+#include "runtime/metrics.h"
 
 namespace partdb {
 

@@ -42,7 +42,7 @@ void Cluster::ForEachMeasuredActor(const std::function<void(Actor*, Metrics*)>& 
   };
   for (auto& p : partitions_) sink(p.get());
   sink(coordinator_.get());
-  for (auto& c : clients_) sink(c.get());
+  for (auto& c : clients_) sink(&c->actor());
   for (Actor* s : sessions_) sink(s);
 }
 
@@ -141,13 +141,14 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
                                                     topo.partition_primary);
   coordinator_->Bind(exec_, coord_node);
 
-  // Clients.
+  // Closed-loop clients: one SessionActor-based loop per client, bound at the
+  // client's node and drawing from the client's legacy random stream.
   for (int c = 0; c < config_.num_clients; ++c) {
-    auto cl = std::make_unique<ClientActor>(
-        "client-" + std::to_string(c), c, workload_.get(), MetricsFor(c), topo,
-        config_.scheme, config_.cost,
-        Mix64(config_.seed ^ (0x9e37u + static_cast<uint64_t>(c) * 0x1357ull)));
-    cl->Bind(exec_, c);
+    auto cl = std::make_unique<ClosedLoopClient>("client-" + std::to_string(c), c,
+                                                 workload_.get(), topo, config_.scheme,
+                                                 config_.cost, ClientStreamSeed(config_.seed, c));
+    cl->actor().set_metrics(MetricsFor(c));
+    cl->actor().Bind(exec_, c);
     clients_.push_back(std::move(cl));
   }
 }
@@ -259,9 +260,7 @@ Metrics Cluster::StopParallel() {
   // Drain: stop load generation, let in-flight transactions finish, join.
   // Session traffic must have ceased before this is called (the db layer
   // waits for its sessions to drain).
-  for (auto& c : clients_) {
-    parallel_->RunOnOwner(c->node_id(), [&c]() { c->Stop(); });
-  }
+  for (auto& c : clients_) c->Stop();
   const bool drained = parallel_->WaitQuiescent(std::chrono::seconds(30));
   parallel_->Stop();
   PARTDB_CHECK(drained);

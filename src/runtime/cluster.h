@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "client/client_actor.h"
+#include "client/closed_loop_client.h"
 #include "client/workload.h"
 #include "coord/coordinator_actor.h"
 #include "engine/partition_actor.h"
@@ -150,7 +150,7 @@ class Cluster {
   std::unordered_map<NodeId, std::unique_ptr<Metrics>> actor_metrics_;
   std::unique_ptr<Workload> workload_;
   Topology topology_;
-  std::vector<std::unique_ptr<ClientActor>> clients_;
+  std::vector<std::unique_ptr<ClosedLoopClient>> clients_;
   std::unique_ptr<CoordinatorActor> coordinator_;
   std::vector<std::unique_ptr<PartitionActor>> partitions_;
   std::vector<std::vector<std::unique_ptr<BackupActor>>> backups_;  // [partition][replica]

@@ -75,8 +75,9 @@ uint64_t TpccDb::StateHash() const {
                          (static_cast<uint64_t>(r.remote_cnt) << 48)) ^
                HashDouble(r.ytd, 0x99));
   });
-  last_order_of_customer.ForEach(
-      [&](const uint64_t& k, const int32_t& o) { h ^= Mix64(k ^ (static_cast<uint64_t>(o) << 32)); });
+  last_order_of_customer.ForEach([&](const uint64_t& k, const int32_t& o) {
+    h ^= Mix64(k ^ (static_cast<uint64_t>(o) << 32));
+  });
   return h;
 }
 

@@ -1,0 +1,70 @@
+// TPC-C as registered stored procedures: the five transactions of the
+// paper's §5.5 workload expressed as ProcedureDescriptors for the
+// Database/Session ingress path. Each descriptor's router re-derives the
+// routing facts (home warehouse partition, remote stock/customer
+// participants, single round, no-undo user abort) from the TpccArgs payload —
+// the same facts the legacy closed-loop workload computed alongside the
+// arguments — and DrawTpccTxn generates the transaction mix with exactly the
+// legacy workload's per-client random stream consumption, so sim-mode figure
+// runs over sessions reproduce the pre-migration harness bit-for-bit.
+#ifndef PARTDB_TPCC_TPCC_PROCEDURES_H_
+#define PARTDB_TPCC_TPCC_PROCEDURES_H_
+
+#include <vector>
+
+#include "db/closed_loop.h"
+#include "db/procedure_registry.h"
+#include "tpcc/tpcc_engine.h"
+#include "tpcc/tpcc_workload.h"
+
+namespace partdb {
+namespace tpcc {
+
+// Names the TPC-C procedures register under.
+inline constexpr const char* kTpccNewOrderProc = "new_order";
+inline constexpr const char* kTpccPaymentProc = "payment";
+inline constexpr const char* kTpccOrderStatusProc = "order_status";
+inline constexpr const char* kTpccDeliveryProc = "delivery";
+inline constexpr const char* kTpccStockLevelProc = "stock_level";
+
+/// Name of the procedure `kind` registers under.
+const char* TpccProcName(TpccArgs::Kind kind);
+
+/// Routing facts for one TPC-C invocation: home-warehouse partition first,
+/// remote stock-supply / customer partitions after (first-seen order), one
+/// communication round. NewOrder's invalid-item abort validates before any
+/// write (paper modification #1), so no procedure needs undo (`can_abort`
+/// stays false).
+TxnRouting RouteTpcc(const TpccScale& scale, const Payload& args);
+
+/// Descriptors for all five transactions (register via DbOptions::procedures;
+/// pair with MakeTpccEngineFactory).
+std::vector<ProcedureDescriptor> TpccProcedures(const TpccScale& scale);
+
+/// One generated transaction: which procedure plus its arguments.
+struct TpccDraw {
+  TpccArgs::Kind kind;
+  PayloadPtr args;
+};
+
+/// Draws the next transaction for closed-loop client `client_index` (paper
+/// modification #3: each client has an assigned warehouse but picks a random
+/// district per request), consuming `rng` exactly as the legacy
+/// TpccWorkload::Next did.
+TpccDraw DrawTpccTxn(const TpccWorkloadConfig& config, int client_index, Rng& rng);
+
+/// Closed-loop generator over a database with TpccProcedures registered
+/// (resolves the five ProcIds up front; the returned generator is stateless
+/// beyond the client's rng).
+InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, Database& db);
+
+/// DbOptions preloaded for TPC-C: the engine factory, the five procedures,
+/// and the scale's partition count. Callers adjust mode/log_commits/etc.
+/// before Database::Open.
+DbOptions TpccDbOptions(const TpccScale& scale, CcSchemeKind scheme, RunMode mode,
+                        int sessions, uint64_t seed);
+
+}  // namespace tpcc
+}  // namespace partdb
+
+#endif  // PARTDB_TPCC_TPCC_PROCEDURES_H_

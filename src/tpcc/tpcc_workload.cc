@@ -1,27 +1,12 @@
 #include "tpcc/tpcc_workload.h"
 
-#include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "common/logging.h"
-#include "tpcc/tpcc_loader.h"
+#include "tpcc/tpcc_procedures.h"
 
 namespace partdb {
 namespace tpcc {
-
-namespace {
-// NURand C constants (fixed for the run; loader uses the same C for C_LAST).
-constexpr int32_t kCLast = 123;
-constexpr int32_t kCId = 259;
-constexpr int32_t kOlIid = 1177;
-
-int32_t RandomOtherWarehouse(Rng& rng, int32_t w, int num_warehouses) {
-  if (num_warehouses == 1) return w;
-  int32_t other = static_cast<int32_t>(rng.UniformRange(1, num_warehouses - 1));
-  if (other >= w) ++other;
-  return other;
-}
-}  // namespace
 
 double TpccWorkloadConfig::MultiPartitionProbability() const {
   // P(new order is MP) = 1 - E_L[(1 - r * q)^L], L uniform in 5..15, where
@@ -52,124 +37,15 @@ double TpccWorkloadConfig::MultiPartitionProbability() const {
 }
 
 TxnRequest TpccWorkload::Next(int client_index, Rng& rng) {
-  // Paper modification #3: fixed client count; each client has an assigned
-  // warehouse but picks a random district per request.
-  const int32_t w = (client_index % config_.scale.num_warehouses) + 1;
-  const int total = config_.pct_new_order + config_.pct_payment + config_.pct_order_status +
-                    config_.pct_delivery + config_.pct_stock_level;
-  int roll = static_cast<int>(rng.Uniform(static_cast<uint64_t>(total)));
-  if ((roll -= config_.pct_new_order) < 0) return MakeNewOrder(w, rng);
-  if ((roll -= config_.pct_payment) < 0) return MakePayment(w, rng);
-  if ((roll -= config_.pct_order_status) < 0) return MakeOrderStatus(w, rng);
-  if ((roll -= config_.pct_delivery) < 0) return MakeDelivery(w, rng);
-  return MakeStockLevel(w, rng);
-}
-
-TxnRequest TpccWorkload::MakeNewOrder(int32_t w, Rng& rng) {
-  const TpccScale& scale = config_.scale;
-  auto args = std::make_shared<NewOrderArgs>();
-  args->w_id = w;
-  args->d_id = static_cast<int32_t>(rng.UniformRange(1, TpccScale::kDistrictsPerWarehouse));
-  args->c_id = NURand(rng, 1023, 1, scale.customers_per_district, kCId);
-  args->entry_d = 1;
-
-  const int ol_cnt = static_cast<int>(rng.UniformRange(5, 15));
-  const bool rollback = rng.Bernoulli(0.01);  // 1% invalid item (user abort)
-  for (int i = 0; i < ol_cnt; ++i) {
-    NewOrderArgs::Line line;
-    line.i_id = NURand(rng, 8191, 1, scale.items, kOlIid);
-    if (rollback && i == ol_cnt - 1) line.i_id = scale.items + 1;  // unused id
-    line.supply_w_id = rng.Bernoulli(config_.remote_item_prob)
-                           ? RandomOtherWarehouse(rng, w, scale.num_warehouses)
-                           : w;
-    line.quantity = static_cast<int32_t>(rng.UniformRange(1, 10));
-    args->lines.push_back(line);
-  }
-
+  // One source of truth with the session path: the registered procedures' mix
+  // generator and router (tpcc_procedures.cc).
+  TpccDraw draw = DrawTpccTxn(config_, client_index, rng);
+  TxnRouting route = RouteTpcc(config_.scale, *draw.args);
   TxnRequest req;
-  req.participants.push_back(scale.PartitionOf(w));
-  for (const auto& line : args->lines) {
-    const PartitionId p = scale.PartitionOf(line.supply_w_id);
-    if (std::find(req.participants.begin(), req.participants.end(), p) ==
-        req.participants.end()) {
-      req.participants.push_back(p);
-    }
-  }
-  // Paper modification #1: items are validated before any write, so the user
-  // abort needs no undo buffer.
-  req.can_abort = false;
-  req.rounds = 1;
-  req.args = std::move(args);
-  return req;
-}
-
-TxnRequest TpccWorkload::MakePayment(int32_t w, Rng& rng) {
-  const TpccScale& scale = config_.scale;
-  auto args = std::make_shared<PaymentArgs>();
-  args->w_id = w;
-  args->d_id = static_cast<int32_t>(rng.UniformRange(1, TpccScale::kDistrictsPerWarehouse));
-  if (rng.Bernoulli(config_.remote_payment_prob)) {
-    args->c_w_id = RandomOtherWarehouse(rng, w, scale.num_warehouses);
-  } else {
-    args->c_w_id = w;
-  }
-  args->c_d_id = static_cast<int32_t>(rng.UniformRange(1, TpccScale::kDistrictsPerWarehouse));
-  if (rng.Bernoulli(config_.by_name_prob)) {
-    args->c_id = 0;
-    args->c_last =
-        LastName(NURand(rng, 255, 0, std::min(999, scale.customers_per_district - 1), kCLast));
-  } else {
-    args->c_id = NURand(rng, 1023, 1, scale.customers_per_district, kCId);
-  }
-  args->amount = static_cast<double>(rng.UniformRange(100, 500000)) / 100.0;
-  args->date = 1;
-
-  TxnRequest req;
-  req.participants.push_back(scale.PartitionOf(w));
-  const PartitionId cp = scale.PartitionOf(args->c_w_id);
-  if (cp != req.participants[0]) req.participants.push_back(cp);
-  req.rounds = 1;
-  req.args = std::move(args);
-  return req;
-}
-
-TxnRequest TpccWorkload::MakeOrderStatus(int32_t w, Rng& rng) {
-  const TpccScale& scale = config_.scale;
-  auto args = std::make_shared<OrderStatusArgs>();
-  args->w_id = w;
-  args->d_id = static_cast<int32_t>(rng.UniformRange(1, TpccScale::kDistrictsPerWarehouse));
-  if (rng.Bernoulli(config_.by_name_prob)) {
-    args->c_id = 0;
-    args->c_last =
-        LastName(NURand(rng, 255, 0, std::min(999, scale.customers_per_district - 1), kCLast));
-  } else {
-    args->c_id = NURand(rng, 1023, 1, scale.customers_per_district, kCId);
-  }
-  TxnRequest req;
-  req.participants.push_back(scale.PartitionOf(w));
-  req.args = std::move(args);
-  return req;
-}
-
-TxnRequest TpccWorkload::MakeDelivery(int32_t w, Rng& rng) {
-  auto args = std::make_shared<DeliveryArgs>();
-  args->w_id = w;
-  args->carrier_id = static_cast<int32_t>(rng.UniformRange(1, 10));
-  args->date = 2;
-  TxnRequest req;
-  req.participants.push_back(config_.scale.PartitionOf(w));
-  req.args = std::move(args);
-  return req;
-}
-
-TxnRequest TpccWorkload::MakeStockLevel(int32_t w, Rng& rng) {
-  auto args = std::make_shared<StockLevelArgs>();
-  args->w_id = w;
-  args->d_id = static_cast<int32_t>(rng.UniformRange(1, TpccScale::kDistrictsPerWarehouse));
-  args->threshold = static_cast<int32_t>(rng.UniformRange(10, 20));
-  TxnRequest req;
-  req.participants.push_back(config_.scale.PartitionOf(w));
-  req.args = std::move(args);
+  req.args = std::move(draw.args);
+  req.participants = std::move(route.participants);
+  req.rounds = route.rounds;
+  req.can_abort = route.can_abort;
   return req;
 }
 

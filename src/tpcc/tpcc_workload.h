@@ -33,6 +33,9 @@ struct TpccWorkloadConfig {
   double MultiPartitionProbability() const;
 };
 
+/// Legacy closed-loop adapter over the registered-procedure mix generator and
+/// router in tpcc_procedures.h (the internal Cluster bench tier still drives
+/// Workload; applications register TpccProcedures with a Database instead).
 class TpccWorkload : public Workload {
  public:
   explicit TpccWorkload(TpccWorkloadConfig config) : config_(config) {}
@@ -42,12 +45,6 @@ class TpccWorkload : public Workload {
   const TpccWorkloadConfig& config() const { return config_; }
 
  private:
-  TxnRequest MakeNewOrder(int32_t w, Rng& rng);
-  TxnRequest MakePayment(int32_t w, Rng& rng);
-  TxnRequest MakeOrderStatus(int32_t w, Rng& rng);
-  TxnRequest MakeDelivery(int32_t w, Rng& rng);
-  TxnRequest MakeStockLevel(int32_t w, Rng& rng);
-
   TpccWorkloadConfig config_;
 };
 

@@ -8,10 +8,10 @@
 #include <thread>
 #include <vector>
 
-#include "gtest/gtest.h"
 #include "db/closed_loop.h"
 #include "db/database.h"
 #include "db/load_driver.h"
+#include "gtest/gtest.h"
 #include "kv/kv_procs.h"
 #include "kv/kv_workload.h"
 #include "test_util.h"
@@ -75,7 +75,7 @@ void ExpectReplayClean(Database& db, const MicrobenchConfig& mb) {
         << "partition " << p << " diverged from serial replay";
     logs.push_back(&db.cluster().commit_log(p));
   }
-  ExpectMpOrderConsistent(logs);
+  ExpectMpOrderConsistent(logs, db.options().scheme);
 }
 
 TEST(ProcedureRegistry, RegisterFindDispatch) {

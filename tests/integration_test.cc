@@ -76,7 +76,7 @@ TEST_P(SchemeIntegration, SerializableAndLive) {
                               << CcSchemeName(param.scheme) << ")";
     logs.push_back(&cluster.commit_log(p));
   }
-  ExpectMpOrderConsistent(logs);
+  ExpectMpOrderConsistent(logs, param.scheme);
 }
 
 INSTANTIATE_TEST_SUITE_P(

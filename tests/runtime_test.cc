@@ -192,7 +192,7 @@ void CheckReplayEquivalence(Cluster& cluster, const EngineFactory& factory) {
         << "partition " << p << " diverges from serial replay";
     logs.push_back(&cluster.commit_log(p));
   }
-  ExpectMpOrderConsistent(logs);
+  ExpectMpOrderConsistent(logs, cluster.config().scheme);
 }
 
 TEST(ParallelRuntime, SpeculativeCommitsAndReplaysSerially) {

@@ -89,7 +89,7 @@ TEST_P(TpccIntegration, ConsistentAndSerializable) {
         << "partition " << p << " diverged (" << CcSchemeName(param.scheme) << ")";
     logs.push_back(&cluster.commit_log(p));
   }
-  ExpectMpOrderConsistent(logs);
+  ExpectMpOrderConsistent(logs, param.scheme);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the self-verifying benches.
+
+Compares a freshly produced BENCH_*.json (bench/parallel_throughput.cc,
+bench/tpcc_parallel.cc via WriteSchemeJson) against the committed baseline
+under bench/baselines/ and fails when any scheme's throughput regressed by
+more than the threshold (default 30%).
+
+Baselines are conservative: they are refreshed whenever a PR deliberately
+changes performance, and a baseline captured on slower hardware than the CI
+runner only ever weakens the gate (the gate fires on regressions, never on
+improvements), so cross-machine refreshes are safe in that direction.
+
+Usage:
+  tools/check_bench.py --baseline bench/baselines/BENCH_parallel_throughput.json \
+      --fresh BENCH_parallel_throughput.json [--max-regression 0.30] [--warn-only]
+
+Exit status: 0 when every scheme is within the threshold (or --warn-only),
+1 on a regression, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_schemes(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    schemes = {s["scheme"]: s for s in doc.get("schemes", [])}
+    if not schemes:
+        print(f"check_bench: {path} has no schemes", file=sys.stderr)
+        sys.exit(2)
+    return doc, schemes
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True, help="just-produced BENCH_*.json")
+    ap.add_argument("--max-regression", type=float, default=0.30,
+                    help="fail when throughput drops by more than this fraction")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (sanitizer builds)")
+    args = ap.parse_args()
+
+    base_doc, base = load_schemes(args.baseline)
+    fresh_doc, fresh = load_schemes(args.fresh)
+    if base_doc.get("bench") != fresh_doc.get("bench"):
+        print(f"check_bench: bench mismatch: baseline={base_doc.get('bench')} "
+              f"fresh={fresh_doc.get('bench')}", file=sys.stderr)
+        sys.exit(2)
+
+    failed = []
+    for name, b in sorted(base.items()):
+        f = fresh.get(name)
+        if f is None:
+            print(f"check_bench: scheme '{name}' missing from fresh results", file=sys.stderr)
+            failed.append(name)
+            continue
+        b_tps, f_tps = float(b["txn_per_sec"]), float(f["txn_per_sec"])
+        if b_tps <= 0:
+            print(f"check_bench: baseline throughput for '{name}' is {b_tps}; skipping")
+            continue
+        delta = (f_tps - b_tps) / b_tps
+        status = "ok"
+        if delta < -args.max_regression:
+            status = "REGRESSION"
+            failed.append(name)
+        print(f"{base_doc['bench']:>22} {name:<12} baseline={b_tps:>10.0f} "
+              f"fresh={f_tps:>10.0f} delta={delta:+7.1%}  {status}")
+
+    if failed:
+        kind = "warning" if args.warn_only else "FAIL"
+        print(f"check_bench: {kind}: throughput regressed >"
+              f"{args.max_regression:.0%} for: {', '.join(failed)}", file=sys.stderr)
+        sys.exit(0 if args.warn_only else 1)
+    print(f"check_bench: all schemes within {args.max_regression:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
