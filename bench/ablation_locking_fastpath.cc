@@ -1,12 +1,10 @@
 // Ablation (paper §5.1 remark): the locking scheme's no-lock fast path.
 // "If we force locks to always be acquired, blocking does outperform locking
-// from 0% to 6% multi-partition transactions."
-#include <memory>
-
+// from 0% to 6% multi-partition transactions." Runs over the
+// Database/Session ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -21,18 +19,15 @@ int main(int argc, char** argv) {
 
   for (int pct : {0, 2, 4, 6, 8, 10, 16, 25, 50}) {
     auto run = [&](CcSchemeKind scheme, bool force) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = pct / 100.0;
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      cfg.force_locks = force;
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+      DbOptions opts =
+          KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed));
+      opts.force_locks = force;
+      return RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure())
+          .Throughput();
     };
     table.AddRow({std::to_string(pct), FmtInt(run(CcSchemeKind::kLocking, false)),
                   FmtInt(run(CcSchemeKind::kLocking, true)),

@@ -3,13 +3,11 @@
 // blocking is nearly optimal; as the stall grows, speculation's advantage
 // over blocking widens while locking (which overlaps the stall with other
 // work) stays flat. Also sweeps coordinator CPU cost, which sets the point
-// where speculation saturates (paper §5.1).
-#include <memory>
-
+// where speculation saturates (paper §5.1). Runs over the Database/Session
+// ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -20,29 +18,26 @@ int main(int argc, char** argv) {
   double* mp = flags.AddDouble("mp_fraction", 0.2, "multi-partition fraction");
   if (!flags.Parse(argc, argv)) return 0;
 
-  auto run = [&](CcSchemeKind scheme, Duration latency, double coord_scale) {
-    MicrobenchConfig mb;
+  auto run = [&](CcSchemeKind scheme, double mp_fraction, Duration latency,
+                 double coord_scale) {
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = static_cast<int>(*clients);
-    mb.mp_fraction = *mp;
-    ClusterConfig cfg;
-    cfg.scheme = scheme;
-    cfg.num_partitions = 2;
-    cfg.num_clients = mb.num_clients;
-    cfg.seed = static_cast<uint64_t>(*bench.seed);
-    cfg.net.one_way_latency = latency;
-    cfg.cost.coord_msg = static_cast<Duration>(cfg.cost.coord_msg * coord_scale);
-    cfg.cost.coord_send = static_cast<Duration>(cfg.cost.coord_send * coord_scale);
-    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-    return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+    mb.mp_fraction = mp_fraction;
+    DbOptions opts =
+        KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed));
+    opts.net.one_way_latency = latency;
+    opts.cost.coord_msg = static_cast<Duration>(opts.cost.coord_msg * coord_scale);
+    opts.cost.coord_send = static_cast<Duration>(opts.cost.coord_send * coord_scale);
+    return RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure()).Throughput();
   };
 
   std::printf("Ablation: network latency (txns/sec, %.0f%% multi-partition)\n", *mp * 100);
   TableWriter lat_table({"one_way_us", "speculation", "blocking", "locking", "spec_vs_block"});
   for (int us : {5, 10, 20, 40, 80, 160}) {
-    const double s = run(CcSchemeKind::kSpeculative, Micros(us), 1.0);
-    const double b = run(CcSchemeKind::kBlocking, Micros(us), 1.0);
-    const double l = run(CcSchemeKind::kLocking, Micros(us), 1.0);
+    const double s = run(CcSchemeKind::kSpeculative, *mp, Micros(us), 1.0);
+    const double b = run(CcSchemeKind::kBlocking, *mp, Micros(us), 1.0);
+    const double l = run(CcSchemeKind::kLocking, *mp, Micros(us), 1.0);
     lat_table.AddRow({std::to_string(us), FmtInt(s), FmtInt(b), FmtInt(l),
                       StrFormat("%.2fx", s / b)});
   }
@@ -51,28 +46,8 @@ int main(int argc, char** argv) {
   std::printf("\nAblation: coordinator CPU cost scale (speculation only)\n");
   TableWriter coord_table({"coord_scale", "speculation_20mp", "speculation_60mp"});
   for (double scale : {0.5, 1.0, 2.0, 4.0}) {
-    MicrobenchConfig mb;
-    const double t20 = run(CcSchemeKind::kSpeculative, Micros(40), scale);
-    double* saved = mp;
-    (void)saved;
-    // 60% multi-partition point.
-    double t60;
-    {
-      MicrobenchConfig mb2;
-      mb2.num_partitions = 2;
-      mb2.num_clients = static_cast<int>(*clients);
-      mb2.mp_fraction = 0.6;
-      ClusterConfig cfg;
-      cfg.scheme = CcSchemeKind::kSpeculative;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb2.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      cfg.cost.coord_msg = static_cast<Duration>(cfg.cost.coord_msg * scale);
-      cfg.cost.coord_send = static_cast<Duration>(cfg.cost.coord_send * scale);
-      Cluster cluster(cfg, MakeKvEngineFactory(mb2),
-                      std::make_unique<MicrobenchWorkload>(mb2));
-      t60 = cluster.Run(bench.warmup(), bench.measure()).Throughput();
-    }
+    const double t20 = run(CcSchemeKind::kSpeculative, *mp, Micros(40), scale);
+    const double t60 = run(CcSchemeKind::kSpeculative, 0.6, Micros(40), scale);
     coord_table.AddRow({StrFormat("%.1f", scale), FmtInt(t20), FmtInt(t60)});
   }
   coord_table.PrintAligned();

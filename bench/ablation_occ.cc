@@ -2,13 +2,11 @@
 // paper's hypothesis — OCC performs like their lightweight locking because
 // both pay for read/write-set tracking, so OCC's classic advantage is gone —
 // plus OCC's real edge over speculation: on aborts, only genuinely
-// conflicting speculated transactions are re-executed.
-#include <memory>
-
+// conflicting speculated transactions are re-executed. Runs over the
+// Database/Session ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -25,24 +23,18 @@ int main(int argc, char** argv) {
 
   for (double abort_prob : {0.0, 0.05, 0.10}) {
     for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
-      std::vector<std::string> row{std::to_string(pct),
-                                   FmtInt(abort_prob * 100)};
+      std::vector<std::string> row{std::to_string(pct), FmtInt(abort_prob * 100)};
       uint64_t occ_survivors = 0, spec_cascades = 0, occ_cascades = 0;
       for (CcSchemeKind scheme : {CcSchemeKind::kOcc, CcSchemeKind::kSpeculative,
                                   CcSchemeKind::kLocking, CcSchemeKind::kBlocking}) {
-        MicrobenchConfig mb;
+        KvWorkloadOptions mb;
         mb.num_partitions = 2;
         mb.num_clients = static_cast<int>(*clients);
         mb.mp_fraction = pct / 100.0;
         mb.abort_prob = abort_prob;
-        ClusterConfig cfg;
-        cfg.scheme = scheme;
-        cfg.num_partitions = 2;
-        cfg.num_clients = mb.num_clients;
-        cfg.seed = static_cast<uint64_t>(*bench.seed);
-        Cluster cluster(cfg, MakeKvEngineFactory(mb),
-                        std::make_unique<MicrobenchWorkload>(mb));
-        Metrics m = cluster.Run(bench.warmup(), bench.measure());
+        Metrics m = RunKvClosedLoop(
+            KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed)),
+            mb, bench.warmup(), bench.measure());
         row.push_back(FmtInt(m.Throughput()));
         if (scheme == CcSchemeKind::kOcc) {
           occ_survivors = m.occ_survivors;

@@ -1,13 +1,11 @@
 // Ablation (paper §2.2/§3.2): replication factor k. Durability is "received
 // by k replicas"; votes and single-partition results wait for backup acks,
 // adding one round trip plus backup CPU. The paper's experiments ran
-// replication-free for the model (fig. 10) but deployed with k=2.
-#include <memory>
-
+// replication-free for the model (fig. 10) but deployed with k=2. Runs over
+// the Database/Session ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -26,18 +24,14 @@ int main(int argc, char** argv) {
     double p50 = 0;
     for (CcSchemeKind scheme :
          {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = *mp;
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.replication = k;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      DbOptions opts =
+          KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed));
+      opts.replication = k;
+      Metrics m = RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure());
       row.push_back(FmtInt(m.Throughput()));
       if (scheme == CcSchemeKind::kSpeculative) p50 = m.sp_latency.Percentile(50) / 1000.0;
     }

@@ -3,13 +3,10 @@
 // Compares full speculation, local-only speculation, and blocking. Paper
 // fig. 10 shows "speculating multi-partition transactions leads to a
 // substantial improvement when they comprise a large fraction of the
-// workload".
-#include <memory>
-
+// workload". Runs over the Database/Session ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -25,18 +22,15 @@ int main(int argc, char** argv) {
 
   for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
     auto run = [&](bool local_only, CcSchemeKind scheme) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = pct / 100.0;
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      cfg.local_speculation_only = local_only;
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+      DbOptions opts =
+          KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed));
+      opts.local_speculation_only = local_only;
+      return RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure())
+          .Throughput();
     };
     const double full = run(false, CcSchemeKind::kSpeculative);
     const double local = run(true, CcSchemeKind::kSpeculative);

@@ -1,14 +1,12 @@
 // Measures the analytical-model parameters (paper Table 2) from the running
-// system, the way the authors did: pure workloads + CPU accounting. Shared by
-// the table2 and fig10 harnesses.
+// system, the way the authors did: pure workloads + CPU accounting, driven
+// over the Database/Session ingress path. Shared by the table2 and fig10
+// harnesses.
 #ifndef PARTDB_BENCH_CALIBRATE_H_
 #define PARTDB_BENCH_CALIBRATE_H_
 
-#include <memory>
-
-#include "kv/kv_workload.h"
+#include "kv_bench.h"
 #include "model/analytical.h"
-#include "runtime/cluster.h"
 
 namespace partdb {
 
@@ -23,19 +21,14 @@ inline CalibrationResult Calibrate(int clients, Duration warmup, Duration measur
                                    uint64_t seed) {
   auto run = [&](CcSchemeKind scheme, double mp_fraction, bool undo_everywhere,
                  bool force_locks) {
-    MicrobenchConfig mb;
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = clients;
     mb.mp_fraction = mp_fraction;
     mb.force_undo = undo_everywhere;
-    ClusterConfig cfg;
-    cfg.scheme = scheme;
-    cfg.num_partitions = 2;
-    cfg.num_clients = clients;
-    cfg.seed = seed;
-    cfg.force_locks = force_locks;
-    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-    Metrics m = cluster.Run(warmup, measure);
+    DbOptions opts = KvDbOptions(mb, scheme, RunMode::kSimulated, seed);
+    opts.force_locks = force_locks;
+    Metrics m = RunKvClosedLoop(std::move(opts), mb, warmup, measure);
     struct Out {
       double throughput;
       double cpu_per_txn;  // partition CPU seconds per completed txn

@@ -3,13 +3,11 @@
 // Expected shape: blocking degrades steeply; locking is ~linear after its
 // fast path stops applying (~16% MP); speculation tracks ~10% above locking
 // until the central coordinator saturates (~50% MP), after which locking
-// wins.
-#include <memory>
-
+// wins. Runs over the Database/Session ingress path (the microbenchmark is a
+// registered stored procedure; closed-loop clients are sessions).
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -28,19 +26,14 @@ int main(int argc, char** argv) {
     double coord_util = 0;
     for (CcSchemeKind scheme :
          {CcSchemeKind::kSpeculative, CcSchemeKind::kLocking, CcSchemeKind::kBlocking}) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = pct / 100.0;
 
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      Metrics m = RunKvClosedLoop(
+          KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed)),
+          mb, bench.warmup(), bench.measure());
       row.push_back(FmtInt(m.Throughput()));
       if (scheme == CcSchemeKind::kSpeculative) coord_util = m.CoordinatorUtilization();
     }

@@ -3,13 +3,11 @@
 // hot conflict key with probability p. Speculation and blocking are
 // insensitive to p (they already assume all transactions conflict); locking
 // degrades toward blocking as p grows (paper: speculation up to 2.5x faster
-// than locking at high conflict rates).
-#include <memory>
-
+// than locking at high conflict rates). Runs over the Database/Session
+// ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -30,19 +28,17 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(pct)};
 
     auto run = [&](CcSchemeKind scheme, double conflict) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = pct / 100.0;
       mb.conflict_prob = conflict;
       mb.pin_first_clients = true;
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+      return RunKvClosedLoop(
+                 KvDbOptions(mb, scheme, RunMode::kSimulated,
+                             static_cast<uint64_t>(*bench.seed)),
+                 mb, bench.warmup(), bench.measure())
+          .Throughput();
     };
 
     for (double c : conflict_levels) row.push_back(FmtInt(run(CcSchemeKind::kLocking, c)));

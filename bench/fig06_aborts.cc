@@ -3,13 +3,10 @@
 // throughput falls with the abort rate; blocking and locking are nearly
 // insensitive (aborted transactions are slightly cheaper). Paper: speculation
 // still beats locking up to ~5% aborts; at 10% it is nearly as bad as
-// blocking.
-#include <memory>
-
+// blocking. Runs over the Database/Session ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -31,18 +28,14 @@ int main(int argc, char** argv) {
     uint64_t cascades = 0;
 
     auto run = [&](CcSchemeKind scheme, double aborts) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = pct / 100.0;
       mb.abort_prob = aborts;
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      Metrics m = cluster.Run(bench.warmup(), bench.measure());
+      Metrics m = RunKvClosedLoop(
+          KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed)),
+          mb, bench.warmup(), bench.measure());
       if (scheme == CcSchemeKind::kSpeculative && aborts == 0.10) {
         cascades = m.cascading_reexecs;
       }

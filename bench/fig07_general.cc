@@ -3,12 +3,10 @@
 // coordinator). Speculation can only speculate the first fragment of the
 // next transaction once the previous one finishes, so it is barely better
 // than blocking; locking is relatively unaffected and wins beyond ~4% MP.
-#include <memory>
-
+// Runs over the Database/Session ingress path.
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -26,18 +24,15 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(pct)};
     for (CcSchemeKind scheme :
          {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
-      MicrobenchConfig mb;
+      KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
       mb.mp_fraction = pct / 100.0;
       mb.mp_rounds = 2;  // the only change vs. fig. 4
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      row.push_back(FmtInt(cluster.Run(bench.warmup(), bench.measure()).Throughput()));
+      row.push_back(FmtInt(RunKvClosedLoop(KvDbOptions(mb, scheme, RunMode::kSimulated,
+                                                       static_cast<uint64_t>(*bench.seed)),
+                                           mb, bench.warmup(), bench.measure())
+                               .Throughput()));
     }
     table.AddRow(row);
   }

@@ -4,15 +4,12 @@
 // calibrated on this system, next to measured runs of the corresponding
 // configurations. The model ignores the central coordinator, so — exactly as
 // in the paper — the measured speculation curves fall below the model once
-// the coordinator saturates.
-#include <memory>
-
+// the coordinator saturates. Runs over the Database/Session ingress path.
 #include "bench_util.h"
 #include "calibrate.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
+#include "kv_bench.h"
 #include "model/analytical.h"
-#include "runtime/cluster.h"
 
 using namespace partdb;
 
@@ -36,18 +33,14 @@ int main(int argc, char** argv) {
                      "meas_locking"});
 
   auto run = [&](CcSchemeKind scheme, double f, bool local_only) {
-    MicrobenchConfig mb;
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = static_cast<int>(*clients);
     mb.mp_fraction = f;
-    ClusterConfig cfg;
-    cfg.scheme = scheme;
-    cfg.num_partitions = 2;
-    cfg.num_clients = mb.num_clients;
-    cfg.seed = static_cast<uint64_t>(*bench.seed);
-    cfg.local_speculation_only = local_only;
-    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-    return cluster.Run(bench.warmup(), bench.measure()).Throughput();
+    DbOptions opts =
+        KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed));
+    opts.local_speculation_only = local_only;
+    return RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure()).Throughput();
   };
 
   for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {

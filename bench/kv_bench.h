@@ -1,0 +1,34 @@
+// Shared runner for the KV microbenchmark figure harnesses: opens a
+// Database with the read/update procedure registered, drives the paper's
+// closed-loop client model over sessions on the deterministic simulator, and
+// returns the measurement window's metrics.
+#ifndef PARTDB_BENCH_KV_BENCH_H_
+#define PARTDB_BENCH_KV_BENCH_H_
+
+#include <utility>
+
+#include "db/closed_loop.h"
+#include "kv/kv_procedures.h"
+
+namespace partdb {
+
+/// Runs `mb` closed-loop (one session per client) against a database built
+/// from `opts` and returns the window metrics. `opts` normally comes from
+/// KvDbOptions with harness-specific overrides (net, cost, replication,
+/// force_locks, ...) applied on top.
+inline Metrics RunKvClosedLoop(DbOptions opts, const KvWorkloadOptions& mb, Duration warmup,
+                               Duration measure) {
+  auto db = Database::Open(std::move(opts));
+  ClosedLoopOptions loop;
+  loop.num_clients = mb.num_clients;
+  loop.next = KvInvocations(mb, *db);
+  loop.warmup = warmup;
+  loop.measure = measure;
+  Metrics m = RunClosedLoop(*db, loop);
+  db->Close();
+  return m;
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_BENCH_KV_BENCH_H_

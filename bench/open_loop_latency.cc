@@ -11,10 +11,8 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
-#include "db/database.h"
 #include "db/load_driver.h"
-#include "kv/kv_procs.h"
-#include "kv/kv_workload.h"
+#include "kv/kv_procedures.h"
 
 using namespace partdb;
 
@@ -31,7 +29,7 @@ int main(int argc, char** argv) {
   std::string* csv = flags.AddString("csv", "", "also write results to this CSV file");
   if (!flags.Parse(argc, argv)) return 0;
 
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = static_cast<int>(*partitions);
   mb.num_clients = static_cast<int>(*threads);  // pre-populated key namespaces
   mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
@@ -44,24 +42,17 @@ int main(int argc, char** argv) {
                      "p95_us", "p99_us", "max_us"});
   bool ok = true;
   for (int64_t rate = *min_rate; rate <= *max_rate; rate *= 2) {
-    DbOptions opts;
-    opts.scheme = CcSchemeKind::kSpeculative;
-    opts.mode = RunMode::kParallel;
-    opts.num_partitions = mb.num_partitions;
-    opts.max_sessions = static_cast<int>(*threads);
-    opts.seed = static_cast<uint64_t>(*seed);
+    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+                                 static_cast<uint64_t>(*seed));
     opts.log_commits = *verify != 0;
-    opts.engine_factory = MakeKvEngineFactory(mb);
-    opts.procedures.push_back(KvReadUpdateProcedure(mb));
     auto db = Database::Open(std::move(opts));
 
-    MicrobenchWorkload workload(mb);
     LoadDriverOptions load;
     load.threads = static_cast<int>(*threads);
     load.target_tps = static_cast<double>(rate);
     load.duration = *duration_ms * kMillisecond;
     load.proc = db->proc(kKvReadUpdateProc);
-    load.next_args = WorkloadArgs(&workload);
+    load.next_args = [mb](int c, Rng& rng) { return DrawKvTxn(mb, c, rng); };
     load.seed = static_cast<uint64_t>(*seed);
     LoadDriverReport r = RunOpenLoop(*db, load);
     db->Close();

@@ -1,42 +1,21 @@
 // Parallel runtime throughput, driven entirely through the public
 // Database/Session API: the paper's microbenchmark procedure registered in a
-// ProcedureRegistry, closed-loop logical clients running over sessions (the
-// legacy Workload path re-expressed as the session adapter), one run per
-// concurrency-control scheme on thread-per-partition workers at wall-clock
-// speed. Verifies final-state serializability by replaying each partition's
-// commit log serially on a fresh engine, cross-checks the speculative scheme
-// on the deterministic simulator, and emits machine-readable results to
-// BENCH_parallel_throughput.json so the perf trajectory is tracked across
-// PRs.
+// ProcedureRegistry, closed-loop logical clients running over sessions, one
+// run per concurrency-control scheme on thread-per-partition workers at
+// wall-clock speed. Verifies final-state serializability by replaying each
+// partition's commit log serially on a fresh engine, cross-checks the
+// speculative scheme on the deterministic simulator, and emits
+// machine-readable results to BENCH_parallel_throughput.json so the perf
+// trajectory is tracked across PRs.
 #include <memory>
 #include <string>
 
 #include "bench_util.h"
 #include "common/flags.h"
 #include "db/closed_loop.h"
-#include "db/database.h"
-#include "kv/kv_procs.h"
-#include "kv/kv_workload.h"
+#include "kv/kv_procedures.h"
 
 using namespace partdb;
-
-namespace {
-
-DbOptions MakeDbOptions(CcSchemeKind scheme, RunMode mode, const MicrobenchConfig& mb,
-                        uint64_t seed, bool log_commits) {
-  DbOptions opts;
-  opts.scheme = scheme;
-  opts.mode = mode;
-  opts.num_partitions = mb.num_partitions;
-  opts.max_sessions = mb.num_clients;
-  opts.seed = seed;
-  opts.log_commits = log_commits;
-  opts.engine_factory = MakeKvEngineFactory(mb);
-  opts.procedures.push_back(KvReadUpdateProcedure(mb));
-  return opts;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags;
@@ -49,7 +28,7 @@ int main(int argc, char** argv) {
       flags.AddString("json", "BENCH_parallel_throughput.json", "machine-readable results");
   if (!flags.Parse(argc, argv)) return 0;
 
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = static_cast<int>(*partitions);
   mb.num_clients = static_cast<int>(*clients);
   mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
@@ -63,14 +42,13 @@ int main(int argc, char** argv) {
   std::vector<SchemeResult> results;
   for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
                               CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
-    MicrobenchWorkload workload(mb);
-    auto db = Database::Open(
-        MakeDbOptions(scheme, RunMode::kParallel, mb, seed, /*log_commits=*/*verify != 0));
+    DbOptions opts = KvDbOptions(mb, scheme, RunMode::kParallel, seed);
+    opts.log_commits = *verify != 0;
+    auto db = Database::Open(std::move(opts));
 
     ClosedLoopOptions loop;
     loop.num_clients = mb.num_clients;
-    loop.proc = db->proc(kKvReadUpdateProc);
-    loop.next_args = WorkloadArgs(&workload);
+    loop.next = KvInvocations(mb, *db);
     loop.warmup = bench.warmup();
     loop.measure = bench.measure();
     Metrics m = RunClosedLoop(*db, loop);
@@ -99,13 +77,12 @@ int main(int argc, char** argv) {
   if (*verify != 0) {
     // Cross-check: the same procedure/sessions path on the deterministic
     // simulator must also pass serial-replay equivalence.
-    MicrobenchWorkload workload(mb);
-    auto db = Database::Open(
-        MakeDbOptions(CcSchemeKind::kSpeculative, RunMode::kSimulated, mb, seed, true));
+    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, seed);
+    opts.log_commits = true;
+    auto db = Database::Open(std::move(opts));
     ClosedLoopOptions loop;
     loop.num_clients = mb.num_clients;
-    loop.proc = db->proc(kKvReadUpdateProc);
-    loop.next_args = WorkloadArgs(&workload);
+    loop.next = KvInvocations(mb, *db);
     loop.warmup = bench.warmup();
     loop.measure = bench.measure();
     Metrics sm = RunClosedLoop(*db, loop);

@@ -1,14 +1,13 @@
 // Table 1 (paper §5.7): which concurrency control scheme is best for which
 // workload. Sweeps the four workload dimensions (multi-partition fraction,
 // conflicts, aborts, communication rounds), measures all three schemes in
-// each cell, and prints the winner next to the paper's prediction.
-#include <memory>
+// each cell, and prints the winner next to the paper's prediction. Runs over
+// the Database/Session ingress path.
 #include <string>
 
 #include "bench_util.h"
 #include "common/flags.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv_bench.h"
 
 using namespace partdb;
 
@@ -55,7 +54,7 @@ int main(int argc, char** argv) {
                      "locking", "winner", "paper"});
 
   for (const Cell& cell : kCells) {
-    MicrobenchConfig mb;
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = static_cast<int>(*clients);
     // "Many" multi-partition means 40%: a heavy distributed load that stays
@@ -76,13 +75,11 @@ int main(int argc, char** argv) {
                                  cell.many_conflicts ? "many" : "few"};
     for (CcSchemeKind scheme :
          {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative, CcSchemeKind::kLocking}) {
-      ClusterConfig cfg;
-      cfg.scheme = scheme;
-      cfg.num_partitions = 2;
-      cfg.num_clients = mb.num_clients;
-      cfg.seed = static_cast<uint64_t>(*bench.seed);
-      Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-      const double t = cluster.Run(bench.warmup(), bench.measure()).Throughput();
+      const double t =
+          RunKvClosedLoop(KvDbOptions(mb, scheme, RunMode::kSimulated,
+                                      static_cast<uint64_t>(*bench.seed)),
+                          mb, bench.warmup(), bench.measure())
+              .Throughput();
       row.push_back(FmtInt(t));
       if (t > best) {
         best = t;

@@ -76,6 +76,26 @@ int main(int argc, char** argv) {
     if (m.mp_latency.count() > 0) {
       std::printf("  mp latency: %s\n", m.mp_latency.Summary(1e-3).c_str());
     }
+    // Per-procedure breakdown of the measurement window (ProcedureRegistry
+    // outcome stats, surfaced through the Database).
+    uint64_t proc_committed = 0, proc_aborts = 0;
+    for (const ProcMetricsSnapshot& ps : db->ProcMetrics()) {
+      std::printf("  %-14s committed=%-8llu aborts=%-6llu p50=%7.1fus p99=%7.1fus\n",
+                  ps.name.c_str(), static_cast<unsigned long long>(ps.committed),
+                  static_cast<unsigned long long>(ps.user_aborts),
+                  ps.latency.Percentile(50) / 1000.0, ps.latency.Percentile(99) / 1000.0);
+      proc_committed += ps.committed;
+      proc_aborts += ps.user_aborts;
+    }
+    if (proc_committed != m.committed || proc_aborts != m.user_aborts) {
+      std::printf("ERROR: per-proc stats (%llu/%llu) do not decompose the window "
+                  "(%llu/%llu) under %s\n",
+                  static_cast<unsigned long long>(proc_committed),
+                  static_cast<unsigned long long>(proc_aborts),
+                  static_cast<unsigned long long>(m.committed),
+                  static_cast<unsigned long long>(m.user_aborts), CcSchemeName(scheme));
+      ok = false;
+    }
     if (m.committed == 0) {
       std::printf("ERROR: no transactions committed under %s\n", CcSchemeName(scheme));
       ok = false;

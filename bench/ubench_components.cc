@@ -6,7 +6,9 @@
 #include "common/rng.h"
 #include "engine/lock_manager.h"
 #include "kv/kv_engine.h"
+#include "kv/kv_procedures.h"
 #include "kv/kv_workload.h"
+#include "tpcc/tpcc_procedures.h"
 #include "storage/avl_tree.h"
 #include "storage/btree.h"
 #include "storage/hash_table.h"
@@ -120,7 +122,7 @@ void BM_UndoRollback(benchmark::State& state) {
 BENCHMARK(BM_UndoRollback)->Arg(12);
 
 void BM_KvTxnExecute(benchmark::State& state) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 1;
   mb.num_clients = 4;
   mb.mp_fraction = 0;
@@ -130,12 +132,11 @@ void BM_KvTxnExecute(benchmark::State& state) {
       engine.store().Put(MicrobenchKey(c, 0, i), EncodeValue(0));
     }
   }
-  MicrobenchWorkload wl(mb);
   Rng rng(1);
   for (auto _ : state) {
-    TxnRequest req = wl.Next(0, rng);
+    PayloadPtr args = DrawKvTxn(mb, 0, rng);
     WorkMeter m;
-    benchmark::DoNotOptimize(engine.Execute(*req.args, 0, nullptr, nullptr, &m));
+    benchmark::DoNotOptimize(engine.Execute(*args, 0, nullptr, nullptr, &m));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -154,13 +155,12 @@ void BM_TpccNewOrderExecute(benchmark::State& state) {
   wl_cfg.pct_new_order = 100;
   wl_cfg.pct_payment = wl_cfg.pct_order_status = wl_cfg.pct_delivery = wl_cfg.pct_stock_level =
       0;
-  tpcc::TpccWorkload wl(wl_cfg);
   Rng rng(1);
   for (auto _ : state) {
-    TxnRequest req = wl.Next(0, rng);
+    tpcc::TpccDraw draw = tpcc::DrawTpccTxn(wl_cfg, 0, rng);
     WorkMeter m;
     UndoBuffer undo;
-    ExecResult r = engine.Execute(*req.args, 0, nullptr, &undo, &m);
+    ExecResult r = engine.Execute(*draw.args, 0, nullptr, &undo, &m);
     benchmark::DoNotOptimize(r);
     state.PauseTiming();
     undo.Rollback();  // keep the database from growing across iterations

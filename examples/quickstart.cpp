@@ -9,9 +9,7 @@
 #include <memory>
 
 #include "db/closed_loop.h"
-#include "db/database.h"
-#include "kv/kv_procs.h"
-#include "kv/kv_workload.h"
+#include "kv/kv_procedures.h"
 
 using namespace partdb;
 
@@ -21,7 +19,7 @@ int main() {
   //    registered procedure reads a set of keys and increments them, with
   //    routing (which partitions, how many rounds) derived from its
   //    arguments by the procedure's router.
-  MicrobenchConfig data;
+  KvWorkloadOptions data;
   data.num_partitions = 2;
   data.num_clients = 40;  // pre-populated key namespaces
 
@@ -62,7 +60,7 @@ int main() {
   //    deterministic simulator (modeled network + CPU costs). Swap
   //    options.mode to RunMode::kParallel for real thread-per-partition
   //    execution at hardware speed.
-  MicrobenchConfig workload_cfg = data;
+  KvWorkloadOptions workload_cfg = data;
   workload_cfg.mp_fraction = 0.10;
   std::printf("\n40 closed-loop clients, 10%% multi-partition, 500 ms window:\n");
   for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
@@ -72,11 +70,9 @@ int main() {
     o.max_sessions = workload_cfg.num_clients;
     auto db = Database::Open(o);
 
-    MicrobenchWorkload workload(workload_cfg);
     ClosedLoopOptions loop;
     loop.num_clients = workload_cfg.num_clients;
-    loop.proc = db->proc(kKvReadUpdateProc);
-    loop.next_args = WorkloadArgs(&workload);
+    loop.next = KvInvocations(workload_cfg, *db);
     loop.warmup = Micros(100000);
     loop.measure = Micros(500000);
     Metrics m = RunClosedLoop(*db, loop);

@@ -10,9 +10,9 @@
 #include <memory>
 
 #include "common/flags.h"
-#include "kv/kv_workload.h"
+#include "db/closed_loop.h"
+#include "kv/kv_procedures.h"
 #include "model/analytical.h"
-#include "runtime/cluster.h"
 
 using namespace partdb;
 
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   std::printf("\nsimulation check:\n");
   for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
                               CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
-    MicrobenchConfig mb;
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = 40;
     mb.mp_fraction = *mp;
@@ -62,12 +62,14 @@ int main(int argc, char** argv) {
     mb.conflict_prob = *conflicts;
     mb.pin_first_clients = *conflicts > 0;
     mb.mp_rounds = *multi_round ? 2 : 1;
-    ClusterConfig cfg;
-    cfg.scheme = scheme;
-    cfg.num_partitions = 2;
-    cfg.num_clients = mb.num_clients;
-    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-    Metrics m = cluster.Run(Micros(150000), Micros(600000));
+    auto db = Database::Open(KvDbOptions(mb, scheme, RunMode::kSimulated, 12345));
+    ClosedLoopOptions loop;
+    loop.num_clients = mb.num_clients;
+    loop.next = KvInvocations(mb, *db);
+    loop.warmup = Micros(150000);
+    loop.measure = Micros(600000);
+    Metrics m = RunClosedLoop(*db, loop);
+    db->Close();
     std::printf("  %-12s %8.0f txn/s\n", CcSchemeName(scheme), m.Throughput());
   }
   return 0;

@@ -288,6 +288,9 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
     } else {
       metrics_->mp_latency.Add(lat);
     }
+    if (proc_metrics_ != nullptr && t.proc != kInvalidProc) {
+      proc_metrics_->RecordProcOutcome(t.proc, committed, lat);
+    }
   }
 
   TxnResult r;

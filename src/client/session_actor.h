@@ -9,8 +9,9 @@
 //
 //  - open loop: the db layer's Session handle (any number of transactions in
 //    flight, Submit from any thread),
-//  - closed loop: the internal bench tier's ClosedLoopClient (at most one in
-//    flight, the completion callback submits the next request).
+//  - closed loop: the db layer's RunClosedLoop driver (at most one in
+//    flight per logical client, the completion callback submits the next
+//    request).
 //
 // Submissions arriving from foreign threads are queued and drained on the
 // actor's own worker. Submissions made from within one of this actor's own
@@ -33,7 +34,8 @@
 #include <vector>
 
 #include "cc/cc_scheme.h"
-#include "client/workload.h"
+#include "client/proc_metrics.h"
+#include "client/routing.h"
 #include "common/rng.h"
 #include "coord/txn_continuations.h"
 #include "engine/cost_model.h"
@@ -70,7 +72,7 @@ class SessionActor : public Actor {
  public:
   /// `continuations` supplies coordinator-style round inputs when this actor
   /// self-coordinates multi-round 2PC under locking (the db layer passes its
-  /// ProcedureRegistry, the legacy bench tier its Workload).
+  /// ProcedureRegistry).
   SessionActor(std::string name, ProcRouter router, TxnContinuations* continuations,
                Topology topology, CcSchemeKind scheme, const CostModel& cost, uint64_t seed)
       : Actor(std::move(name)),
@@ -83,12 +85,17 @@ class SessionActor : public Actor {
 
   void set_metrics(Metrics* m) { metrics_ = m; }
 
+  /// Optional per-procedure outcome sink (the db layer passes its
+  /// ProcedureRegistry). Recording is gated on the metrics window, so the
+  /// per-proc counts decompose the window's committed/user_aborts exactly.
+  void set_proc_metrics(ProcMetricsSink* s) { proc_metrics_ = s; }
+
   /// Queues one invocation and wakes the actor. Thread-safe; returns the
   /// assigned transaction id. Routing comes from the actor's ProcRouter.
   TxnId Submit(ProcId proc, PayloadPtr args, TxnCallback cb);
 
-  /// Like Submit, but with caller-supplied routing (the legacy Workload path,
-  /// where the generator derives routing alongside the arguments).
+  /// Like Submit, but with caller-supplied routing (tests and harnesses that
+  /// derive routing alongside the arguments, bypassing the registry).
   TxnId SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb);
 
   /// Queued + in-flight transactions. Thread-safe.
@@ -150,6 +157,7 @@ class SessionActor : public Actor {
   CcSchemeKind scheme_;
   CostModel cost_;
   Metrics* metrics_ = nullptr;
+  ProcMetricsSink* proc_metrics_ = nullptr;
   Rng rng_;
 
   // Shared with submitting threads.

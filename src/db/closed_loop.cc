@@ -10,12 +10,6 @@
 
 namespace partdb {
 
-ArgsGenerator WorkloadArgs(Workload* workload) {
-  return [workload](int client_index, Rng& rng) {
-    return workload->Next(client_index, rng).args;
-  };
-}
-
 namespace {
 
 /// One logical closed-loop client. Owned on the heap so the resubmitting
@@ -24,16 +18,20 @@ namespace {
 struct ClientLoop {
   InvocationGenerator next;
   int index = 0;
+  /// Private stream (explicit ClosedLoopOptions::seed); null means draw from
+  /// the session actor's stream.
+  std::unique_ptr<Rng> rng;
   std::shared_ptr<std::atomic<bool>> stop;
   // Last member: its destructor (Session::Drain) must run before the fields
-  // the completion callback reads (next) are destroyed.
+  // the completion callback reads (next, rng) are destroyed.
   std::unique_ptr<Session> session;
 
   void IssueNext() {
-    // The client draws from its session actor's stream — client c of a run is
-    // always session slot c, so the draw sequence matches the legacy
-    // dedicated-client harness.
-    Invocation inv = next(index, session->actor().rng());
+    // By default the client draws from its session actor's stream — client c
+    // of a run is always session slot c, so the draw sequence matches the
+    // historical dedicated-client harness. An explicit seed switches to the
+    // loop-owned stream.
+    Invocation inv = next(index, rng != nullptr ? *rng : session->actor().rng());
     // The stop flag is captured by value: the final completion callback runs
     // while ~ClientLoop is draining the session, after the members have begun
     // destructing. Once stop is set (always before destruction), the callback
@@ -65,6 +63,9 @@ Metrics RunClosedLoop(Database& db, const ClosedLoopOptions& options) {
     cl->session = db.CreateSession();
     cl->next = next;
     cl->index = c;
+    if (options.seed.has_value()) {
+      cl->rng = std::make_unique<Rng>(ClientStreamSeed(*options.seed, c));
+    }
     cl->stop = stop;
     clients.push_back(std::move(cl));
   }

@@ -21,7 +21,6 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
   cfg.scheme = options_.scheme;
   cfg.mode = options_.mode;
   cfg.num_partitions = options_.num_partitions;
-  cfg.num_clients = 0;
   cfg.num_sessions = options_.max_sessions;
   cfg.session_workers = options_.session_workers;
   cfg.replication = options_.replication;
@@ -29,11 +28,10 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
   cfg.net = options_.net;
   cfg.cost = options_.cost;
   cfg.lock_timeout = options_.lock_timeout;
-  cfg.seed = options_.seed;
   cfg.log_commits = options_.log_commits;
   cfg.local_speculation_only = options_.local_speculation_only;
   cfg.force_locks = options_.force_locks;
-  cluster_ = std::make_unique<Cluster>(cfg, options_.engine_factory, nullptr, &registry_);
+  cluster_ = std::make_unique<Cluster>(cfg, options_.engine_factory, &registry_);
 
   ProcRouter router = [reg = &registry_](ProcId proc, const Payload& args) {
     return reg->Get(proc).route(args);
@@ -46,6 +44,7 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
         "session-" + std::to_string(i), router, &registry_, cluster_->topology(),
         options_.scheme, options_.cost, ClientStreamSeed(options_.seed, i));
     actor->set_metrics(cluster_->BindSession(i, actor.get()));
+    actor->set_proc_metrics(&registry_);
     session_actors_.push_back(std::move(actor));
   }
   for (int i = options_.max_sessions - 1; i >= 0; --i) free_slots_.push_back(i);
@@ -82,6 +81,7 @@ void Database::ReleaseSession(SessionActor* actor) {
 }
 
 void Database::BeginMeasurement() {
+  registry_.ResetProcMetrics();
   if (options_.mode == RunMode::kParallel) {
     cluster_->BeginWindow();
     return;

@@ -4,9 +4,10 @@
 // coordinator — on either execution context (deterministic simulation or the
 // thread-per-partition parallel runtime), seals the stored-procedure
 // registry, and hands out Sessions that driver threads submit named
-// procedures through. The closed-loop bench harness (Cluster + Workload)
-// remains available underneath as the internal wiring layer; cluster() is
-// the escape hatch tests and benches use for engines and commit logs.
+// procedures through. This is the single ingress path of the system — the
+// figure benches and the closed-loop driver (db/closed_loop) run over it
+// too; cluster() is the escape hatch tests and benches use for engines and
+// commit logs.
 #ifndef PARTDB_DB_DATABASE_H_
 #define PARTDB_DB_DATABASE_H_
 
@@ -74,9 +75,15 @@ class Database {
 
   /// Begins/ends a metrics window (throughput, latency histograms, CPU
   /// utilization). In parallel mode the flips run on each actor's worker;
-  /// in simulated mode they gate the shared metrics instance.
+  /// in simulated mode they gate the shared metrics instance. Begin also
+  /// zeroes the per-procedure outcome stats.
   void BeginMeasurement();
   Metrics EndMeasurement();
+
+  /// Per-procedure outcomes of the current/last measurement window, in
+  /// registration order (committed / user-abort counts plus a latency
+  /// histogram per registered procedure). Thread-safe.
+  std::vector<ProcMetricsSnapshot> ProcMetrics() const { return registry_.ProcMetrics(); }
 
   /// Simulated mode: advances the virtual clock by `d` (closed-loop
   /// measurement windows with traffic already in flight).

@@ -4,18 +4,25 @@
 // coordinator-side continuation for multi-round procedures (paper §3.3). The
 // fragment logic itself lives in the Engine the DbOptions factory builds for
 // each partition; the registry carries everything *around* the engine that
-// the old Workload interface used to own.
+// the old Workload interface used to own — including per-procedure outcome
+// metrics (committed/aborted counts, latency histograms) recorded by every
+// session and surfaced through Database::ProcMetrics.
 #ifndef PARTDB_DB_PROCEDURE_REGISTRY_H_
 #define PARTDB_DB_PROCEDURE_REGISTRY_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "client/workload.h"
+#include "client/proc_metrics.h"
+#include "client/routing.h"
+#include "common/histogram.h"
 #include "common/types.h"
 #include "coord/txn_continuations.h"
 #include "msg/payload.h"
@@ -37,11 +44,20 @@ struct ProcedureDescriptor {
       round_input;
 };
 
+/// One procedure's measurement-window outcomes (Database::ProcMetrics).
+struct ProcMetricsSnapshot {
+  std::string name;
+  uint64_t committed = 0;
+  uint64_t user_aborts = 0;
+  Histogram latency;  // ns, client observed, commits and user aborts alike
+};
+
 /// Name -> descriptor table shared by the coordinator and every session of a
 /// Database. Sealed before traffic starts (Database::Open registers
-/// DbOptions::procedures); afterwards all lookups are concurrent lock-free
-/// reads.
-class ProcedureRegistry : public TxnContinuations {
+/// DbOptions::procedures); afterwards descriptor lookups are concurrent
+/// lock-free reads, and the per-procedure outcome counters are updated
+/// concurrently by the sessions (atomics + a per-proc histogram lock).
+class ProcedureRegistry : public TxnContinuations, public ProcMetricsSink {
  public:
   /// Registers `desc` and returns its id. Names must be unique and non-empty;
   /// `desc.route` must be set.
@@ -57,8 +73,31 @@ class ProcedureRegistry : public TxnContinuations {
   PayloadPtr NextRoundInput(ProcId proc, const Payload& args, int round,
                             const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) override;
 
+  // ProcMetricsSink (called by every session for completions inside a
+  // metrics window). Thread-safe. Unlike the window counters (which are
+  // per-actor precisely to avoid shared cache lines on the hot path), these
+  // are shared: one relaxed fetch_add plus a short per-proc histogram lock
+  // per completion — measured in the noise of the gated throughput benches
+  // on current hardware. If contention ever shows up at higher core counts,
+  // shard per session and merge at EndMeasurement.
+  void RecordProcOutcome(ProcId proc, bool committed, Duration latency_ns) override;
+
+  /// Snapshot of every procedure's window outcomes, in registration order.
+  std::vector<ProcMetricsSnapshot> ProcMetrics() const;
+
+  /// Zeroes the per-procedure outcome stats (Database::BeginMeasurement).
+  void ResetProcMetrics();
+
  private:
+  struct ProcStats {
+    std::atomic<uint64_t> committed{0};
+    std::atomic<uint64_t> user_aborts{0};
+    mutable std::mutex mu;
+    Histogram latency;
+  };
+
   std::vector<ProcedureDescriptor> procs_;
+  std::vector<std::unique_ptr<ProcStats>> stats_;  // parallel to procs_
   std::unordered_map<std::string, ProcId> by_name_;
 };
 

@@ -1,0 +1,48 @@
+// The KV microbenchmark as a registered stored procedure: the
+// Database/Session counterpart of the retired legacy MicrobenchWorkload.
+// The descriptor's router re-derives the routing facts (participants,
+// rounds, abort annotation) from the KvArgs payload — the same facts the
+// legacy generator computed alongside the arguments — and its continuation
+// is the §5.4 general-transaction round input. DrawKvTxn generates the
+// transaction mix consuming the per-client random stream exactly as the
+// legacy generator did, so sim-mode figure runs over sessions reproduce the
+// pre-migration harness bit-for-bit (pinned by tests/kv_session_test.cc).
+#ifndef PARTDB_KV_KV_PROCEDURES_H_
+#define PARTDB_KV_KV_PROCEDURES_H_
+
+#include "db/closed_loop.h"
+#include "db/procedure_registry.h"
+#include "kv/kv_workload.h"
+
+namespace partdb {
+
+/// Name the microbench procedure registers under.
+inline constexpr const char* kKvReadUpdateProc = "kv_read_update";
+
+/// Descriptor for the paper's read/update microbenchmark procedure (register
+/// via DbOptions::procedures; pair with MakeKvEngineFactory and KvArgs built
+/// by hand or drawn from DrawKvTxn).
+ProcedureDescriptor KvReadUpdateProcedure(const KvWorkloadOptions& config);
+
+/// Draws the next transaction's arguments for closed-loop client
+/// `client_index` (paper §5.1–§5.4 mix: single- vs multi-partition split,
+/// pinned clients, conflict-key and abort injection), consuming `rng` exactly
+/// as the legacy closed-loop generator did. Routing is re-derived from the
+/// returned args by the procedure's router.
+PayloadPtr DrawKvTxn(const KvWorkloadOptions& config, int client_index, Rng& rng);
+
+/// Closed-loop generator over a database with KvReadUpdateProcedure
+/// registered (resolves the ProcId up front; the returned generator is
+/// stateless beyond the client's rng).
+InvocationGenerator KvInvocations(const KvWorkloadOptions& config, Database& db);
+
+/// DbOptions preloaded for the microbenchmark: the engine factory, the
+/// read/update procedure, one session slot per closed-loop client, and the
+/// workload's partition count. Callers adjust mode/net/cost/etc. before
+/// Database::Open.
+DbOptions KvDbOptions(const KvWorkloadOptions& config, CcSchemeKind scheme, RunMode mode,
+                      uint64_t seed);
+
+}  // namespace partdb
+
+#endif  // PARTDB_KV_KV_PROCEDURES_H_

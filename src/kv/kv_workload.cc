@@ -1,8 +1,7 @@
 #include "kv/kv_workload.h"
 
 #include <cstring>
-
-#include "common/logging.h"
+#include <memory>
 
 namespace partdb {
 
@@ -18,78 +17,7 @@ KvKey MicrobenchKey(int client, PartitionId p, int slot) {
 
 KvKey ConflictKey(PartitionId p) { return MicrobenchKey(p, p, 0); }
 
-TxnRequest MicrobenchWorkload::Next(int client_index, Rng& rng) {
-  const int P = config_.num_partitions;
-  auto args = std::make_shared<KvArgs>();
-  args->keys.resize(P);
-
-  TxnRequest req;
-  const bool mp = rng.Bernoulli(config_.mp_fraction);
-  PartitionId home = -1;
-  if (mp) {
-    // Divide the keys evenly across all partitions (paper: 6 keys on each of
-    // the 2 partitions).
-    const int per = config_.keys_per_txn / P;
-    PARTDB_CHECK(per >= 1);
-    for (PartitionId p = 0; p < P; ++p) {
-      for (int i = 0; i < per; ++i) args->keys[p].push_back(MicrobenchKey(client_index, p, i));
-      req.participants.push_back(p);
-    }
-    args->rounds = config_.mp_rounds;
-    req.rounds = config_.mp_rounds;
-  } else {
-    if (config_.pin_first_clients && client_index < P) {
-      home = client_index;  // §5.2: first clients pinned to their partition
-    } else {
-      home = static_cast<PartitionId>(rng.Uniform(P));
-    }
-    for (int i = 0; i < config_.keys_per_txn; ++i) {
-      args->keys[home].push_back(MicrobenchKey(client_index, home, i));
-    }
-    req.participants.push_back(home);
-    req.rounds = 1;
-  }
-
-  // Conflict-key injection (§5.2). Pinned clients already write the conflict
-  // keys (their own slot 0); the other clients hit them with probability p.
-  if (config_.conflict_prob > 0 && client_index >= P && rng.Bernoulli(config_.conflict_prob)) {
-    const PartitionId target =
-        mp ? static_cast<PartitionId>(rng.Uniform(P)) : home;
-    args->keys[target][0] = ConflictKey(target);
-  }
-
-  if (config_.force_undo) req.can_abort = true;
-
-  // Abort injection (§5.3). Transactions are annotated individually (paper
-  // §3.2): only a transaction that may abort carries can_abort and therefore
-  // pays for an undo buffer on the no-speculation fast paths.
-  if (config_.abort_prob > 0 && rng.Bernoulli(config_.abort_prob)) {
-    req.can_abort = true;
-    if (mp) {
-      args->abort_at = req.participants[rng.Uniform(req.participants.size())];
-    } else {
-      args->abort_txn = true;
-    }
-  }
-
-  req.args = std::move(args);
-  return req;
-}
-
-PayloadPtr MicrobenchWorkload::RoundInput(
-    const Payload& /*payload*/, int round,
-    const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) {
-  PARTDB_CHECK(round == 1);
-  auto input = std::make_shared<KvRoundInput>();
-  input->values.resize(config_.num_partitions);
-  for (const auto& [p, result] : prev) {
-    PARTDB_CHECK(result != nullptr);
-    input->values[p] = PayloadCast<KvResult>(*result).values;
-  }
-  return input;
-}
-
-EngineFactory MakeKvEngineFactory(const MicrobenchConfig& config) {
+EngineFactory MakeKvEngineFactory(const KvWorkloadOptions& config) {
   return [config](PartitionId pid) -> std::unique_ptr<Engine> {
     auto engine = std::make_unique<KvEngine>(pid);
     for (int c = 0; c < config.num_clients; ++c) {

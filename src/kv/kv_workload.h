@@ -1,21 +1,21 @@
-// Microbenchmark workload generator (paper §5.1–§5.4): a mix of
-// single-partition and multi-partition read/update transactions over private
-// per-client key sets, with optional conflict-key injection (§5.2), abort
-// injection (§5.3), and two-round "general" multi-partition transactions
-// (§5.4).
+// Microbenchmark workload definition (paper §5.1–§5.4): the knobs of the
+// single/multi-partition read-update mix over private per-client key sets,
+// with optional conflict-key injection (§5.2), abort injection (§5.3), and
+// two-round "general" multi-partition transactions (§5.4) — plus the key
+// layout and the engine factory that pre-populates it. The transaction mix
+// generator and the registered stored procedure live in kv/kv_procedures.h.
 #ifndef PARTDB_KV_KV_WORKLOAD_H_
 #define PARTDB_KV_KV_WORKLOAD_H_
 
-#include <memory>
-
-#include "client/workload.h"
 #include "engine/engine.h"
 #include "kv/kv_engine.h"
 
 namespace partdb {
 
-struct MicrobenchConfig {
+struct KvWorkloadOptions {
   int num_partitions = 2;
+  /// Closed-loop clients the run is sized for: the engine factory pre-creates
+  /// each client's private keys, and KvDbOptions opens this many sessions.
   int num_clients = 40;
   int keys_per_txn = 12;  // 6+6 when multi-partition (paper §5.1)
   double mp_fraction = 0.1;
@@ -38,23 +38,9 @@ KvKey MicrobenchKey(int client, PartitionId p, int slot);
 /// The contended key of partition `p`: slot 0 of the pinned client `p`.
 KvKey ConflictKey(PartitionId p);
 
-class MicrobenchWorkload : public Workload {
- public:
-  explicit MicrobenchWorkload(MicrobenchConfig config) : config_(config) {}
-
-  TxnRequest Next(int client_index, Rng& rng) override;
-  PayloadPtr RoundInput(const Payload& args, int round,
-                        const std::vector<std::pair<PartitionId, PayloadPtr>>& prev) override;
-
-  const MicrobenchConfig& config() const { return config_; }
-
- private:
-  MicrobenchConfig config_;
-};
-
 /// Engine factory that pre-populates every client's private keys (and the
 /// conflict keys) with counter value 0 on the owning partition.
-EngineFactory MakeKvEngineFactory(const MicrobenchConfig& config);
+EngineFactory MakeKvEngineFactory(const KvWorkloadOptions& config);
 
 }  // namespace partdb
 

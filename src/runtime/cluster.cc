@@ -1,7 +1,6 @@
 #include "runtime/cluster.h"
 
 #include <chrono>
-#include <thread>
 
 #include "cc/blocking.h"
 #include "cc/locking.h"
@@ -42,28 +41,20 @@ void Cluster::ForEachMeasuredActor(const std::function<void(Actor*, Metrics*)>& 
   };
   for (auto& p : partitions_) sink(p.get());
   sink(coordinator_.get());
-  for (auto& c : clients_) sink(&c->actor());
   for (Actor* s : sessions_) sink(s);
 }
 
 Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
-                 std::unique_ptr<Workload> workload, TxnContinuations* continuations)
-    : config_(config),
-      net_(&sim_, config.net),
-      sim_exec_(&sim_, &net_),
-      workload_(std::move(workload)) {
+                 TxnContinuations* continuations)
+    : config_(config), net_(&sim_, config.net), sim_exec_(&sim_, &net_) {
   PARTDB_CHECK(config_.num_partitions >= 1);
-  PARTDB_CHECK(config_.num_clients >= 0);
-  PARTDB_CHECK(config_.num_sessions >= 0);
-  PARTDB_CHECK(config_.num_clients + config_.num_sessions >= 1);
-  PARTDB_CHECK(config_.num_clients == 0 || workload_ != nullptr);
+  PARTDB_CHECK(config_.num_sessions >= 1);
   PARTDB_CHECK(config_.replication >= 1);
-  if (continuations == nullptr) continuations = workload_.get();
   PARTDB_CHECK(continuations != nullptr);
 
-  // Node layout: clients [0, C), coordinator C, primaries [C+1, C+1+P),
-  // backups afterwards, session slots last.
-  const NodeId coord_node = config_.num_clients;
+  // Node layout: coordinator 0, primaries [1, 1+P), backups afterwards,
+  // session slots last.
+  const NodeId coord_node = 0;
   Topology& topo = topology_;
   topo.coordinator = coord_node;
   for (int p = 0; p < config_.num_partitions; ++p) {
@@ -77,26 +68,20 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
   }
   if (config_.mode == RunMode::kParallel) {
     // Thread-per-partition (and per backup); the coordinator gets its own
-    // worker; all closed-loop clients share one (they only generate load);
-    // session ingress actors spread round-robin over their own worker pool.
+    // worker; session ingress actors spread round-robin over their own
+    // worker pool.
     const int P = config_.num_partitions;
-    const int client_workers = config_.num_clients > 0 ? 1 : 0;
-    const int session_workers = config_.num_sessions > 0 ? config_.session_workers : 0;
-    PARTDB_CHECK(config_.num_sessions == 0 || config_.session_workers >= 1);
-    parallel_ = std::make_unique<ParallelRuntime>(P + num_backups + 1 + client_workers +
-                                                  session_workers);
+    const int session_workers = config_.session_workers;
+    PARTDB_CHECK(session_workers >= 1);
+    parallel_ = std::make_unique<ParallelRuntime>(P + num_backups + 1 + session_workers);
     const int coord_worker = P + num_backups;
     for (int p = 0; p < P; ++p) parallel_->MapNode(topo.partition_primary[p], p);
     for (int b = 0; b < num_backups; ++b) {
       parallel_->MapNode(coord_node + 1 + P + b, P + b);
     }
     parallel_->MapNode(coord_node, coord_worker);
-    for (int c = 0; c < config_.num_clients; ++c) {
-      parallel_->MapNode(c, coord_worker + 1);
-    }
     for (int s = 0; s < config_.num_sessions; ++s) {
-      parallel_->MapNode(session_nodes_[s],
-                         coord_worker + 1 + client_workers + s % session_workers);
+      parallel_->MapNode(session_nodes_[s], coord_worker + 1 + s % session_workers);
     }
     exec_ = parallel_.get();
   } else {
@@ -134,23 +119,12 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
     partitions_[p]->SetBackups(backup_nodes);
   }
 
-  // Coordinator (used by blocking and speculation; locking clients
+  // Coordinator (used by blocking and speculation; locking sessions
   // self-coordinate, so it simply stays idle).
   coordinator_ = std::make_unique<CoordinatorActor>("coordinator", config_.cost,
                                                     MetricsFor(coord_node), continuations,
                                                     topo.partition_primary);
   coordinator_->Bind(exec_, coord_node);
-
-  // Closed-loop clients: one SessionActor-based loop per client, bound at the
-  // client's node and drawing from the client's legacy random stream.
-  for (int c = 0; c < config_.num_clients; ++c) {
-    auto cl = std::make_unique<ClosedLoopClient>("client-" + std::to_string(c), c,
-                                                 workload_.get(), topo, config_.scheme,
-                                                 config_.cost, ClientStreamSeed(config_.seed, c));
-    cl->actor().set_metrics(MetricsFor(c));
-    cl->actor().Bind(exec_, c);
-    clients_.push_back(std::move(cl));
-  }
 }
 
 Engine& Cluster::backup_engine(PartitionId p, int backup_index) {
@@ -173,31 +147,10 @@ Metrics* Cluster::BindSession(int i, Actor* actor) {
 
 void Cluster::Quiesce() {
   PARTDB_CHECK(config_.mode == RunMode::kSimulated);
-  for (auto& c : clients_) c->Stop();
   sim_.Run();
   for (auto& p : partitions_) {
     PARTDB_CHECK(p->cc().Idle());
   }
-}
-
-Metrics Cluster::Run(Duration warmup, Duration measure) {
-  PARTDB_CHECK(config_.mode == RunMode::kSimulated);
-  for (auto& c : clients_) c->Kick();
-  sim_.RunUntil(warmup);
-
-  metrics_.Reset();
-  metrics_.recording = true;
-  for (auto& p : partitions_) p->ResetBusy();
-  coordinator_->ResetBusy();
-
-  sim_.RunUntil(warmup + measure);
-  metrics_.recording = false;
-
-  metrics_.window_ns = measure;
-  metrics_.num_partitions = config_.num_partitions;
-  for (auto& p : partitions_) metrics_.partition_busy_ns += p->busy_ns();
-  metrics_.coord_busy_ns = coordinator_->busy_ns();
-  return metrics_;
 }
 
 void Cluster::StartParallel() {
@@ -206,7 +159,6 @@ void Cluster::StartParallel() {
   PARTDB_CHECK(sessions_.size() == static_cast<size_t>(config_.num_sessions));
   parallel_started_ = true;
   parallel_->Start();
-  for (auto& c : clients_) c->Kick();
 }
 
 void Cluster::BeginWindow() {
@@ -257,10 +209,8 @@ Metrics Cluster::EndWindow() {
 
 Metrics Cluster::StopParallel() {
   PARTDB_CHECK(parallel_started_);
-  // Drain: stop load generation, let in-flight transactions finish, join.
-  // Session traffic must have ceased before this is called (the db layer
-  // waits for its sessions to drain).
-  for (auto& c : clients_) c->Stop();
+  // Drain: session traffic must have ceased before this is called (the db
+  // layer waits for its sessions to drain); let in-flight work finish, join.
   const bool drained = parallel_->WaitQuiescent(std::chrono::seconds(30));
   parallel_->Stop();
   PARTDB_CHECK(drained);
@@ -275,16 +225,6 @@ Metrics Cluster::StopParallel() {
   for (auto& p : partitions_) metrics_.partition_busy_ns += p->busy_ns();
   metrics_.coord_busy_ns = coordinator_->busy_ns();
   return metrics_;
-}
-
-Metrics Cluster::RunParallel(Duration warmup, Duration measure) {
-  PARTDB_CHECK(config_.mode == RunMode::kParallel);
-  StartParallel();
-  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup));
-  BeginWindow();
-  std::this_thread::sleep_for(std::chrono::nanoseconds(measure));
-  EndWindow();
-  return StopParallel();
 }
 
 }  // namespace partdb

@@ -1,16 +1,15 @@
 // Cluster: builds and runs one database instance — partitions with a chosen
 // concurrency-control scheme, optional backups, the central coordinator, and
-// the ingress tier (closed-loop bench clients and/or session slots for the
-// db layer) — and reports measurement-window metrics. The same cluster
-// wiring runs on either execution context: the deterministic discrete-event
-// simulator (Run) or the thread-per-partition parallel runtime on real
-// threads and wall-clock time (RunParallel).
+// the session ingress slots — and reports measurement-window metrics. The
+// same cluster wiring runs on either execution context: the deterministic
+// discrete-event simulator or the thread-per-partition parallel runtime on
+// real threads and wall-clock time.
 //
-// This is the *internal* wiring layer. Applications embed the database
-// through the `Database`/`Session` façade in src/db/ (which builds a Cluster
-// underneath); the figure benches drive Cluster directly because their
-// closed-loop clients and virtual-clock windows are part of the experiment
-// setup.
+// This is the *internal* wiring layer with exactly one ingress path: session
+// actors bound via BindSession. Applications (and every bench harness) embed
+// the database through the `Database`/`Session` façade in src/db/, which
+// builds a Cluster underneath and drives the lifecycle below; closed-loop
+// load lives in db/closed_loop, open-loop load in db/load_driver.
 #ifndef PARTDB_RUNTIME_CLUSTER_H_
 #define PARTDB_RUNTIME_CLUSTER_H_
 
@@ -18,8 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "client/closed_loop_client.h"
-#include "client/workload.h"
+#include "client/routing.h"
 #include "coord/coordinator_actor.h"
 #include "engine/partition_actor.h"
 #include "engine/replication.h"
@@ -39,10 +37,9 @@ struct ClusterConfig {
   CcSchemeKind scheme = CcSchemeKind::kSpeculative;
   RunMode mode = RunMode::kSimulated;
   int num_partitions = 2;
-  int num_clients = 40;  // paper §5.1 (closed-loop bench clients; 0 = none)
-  /// Session ingress slots for the db layer (Database/Session). Each slot is
-  /// one externally-owned actor bound via BindSession before the run starts.
-  int num_sessions = 0;
+  /// Session ingress slots. Each slot is one externally-owned actor bound via
+  /// BindSession before the run starts.
+  int num_sessions = 1;
   /// Parallel-mode worker threads shared by the session ingress actors.
   int session_workers = 1;
   /// Total copies of each partition including the primary (k in §2.2).
@@ -55,7 +52,6 @@ struct ClusterConfig {
   /// hundreds of milliseconds; 20 ms makes each distributed deadlock clearly
   /// expensive (the paper: timeouts "hurt throughput significantly").
   Duration lock_timeout = Micros(20000);
-  uint64_t seed = 12345;
   /// Record per-partition commit logs (serializability tests).
   bool log_commits = false;
   /// Restrict speculation to local speculation (§4.2.1): multi-partition
@@ -69,29 +65,16 @@ struct ClusterConfig {
 class Cluster {
  public:
   /// `factory` creates the engine for each partition (primary and backups
-  /// alike); `workload` drives all closed-loop clients and, by default, the
-  /// coordinator continuations. `continuations` overrides the coordinator's
-  /// continuation source (the db layer passes its ProcedureRegistry); it may
-  /// be the only source when `workload` is null (session-driven cluster,
-  /// num_clients == 0).
+  /// alike); `continuations` is the coordinator's continuation source for
+  /// multi-round transactions (the db layer passes its ProcedureRegistry).
   Cluster(const ClusterConfig& config, const EngineFactory& factory,
-          std::unique_ptr<Workload> workload, TxnContinuations* continuations = nullptr);
+          TxnContinuations* continuations);
 
-  /// Runs warm-up then a measurement window on the virtual clock; returns the
-  /// window's metrics. Requires mode == kSimulated. May be called once.
-  Metrics Run(Duration warmup, Duration measure);
+  // Parallel lifecycle, piecewise (the db layer drives these). All require
+  // mode == kParallel.
 
-  /// Runs warm-up then a measurement window on real threads: one worker per
-  /// partition (and per backup), one for the coordinator, one shared by the
-  /// clients. Durations are wall-clock. Requires mode == kParallel. May be
-  /// called once; the cluster is drained and stopped on return.
-  Metrics RunParallel(Duration warmup, Duration measure);
-
-  // Parallel lifecycle, piecewise (the db layer drives these; RunParallel is
-  // the closed-loop composition). All require mode == kParallel.
-
-  /// Launches the worker threads and kicks any closed-loop clients. All
-  /// BindSession calls must have happened before this.
+  /// Launches the worker threads. All BindSession calls must have happened
+  /// before this.
   void StartParallel();
   /// Begins a measurement window: every actor's private metrics reset on its
   /// own worker thread, so there are no cross-thread races on the counters.
@@ -99,19 +82,20 @@ class Cluster {
   /// Ends the window and returns the merged metrics snapshot, with the
   /// cluster still running (per-actor copies are taken on the owning workers).
   Metrics EndWindow();
-  /// Drains in-flight work (closed-loop clients stop issuing; session traffic
-  /// must already have ceased), joins all workers, and returns the final
-  /// merged metrics. Checks every partition's scheme reports Idle().
+  /// Drains in-flight work (session traffic must already have ceased), joins
+  /// all workers, and returns the final merged metrics. Checks every
+  /// partition's scheme reports Idle().
   Metrics StopParallel();
 
-  /// Stops all clients and drains in-flight work until every partition's
-  /// scheme reports Idle(). Call after Run() when tests need a stable state.
-  /// (RunParallel drains before returning; no separate call is needed.)
+  /// Runs the simulator's event queue dry and checks every partition's
+  /// scheme reports Idle(). Requires mode == kSimulated; session traffic
+  /// must already have ceased (sessions resubmitting from completion
+  /// callbacks keep the queue alive forever).
   void Quiesce();
 
   /// Binds `actor` as session ingress slot `i` (node session_node(i)) and
   /// returns the metrics sink the actor should record into. Must be called
-  /// before StartParallel()/Run().
+  /// before StartParallel()/any simulated traffic.
   Metrics* BindSession(int i, Actor* actor);
   NodeId session_node(int i) const;
 
@@ -126,7 +110,6 @@ class Cluster {
   PartitionActor& partition(PartitionId p) { return *partitions_[p]; }
   Engine& backup_engine(PartitionId p, int backup_index);
   CoordinatorActor* coordinator() { return coordinator_.get(); }
-  Workload& workload() { return *workload_; }
   const Topology& topology() const { return topology_; }
   const std::vector<CommitRecord>& commit_log(PartitionId p) const {
     return partitions_[p]->commit_log();
@@ -148,9 +131,7 @@ class Cluster {
   ExecutionContext* exec_ = nullptr;  // the bound context (sim or parallel)
   Metrics metrics_;
   std::unordered_map<NodeId, std::unique_ptr<Metrics>> actor_metrics_;
-  std::unique_ptr<Workload> workload_;
   Topology topology_;
-  std::vector<std::unique_ptr<ClosedLoopClient>> clients_;
   std::unique_ptr<CoordinatorActor> coordinator_;
   std::vector<std::unique_ptr<PartitionActor>> partitions_;
   std::vector<std::vector<std::unique_ptr<BackupActor>>> backups_;  // [partition][replica]

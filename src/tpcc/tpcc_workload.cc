@@ -1,9 +1,6 @@
 #include "tpcc/tpcc_workload.h"
 
 #include <cmath>
-#include <utility>
-
-#include "tpcc/tpcc_procedures.h"
 
 namespace partdb {
 namespace tpcc {
@@ -34,19 +31,6 @@ double TpccWorkloadConfig::MultiPartitionProbability() const {
   const double total =
       pct_new_order + pct_payment + pct_order_status + pct_delivery + pct_stock_level;
   return (pct_new_order * p_no + pct_payment * p_pay) / total;
-}
-
-TxnRequest TpccWorkload::Next(int client_index, Rng& rng) {
-  // One source of truth with the session path: the registered procedures' mix
-  // generator and router (tpcc_procedures.cc).
-  TpccDraw draw = DrawTpccTxn(config_, client_index, rng);
-  TxnRouting route = RouteTpcc(config_.scale, *draw.args);
-  TxnRequest req;
-  req.args = std::move(draw.args);
-  req.participants = std::move(route.participants);
-  req.rounds = route.rounds;
-  req.can_abort = route.can_abort;
-  return req;
 }
 
 }  // namespace tpcc

@@ -1,11 +1,12 @@
-// TPC-C workload generator with the paper's modifications (§5.5): no client
+// TPC-C workload definition with the paper's modifications (§5.5): no client
 // think time, a fixed number of clients each assigned a warehouse but
 // choosing a random district per request, and a tunable remote-item
-// probability for the multi-partition scaling experiment (§5.6).
+// probability for the multi-partition scaling experiment (§5.6). The mix
+// generator and the registered stored procedures live in
+// tpcc/tpcc_procedures.h.
 #ifndef PARTDB_TPCC_TPCC_WORKLOAD_H_
 #define PARTDB_TPCC_TPCC_WORKLOAD_H_
 
-#include "client/workload.h"
 #include "tpcc/tpcc_engine.h"
 
 namespace partdb {
@@ -31,21 +32,6 @@ struct TpccWorkloadConfig {
   /// label the x-axis of the §5.6 experiment). Averages over the 5..15 line
   /// count and the warehouse->partition map.
   double MultiPartitionProbability() const;
-};
-
-/// Legacy closed-loop adapter over the registered-procedure mix generator and
-/// router in tpcc_procedures.h (the internal Cluster bench tier still drives
-/// Workload; applications register TpccProcedures with a Database instead).
-class TpccWorkload : public Workload {
- public:
-  explicit TpccWorkload(TpccWorkloadConfig config) : config_(config) {}
-
-  TxnRequest Next(int client_index, Rng& rng) override;
-
-  const TpccWorkloadConfig& config() const { return config_; }
-
- private:
-  TpccWorkloadConfig config_;
 };
 
 }  // namespace tpcc

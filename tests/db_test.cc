@@ -12,15 +12,14 @@
 #include "db/database.h"
 #include "db/load_driver.h"
 #include "gtest/gtest.h"
-#include "kv/kv_procs.h"
-#include "kv/kv_workload.h"
+#include "kv/kv_procedures.h"
 #include "test_util.h"
 
 namespace partdb {
 namespace {
 
-MicrobenchConfig SmallConfig(int clients, double mp_fraction, double abort_prob = 0.0) {
-  MicrobenchConfig mb;
+KvWorkloadOptions SmallConfig(int clients, double mp_fraction, double abort_prob = 0.0) {
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = clients;
   mb.mp_fraction = mp_fraction;
@@ -28,7 +27,7 @@ MicrobenchConfig SmallConfig(int clients, double mp_fraction, double abort_prob 
   return mb;
 }
 
-DbOptions SmallDb(const MicrobenchConfig& mb, CcSchemeKind scheme, RunMode mode,
+DbOptions SmallDb(const KvWorkloadOptions& mb, CcSchemeKind scheme, RunMode mode,
                   int max_sessions) {
   DbOptions opts;
   opts.scheme = scheme;
@@ -43,7 +42,7 @@ DbOptions SmallDb(const MicrobenchConfig& mb, CcSchemeKind scheme, RunMode mode,
 }
 
 /// Single-partition read/update args for logical client `c` on partition `p`.
-std::shared_ptr<KvArgs> SpArgs(const MicrobenchConfig& mb, int c, PartitionId p,
+std::shared_ptr<KvArgs> SpArgs(const KvWorkloadOptions& mb, int c, PartitionId p,
                                bool abort_txn = false) {
   auto args = std::make_shared<KvArgs>();
   args->keys.resize(mb.num_partitions);
@@ -55,7 +54,7 @@ std::shared_ptr<KvArgs> SpArgs(const MicrobenchConfig& mb, int c, PartitionId p,
 }
 
 /// Multi-partition args touching every partition.
-std::shared_ptr<KvArgs> MpArgs(const MicrobenchConfig& mb, int c, int rounds = 1) {
+std::shared_ptr<KvArgs> MpArgs(const KvWorkloadOptions& mb, int c, int rounds = 1) {
   auto args = std::make_shared<KvArgs>();
   args->keys.resize(mb.num_partitions);
   const int per = mb.keys_per_txn / mb.num_partitions;
@@ -66,7 +65,7 @@ std::shared_ptr<KvArgs> MpArgs(const MicrobenchConfig& mb, int c, int rounds = 1
   return args;
 }
 
-void ExpectReplayClean(Database& db, const MicrobenchConfig& mb) {
+void ExpectReplayClean(Database& db, const KvWorkloadOptions& mb) {
   std::vector<const std::vector<CommitRecord>*> logs;
   const EngineFactory& factory = db.options().engine_factory;
   for (PartitionId p = 0; p < mb.num_partitions; ++p) {
@@ -85,7 +84,7 @@ TEST(ProcedureRegistry, RegisterFindDispatch) {
   EXPECT_EQ(reg.Find(kKvReadUpdateProc), id);
   EXPECT_EQ(reg.size(), 1u);
 
-  const MicrobenchConfig mb = SmallConfig(2, 0.5);
+  const KvWorkloadOptions mb = SmallConfig(2, 0.5);
   auto sp = SpArgs(mb, 0, 1);
   TxnRouting r = reg.Get(id).route(*sp);
   EXPECT_TRUE(r.single_partition());
@@ -102,7 +101,7 @@ TEST(ProcedureRegistry, RegisterFindDispatch) {
 }
 
 TEST(SimSession, ExecuteCommitsAndReturnsPayload) {
-  const MicrobenchConfig mb = SmallConfig(4, 0.2);
+  const KvWorkloadOptions mb = SmallConfig(4, 0.2);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 2));
   auto session = db->CreateSession();
 
@@ -129,7 +128,7 @@ TEST(SimSession, ExecuteCommitsAndReturnsPayload) {
 }
 
 TEST(SimSession, ExecutePropagatesUserAborts) {
-  const MicrobenchConfig mb = SmallConfig(2, 0.0);
+  const KvWorkloadOptions mb = SmallConfig(2, 0.0);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1));
   auto session = db->CreateSession();
   const ProcId proc = db->proc(kKvReadUpdateProc);
@@ -149,7 +148,7 @@ TEST(SimSession, ExecutePropagatesUserAborts) {
 }
 
 TEST(ParallelSession, ExecutePropagatesUserAborts) {
-  const MicrobenchConfig mb = SmallConfig(2, 0.0);
+  const KvWorkloadOptions mb = SmallConfig(2, 0.0);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 1));
   auto session = db->CreateSession();
   const ProcId proc = db->proc(kKvReadUpdateProc);
@@ -178,7 +177,7 @@ TEST_P(ConcurrentSubmit, SerializableUnderConcurrentSessions) {
   constexpr int kThreads = 4;
   constexpr int kTxnsPerThread = 150;
 
-  const MicrobenchConfig mb = SmallConfig(kThreads, param.mp_fraction, param.abort_prob);
+  const KvWorkloadOptions mb = SmallConfig(kThreads, param.mp_fraction, param.abort_prob);
   auto db = Database::Open(SmallDb(mb, param.scheme, RunMode::kParallel, kThreads));
   const ProcId proc = db->proc(kKvReadUpdateProc);
 
@@ -187,12 +186,11 @@ TEST_P(ConcurrentSubmit, SerializableUnderConcurrentSessions) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t]() {
-      MicrobenchWorkload workload(mb);
       Rng rng(1000 + static_cast<uint64_t>(t));
       auto session = db->CreateSession();
       for (int i = 0; i < kTxnsPerThread; ++i) {
         // Half sync Execute, half async Submit (drained by the session dtor).
-        PayloadPtr args = workload.Next(t, rng).args;
+        PayloadPtr args = DrawKvTxn(mb, t, rng);
         if (i % 2 == 0) {
           TxnResult r = session->Execute(proc, std::move(args));
           (r.committed ? committed : user_aborts)++;
@@ -231,14 +229,12 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInSim) {
-  const MicrobenchConfig mb = SmallConfig(8, 0.25);
+  const KvWorkloadOptions mb = SmallConfig(8, 0.25);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 8));
-  MicrobenchWorkload workload(mb);
 
   ClosedLoopOptions loop;
   loop.num_clients = 8;
-  loop.proc = db->proc(kKvReadUpdateProc);
-  loop.next_args = WorkloadArgs(&workload);
+  loop.next = KvInvocations(mb, *db);
   loop.warmup = Micros(10000);
   loop.measure = Micros(80000);
   Metrics m = RunClosedLoop(*db, loop);
@@ -252,14 +248,12 @@ TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInSim) {
 }
 
 TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInParallel) {
-  const MicrobenchConfig mb = SmallConfig(6, 0.2);
+  const KvWorkloadOptions mb = SmallConfig(6, 0.2);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 6));
-  MicrobenchWorkload workload(mb);
 
   ClosedLoopOptions loop;
   loop.num_clients = 6;
-  loop.proc = db->proc(kKvReadUpdateProc);
-  loop.next_args = WorkloadArgs(&workload);
+  loop.next = KvInvocations(mb, *db);
   loop.warmup = Micros(20000);
   loop.measure = Micros(150000);
   Metrics m = RunClosedLoop(*db, loop);
@@ -271,16 +265,15 @@ TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInParallel) {
 }
 
 TEST(OpenLoopDriver, HitsTargetRateWithinTolerance) {
-  const MicrobenchConfig mb = SmallConfig(2, 0.1);
+  const KvWorkloadOptions mb = SmallConfig(2, 0.1);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
-  MicrobenchWorkload workload(mb);
 
   LoadDriverOptions load;
   load.threads = 2;
   load.target_tps = 2000.0;
   load.duration = 600 * kMillisecond;
   load.proc = db->proc(kKvReadUpdateProc);
-  load.next_args = WorkloadArgs(&workload);
+  load.next_args = [mb](int c, Rng& rng) { return DrawKvTxn(mb, c, rng); };
   LoadDriverReport r = RunOpenLoop(*db, load);
   db->Close();
 
@@ -295,7 +288,7 @@ TEST(OpenLoopDriver, HitsTargetRateWithinTolerance) {
 }
 
 TEST(Database, SessionSlotsRecycle) {
-  const MicrobenchConfig mb = SmallConfig(2, 0.0);
+  const KvWorkloadOptions mb = SmallConfig(2, 0.0);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
   const ProcId proc = db->proc(kKvReadUpdateProc);
   for (int round = 0; round < 3; ++round) {

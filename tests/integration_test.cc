@@ -1,17 +1,27 @@
 // End-to-end integration tests: every concurrency-control scheme runs the
-// microbenchmark variants in the simulated cluster, then the committed
-// history must satisfy final-state serializability (serial replay of each
-// partition's commit log reproduces the live state) and cross-partition
-// multi-partition commit orders must agree.
+// microbenchmark variants through the Database/Session ingress path on the
+// deterministic simulator, then the committed history must satisfy
+// final-state serializability (serial replay of each partition's commit log
+// reproduces the live state) and cross-partition multi-partition commit
+// orders must agree.
 #include <string>
 
 #include "gtest/gtest.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv/kv_procedures.h"
 #include "test_util.h"
 
 namespace partdb {
 namespace {
+
+KvRun RunKvSim(const KvWorkloadOptions& mb, CcSchemeKind scheme, uint64_t seed,
+               Duration warmup, Duration measure, bool log_commits = false,
+               int replication = 1, bool backups_execute = false) {
+  DbOptions opts = KvDbOptions(mb, scheme, RunMode::kSimulated, seed);
+  opts.log_commits = log_commits;
+  opts.replication = replication;
+  opts.backups_execute = backups_execute;
+  return RunKvClosedLoop(std::move(opts), mb, warmup, measure);
+}
 
 struct IntegrationParam {
   CcSchemeKind scheme;
@@ -37,7 +47,7 @@ class SchemeIntegration : public ::testing::TestWithParam<IntegrationParam> {};
 TEST_P(SchemeIntegration, SerializableAndLive) {
   const IntegrationParam& param = GetParam();
 
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 12;
   mb.mp_fraction = param.mp_fraction;
@@ -46,17 +56,11 @@ TEST_P(SchemeIntegration, SerializableAndLive) {
   mb.abort_prob = param.abort_prob;
   mb.mp_rounds = param.mp_rounds;
 
-  ClusterConfig cfg;
-  cfg.scheme = param.scheme;
-  cfg.num_partitions = mb.num_partitions;
-  cfg.num_clients = mb.num_clients;
-  cfg.seed = param.seed;
-  cfg.log_commits = true;
-
-  EngineFactory factory = MakeKvEngineFactory(mb);
-  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.Run(Micros(20000), Micros(150000));
-  cluster.Quiesce();
+  KvRun run = RunKvSim(mb, param.scheme, param.seed, Micros(20000), Micros(150000),
+                       /*log_commits=*/true);
+  const Metrics& m = run.metrics;
+  Cluster& cluster = run.db->cluster();
+  const EngineFactory& factory = run.db->options().engine_factory;
 
   // The system must have made progress.
   EXPECT_GT(m.completions(), 100u) << m.Summary();
@@ -69,7 +73,7 @@ TEST_P(SchemeIntegration, SerializableAndLive) {
 
   // Final-state serializability per partition.
   std::vector<const std::vector<CommitRecord>*> logs;
-  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+  for (PartitionId p = 0; p < mb.num_partitions; ++p) {
     const uint64_t live = cluster.engine(p).StateHash();
     const uint64_t replayed = ExpectCleanReplayStateHash(factory, p, cluster.commit_log(p));
     EXPECT_EQ(live, replayed) << "partition " << p << " diverged from serial replay ("
@@ -123,23 +127,15 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Integration, CounterSumMatchesCommits) {
   // Every committed transaction increments each of its keys exactly once, so
   // the final counter values must equal the per-key committed counts.
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 8;
   mb.mp_fraction = 0.4;
   mb.abort_prob = 0.05;
 
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.num_partitions = 2;
-  cfg.num_clients = mb.num_clients;
-  cfg.log_commits = true;
-  cfg.seed = 99;
-
-  EngineFactory factory = MakeKvEngineFactory(mb);
-  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  cluster.Run(Micros(10000), Micros(100000));
-  cluster.Quiesce();
+  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 99, Micros(10000), Micros(100000),
+                       /*log_commits=*/true);
+  Cluster& cluster = run.db->cluster();
 
   for (PartitionId p = 0; p < 2; ++p) {
     std::unordered_map<uint64_t, uint64_t> expected;  // key hash -> count
@@ -161,47 +157,32 @@ TEST(Integration, CounterSumMatchesCommits) {
 }
 
 TEST(Integration, ReplicationBackupsConverge) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 8;
   mb.mp_fraction = 0.3;
   mb.abort_prob = 0.05;
 
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.num_partitions = 2;
-  cfg.num_clients = mb.num_clients;
-  cfg.replication = 2;
-  cfg.backups_execute = true;
-  cfg.seed = 77;
-
-  EngineFactory factory = MakeKvEngineFactory(mb);
-  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.Run(Micros(10000), Micros(80000));
-  cluster.Quiesce();
-  EXPECT_GT(m.completions(), 100u);
+  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 77, Micros(10000), Micros(80000),
+                       /*log_commits=*/false, /*replication=*/2, /*backups_execute=*/true);
+  EXPECT_GT(run.metrics.completions(), 100u);
 
   for (PartitionId p = 0; p < 2; ++p) {
-    EXPECT_EQ(cluster.engine(p).StateHash(), cluster.backup_engine(p, 0).StateHash())
+    EXPECT_EQ(run.db->cluster().engine(p).StateHash(),
+              run.db->cluster().backup_engine(p, 0).StateHash())
         << "backup of partition " << p << " diverged";
   }
 }
 
 TEST(Integration, DeterministicAcrossRuns) {
   auto run = [](uint64_t seed) {
-    MicrobenchConfig mb;
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = 10;
     mb.mp_fraction = 0.25;
-    ClusterConfig cfg;
-    cfg.scheme = CcSchemeKind::kSpeculative;
-    cfg.num_clients = mb.num_clients;
-    cfg.seed = seed;
-    Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-    Metrics m = cluster.Run(Micros(10000), Micros(50000));
-    cluster.Quiesce();
-    return std::make_pair(m.completions(),
-                          cluster.engine(0).StateHash() ^ cluster.engine(1).StateHash());
+    KvRun r = RunKvSim(mb, CcSchemeKind::kSpeculative, seed, Micros(10000), Micros(50000));
+    return std::make_pair(r.metrics.completions(), r.db->cluster().engine(0).StateHash() ^
+                                                       r.db->cluster().engine(1).StateHash());
   };
   auto [n1, h1] = run(42);
   auto [n2, h2] = run(42);
@@ -212,45 +193,33 @@ TEST(Integration, DeterministicAcrossRuns) {
 }
 
 TEST(Integration, LockingFastPathUsedWhenNoMp) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 8;
   mb.mp_fraction = 0.0;
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kLocking;
-  cfg.num_clients = mb.num_clients;
-  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.Run(Micros(10000), Micros(50000));
-  EXPECT_GT(m.lock_fast_path, 0u);
-  EXPECT_EQ(m.locked_txns, 0u);  // never any active transaction at arrival
+  KvRun run = RunKvSim(mb, CcSchemeKind::kLocking, 12345, Micros(10000), Micros(50000));
+  EXPECT_GT(run.metrics.lock_fast_path, 0u);
+  EXPECT_EQ(run.metrics.locked_txns, 0u);  // never any active transaction at arrival
 }
 
 TEST(Integration, SpeculationActuallySpeculates) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 20;
   mb.mp_fraction = 0.3;
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.num_clients = mb.num_clients;
-  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.Run(Micros(10000), Micros(50000));
-  EXPECT_GT(m.speculative_execs, 0u) << m.Summary();
+  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 12345, Micros(10000), Micros(50000));
+  EXPECT_GT(run.metrics.speculative_execs, 0u) << run.metrics.Summary();
 }
 
 TEST(Integration, AbortsCauseCascadingReexecutions) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 20;
   mb.mp_fraction = 0.3;
   mb.abort_prob = 0.1;
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.num_clients = mb.num_clients;
-  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.Run(Micros(10000), Micros(50000));
-  EXPECT_GT(m.cascading_reexecs, 0u) << m.Summary();
-  EXPECT_GT(m.user_aborts, 0u);
+  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 12345, Micros(10000), Micros(50000));
+  EXPECT_GT(run.metrics.cascading_reexecs, 0u) << run.metrics.Summary();
+  EXPECT_GT(run.metrics.user_aborts, 0u);
 }
 
 }  // namespace

@@ -7,8 +7,7 @@
 #include "fake_partition.h"
 #include "gtest/gtest.h"
 #include "kv/kv_engine.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv/kv_procedures.h"
 #include "test_util.h"
 
 namespace partdb {
@@ -163,7 +162,7 @@ TEST(OccScheme, CommitPathMatchesSpeculation) {
 // other schemes, including under aborts and conflicts.
 TEST(OccScheme, EndToEndSerializable) {
   for (uint64_t seed : {21u, 22u, 23u}) {
-    MicrobenchConfig mb;
+    KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = 12;
     mb.mp_fraction = 0.4;
@@ -171,25 +170,18 @@ TEST(OccScheme, EndToEndSerializable) {
     mb.conflict_prob = 0.4;
     mb.pin_first_clients = true;
 
-    ClusterConfig cfg;
-    cfg.scheme = CcSchemeKind::kOcc;
-    cfg.num_partitions = 2;
-    cfg.num_clients = mb.num_clients;
-    cfg.seed = seed;
-    cfg.log_commits = true;
+    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kOcc, RunMode::kSimulated, seed);
+    opts.log_commits = true;
+    KvRun run = RunKvClosedLoop(std::move(opts), mb, Micros(20000), Micros(120000));
+    EXPECT_GT(run.metrics.completions(), 100u);
 
-    EngineFactory factory = MakeKvEngineFactory(mb);
-    Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-    Metrics m = cluster.Run(Micros(20000), Micros(120000));
-    cluster.Quiesce();
-    EXPECT_GT(m.completions(), 100u);
-
+    const EngineFactory& factory = run.db->options().engine_factory;
     std::vector<const std::vector<CommitRecord>*> logs;
     for (PartitionId p = 0; p < 2; ++p) {
-      EXPECT_EQ(cluster.engine(p).StateHash(),
-                ExpectCleanReplayStateHash(factory, p, cluster.commit_log(p)))
+      EXPECT_EQ(run.db->cluster().engine(p).StateHash(),
+                ExpectCleanReplayStateHash(factory, p, run.db->cluster().commit_log(p)))
           << "seed " << seed << " partition " << p;
-      logs.push_back(&cluster.commit_log(p));
+      logs.push_back(&run.db->cluster().commit_log(p));
     }
     ExpectMpOrderConsistent(logs);
   }

@@ -6,8 +6,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
-#include "kv/kv_workload.h"
-#include "runtime/cluster.h"
+#include "kv/kv_procedures.h"
 #include "runtime/mailbox.h"
 #include "test_util.h"
 
@@ -15,7 +14,7 @@ namespace partdb {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Determinism regression: two clusters built from the same config and seed
+// Determinism regression: two databases built from the same config and seed
 // must produce identical measurement metrics and process exactly the same
 // number of simulator events. Guards the ExecutionContext refactor — the
 // discrete-event path must stay bit-for-bit reproducible.
@@ -27,24 +26,23 @@ struct SimRunResult {
 };
 
 SimRunResult RunSimOnce(CcSchemeKind scheme, uint64_t seed) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 3;
   mb.num_clients = 12;
   mb.mp_fraction = 0.2;
 
-  ClusterConfig cfg;
-  cfg.scheme = scheme;
-  cfg.num_partitions = mb.num_partitions;
-  cfg.num_clients = mb.num_clients;
-  cfg.seed = seed;
-
-  Cluster cluster(cfg, MakeKvEngineFactory(mb), std::make_unique<MicrobenchWorkload>(mb));
+  auto db = Database::Open(KvDbOptions(mb, scheme, RunMode::kSimulated, seed));
+  ClosedLoopOptions loop;
+  loop.num_clients = mb.num_clients;
+  loop.next = KvInvocations(mb, *db);
+  loop.warmup = Micros(20000);
+  loop.measure = Micros(100000);
   SimRunResult r;
-  r.metrics = cluster.Run(Micros(20000), Micros(100000));
-  cluster.Quiesce();
-  r.events = cluster.sim().events_processed();
-  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
-    r.state_hashes.push_back(cluster.engine(p).StateHash());
+  r.metrics = RunClosedLoop(*db, loop);
+  db->Close();
+  r.events = db->cluster().sim().events_processed();
+  for (PartitionId p = 0; p < mb.num_partitions; ++p) {
+    r.state_hashes.push_back(db->cluster().engine(p).StateHash());
   }
   return r;
 }
@@ -184,7 +182,16 @@ TEST(Mailbox, DrainUntilTimesOutWhenEmpty) {
 // commit log reproduces the live engine state), and multi-partition commit
 // order must be consistent across partitions.
 
-void CheckReplayEquivalence(Cluster& cluster, const EngineFactory& factory) {
+KvRun RunKvDb(const KvWorkloadOptions& mb, CcSchemeKind scheme, RunMode mode, uint64_t seed,
+              Duration warmup, Duration measure) {
+  DbOptions opts = KvDbOptions(mb, scheme, mode, seed);
+  opts.log_commits = true;
+  return RunKvClosedLoop(std::move(opts), mb, warmup, measure);
+}
+
+void CheckReplayEquivalence(Database& db) {
+  Cluster& cluster = db.cluster();
+  const EngineFactory& factory = db.options().engine_factory;
   std::vector<const std::vector<CommitRecord>*> logs;
   for (PartitionId p = 0; p < cluster.config().num_partitions; ++p) {
     EXPECT_EQ(cluster.engine(p).StateHash(),
@@ -196,80 +203,51 @@ void CheckReplayEquivalence(Cluster& cluster, const EngineFactory& factory) {
 }
 
 TEST(ParallelRuntime, SpeculativeCommitsAndReplaysSerially) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 4;
   mb.num_clients = 16;
   mb.mp_fraction = 0.15;
 
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.mode = RunMode::kParallel;
-  cfg.num_partitions = mb.num_partitions;
-  cfg.num_clients = mb.num_clients;
-  cfg.seed = 4242;
-  cfg.log_commits = true;
+  KvRun run = RunKvDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 4242,
+                      Micros(20000), Micros(150000));
 
-  const EngineFactory factory = MakeKvEngineFactory(mb);
-  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.RunParallel(Micros(20000), Micros(150000));
-
-  EXPECT_GT(m.committed, 0u);
-  EXPECT_GT(m.mp_committed, 0u);
-  EXPECT_GT(m.window_ns, 0);
-  CheckReplayEquivalence(cluster, factory);
+  EXPECT_GT(run.metrics.committed, 0u);
+  EXPECT_GT(run.metrics.mp_committed, 0u);
+  EXPECT_GT(run.metrics.window_ns, 0);
+  CheckReplayEquivalence(*run.db);
 }
 
 TEST(ParallelRuntime, SimAndParallelAgreeOnSerialReplayState) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 8;
   mb.mp_fraction = 0.2;
-  const EngineFactory factory = MakeKvEngineFactory(mb);
-
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.num_partitions = mb.num_partitions;
-  cfg.num_clients = mb.num_clients;
-  cfg.seed = 99;
-  cfg.log_commits = true;
 
   // Simulated run of the workload/seed.
-  Cluster sim_cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics sm = sim_cluster.Run(Micros(10000), Micros(50000));
-  sim_cluster.Quiesce();
-  EXPECT_GT(sm.committed, 0u);
-  CheckReplayEquivalence(sim_cluster, factory);
+  KvRun sim_run = RunKvDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 99,
+                          Micros(10000), Micros(50000));
+  EXPECT_GT(sim_run.metrics.committed, 0u);
+  CheckReplayEquivalence(*sim_run.db);
 
   // Parallel run of the same workload/seed. Thread interleavings differ from
   // the virtual-clock schedule, so the committed sets differ — but both must
   // be serializable over the same engines, which replay verifies.
-  ClusterConfig pcfg = cfg;
-  pcfg.mode = RunMode::kParallel;
-  Cluster par_cluster(pcfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics pm = par_cluster.RunParallel(Micros(10000), Micros(50000));
-  EXPECT_GT(pm.committed, 0u);
-  CheckReplayEquivalence(par_cluster, factory);
+  KvRun par_run = RunKvDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 99,
+                          Micros(10000), Micros(50000));
+  EXPECT_GT(par_run.metrics.committed, 0u);
+  CheckReplayEquivalence(*par_run.db);
 }
 
 TEST(ParallelRuntime, LockingSchemeRunsOnThreads) {
-  MicrobenchConfig mb;
+  KvWorkloadOptions mb;
   mb.num_partitions = 2;
   mb.num_clients = 8;
   mb.mp_fraction = 0.1;
 
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kLocking;
-  cfg.mode = RunMode::kParallel;
-  cfg.num_partitions = mb.num_partitions;
-  cfg.num_clients = mb.num_clients;
-  cfg.seed = 5;
-  cfg.log_commits = true;
-
-  const EngineFactory factory = MakeKvEngineFactory(mb);
-  Cluster cluster(cfg, factory, std::make_unique<MicrobenchWorkload>(mb));
-  Metrics m = cluster.RunParallel(Micros(10000), Micros(50000));
-  EXPECT_GT(m.committed, 0u);
-  CheckReplayEquivalence(cluster, factory);
+  KvRun run = RunKvDb(mb, CcSchemeKind::kLocking, RunMode::kParallel, 5, Micros(10000),
+                      Micros(50000));
+  EXPECT_GT(run.metrics.committed, 0u);
+  CheckReplayEquivalence(*run.db);
 }
 
 }  // namespace

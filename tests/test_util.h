@@ -1,9 +1,12 @@
 // Shared test helpers: serial replay of commit logs (final-state
-// serializability checking) and cross-partition order consistency.
+// serializability checking), cross-partition order consistency, and the
+// closed-loop KV run over the Database/Session ingress path.
 #ifndef PARTDB_TESTS_TEST_UTIL_H_
 #define PARTDB_TESTS_TEST_UTIL_H_
 
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cc/cc_scheme.h"
@@ -11,8 +14,34 @@
 #include "engine/partition_actor.h"
 #include "engine/replay.h"
 #include "gtest/gtest.h"
+#include "kv/kv_procedures.h"
 
 namespace partdb {
+
+/// One closed-loop KV microbenchmark run over Database/Session. The database
+/// is kept open (sim mode: quiesced by Close; parallel mode: workers joined)
+/// so callers can inspect engines and commit logs afterwards.
+struct KvRun {
+  std::unique_ptr<Database> db;
+  Metrics metrics;
+};
+
+/// Opens a database from `opts` (normally KvDbOptions plus test-specific
+/// overrides), drives `mb` closed-loop with one session per client, and
+/// closes the database.
+inline KvRun RunKvClosedLoop(DbOptions opts, const KvWorkloadOptions& mb, Duration warmup,
+                             Duration measure) {
+  KvRun run;
+  run.db = Database::Open(std::move(opts));
+  ClosedLoopOptions loop;
+  loop.num_clients = mb.num_clients;
+  loop.next = KvInvocations(mb, *run.db);
+  loop.warmup = warmup;
+  loop.measure = measure;
+  run.metrics = RunClosedLoop(*run.db, loop);
+  run.db->Close();
+  return run;
+}
 
 /// Serial replay with the expectation that no committed transaction aborts
 /// (see engine/replay.h for the shared replay itself).

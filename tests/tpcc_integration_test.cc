@@ -1,24 +1,25 @@
-// TPC-C end-to-end: the full mix runs under every scheme in the simulated
-// cluster; afterwards the database must satisfy the TPC-C consistency
-// conditions, match a serial replay of the commit logs, and agree on
-// multi-partition commit order across partitions.
+// TPC-C end-to-end: the full mix runs under every scheme through the
+// Database/Session ingress path on the deterministic simulator; afterwards
+// the database must satisfy the TPC-C consistency conditions, match a serial
+// replay of the commit logs, and agree on multi-partition commit order
+// across partitions.
 #include <string>
 
+#include "db/closed_loop.h"
 #include "gtest/gtest.h"
-#include "runtime/cluster.h"
 #include "test_util.h"
 #include "tpcc/tpcc_consistency.h"
-#include "tpcc/tpcc_engine.h"
-#include "tpcc/tpcc_workload.h"
+#include "tpcc/tpcc_procedures.h"
 
 namespace partdb {
 namespace {
 
 using tpcc::CheckConsistency;
 using tpcc::MakeTpccEngineFactory;
+using tpcc::TpccDbOptions;
 using tpcc::TpccEngine;
+using tpcc::TpccInvocations;
 using tpcc::TpccScale;
-using tpcc::TpccWorkload;
 using tpcc::TpccWorkloadConfig;
 
 TpccScale SmallScale() {
@@ -29,6 +30,34 @@ TpccScale SmallScale() {
   s.customers_per_district = 30;
   s.initial_orders_per_district = 30;
   return s;
+}
+
+/// One simulated closed-loop TPC-C run. The database stays open (Close
+/// quiesces the simulator) so callers can inspect engines and commit logs.
+struct TpccRun {
+  std::unique_ptr<Database> db;
+  Metrics metrics;
+};
+
+TpccRun RunTpccSim(const TpccWorkloadConfig& wl, CcSchemeKind scheme, int clients,
+                   uint64_t seed, uint64_t load_seed, Duration warmup, Duration measure,
+                   bool log_commits = false, int replication = 1,
+                   bool backups_execute = false) {
+  DbOptions opts = TpccDbOptions(wl.scale, scheme, RunMode::kSimulated, clients, seed);
+  opts.engine_factory = MakeTpccEngineFactory(wl.scale, load_seed);
+  opts.log_commits = log_commits;
+  opts.replication = replication;
+  opts.backups_execute = backups_execute;
+  TpccRun run;
+  run.db = Database::Open(std::move(opts));
+  ClosedLoopOptions loop;
+  loop.num_clients = clients;
+  loop.next = TpccInvocations(wl, *run.db);
+  loop.warmup = warmup;
+  loop.measure = measure;
+  run.metrics = RunClosedLoop(*run.db, loop);
+  run.db->Close();
+  return run;
 }
 
 struct TpccParam {
@@ -58,24 +87,18 @@ TEST_P(TpccIntegration, ConsistentAndSerializable) {
     wl.pct_payment = wl.pct_order_status = wl.pct_delivery = wl.pct_stock_level = 0;
   }
 
-  ClusterConfig cfg;
-  cfg.scheme = param.scheme;
-  cfg.num_partitions = wl.scale.num_partitions;
-  cfg.num_clients = 12;
-  cfg.seed = param.seed;
-  cfg.log_commits = true;
-
-  const uint64_t load_seed = 1000 + param.seed;
-  EngineFactory factory = MakeTpccEngineFactory(wl.scale, load_seed);
-  Cluster cluster(cfg, factory, std::make_unique<TpccWorkload>(wl));
-  Metrics m = cluster.Run(Micros(20000), Micros(150000));
-  cluster.Quiesce();
+  TpccRun run = RunTpccSim(wl, param.scheme, /*clients=*/12, param.seed,
+                           /*load_seed=*/1000 + param.seed, Micros(20000), Micros(150000),
+                           /*log_commits=*/true);
+  const Metrics& m = run.metrics;
+  Cluster& cluster = run.db->cluster();
+  const EngineFactory& factory = run.db->options().engine_factory;
 
   EXPECT_GT(m.completions(), 50u) << m.Summary();
 
   // TPC-C consistency conditions over the whole (partitioned) database.
   std::vector<const tpcc::TpccDb*> dbs;
-  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+  for (PartitionId p = 0; p < wl.scale.num_partitions; ++p) {
     dbs.push_back(&static_cast<TpccEngine&>(cluster.engine(p)).db());
   }
   auto violations = CheckConsistency(dbs);
@@ -83,7 +106,7 @@ TEST_P(TpccIntegration, ConsistentAndSerializable) {
 
   // Final-state serializability via serial replay of the commit logs.
   std::vector<const std::vector<CommitRecord>*> logs;
-  for (PartitionId p = 0; p < cfg.num_partitions; ++p) {
+  for (PartitionId p = 0; p < wl.scale.num_partitions; ++p) {
     EXPECT_EQ(cluster.engine(p).StateHash(),
               ExpectCleanReplayStateHash(factory, p, cluster.commit_log(p)))
         << "partition " << p << " diverged (" << CcSchemeName(param.scheme) << ")";
@@ -114,39 +137,28 @@ INSTANTIATE_TEST_SUITE_P(
     TpccParamName);
 
 TEST(TpccIntegrationExtra, LockingUnderContentionMakesProgress) {
-  // One warehouse, many clients: everything fights over the same districts.
+  // One warehouse pair, many clients: everything fights over the same
+  // districts.
   TpccWorkloadConfig wl;
   wl.scale = SmallScale();
   wl.scale.num_warehouses = 2;
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kLocking;
-  cfg.num_partitions = 2;
-  cfg.num_clients = 16;
-  cfg.seed = 9;
-  Cluster cluster(cfg, MakeTpccEngineFactory(wl.scale, 77), std::make_unique<TpccWorkload>(wl));
-  Metrics m = cluster.Run(Micros(20000), Micros(100000));
-  cluster.Quiesce();
-  EXPECT_GT(m.completions(), 50u) << m.Summary();
-  EXPECT_GT(m.locked_txns, 0u);
+  TpccRun run = RunTpccSim(wl, CcSchemeKind::kLocking, /*clients=*/16, /*seed=*/9,
+                           /*load_seed=*/77, Micros(20000), Micros(100000));
+  EXPECT_GT(run.metrics.completions(), 50u) << run.metrics.Summary();
+  EXPECT_GT(run.metrics.locked_txns, 0u);
 }
 
 TEST(TpccIntegrationExtra, ReplicatedTpccBackupConverges) {
   TpccWorkloadConfig wl;
   wl.scale = SmallScale();
-  ClusterConfig cfg;
-  cfg.scheme = CcSchemeKind::kSpeculative;
-  cfg.num_partitions = 2;
-  cfg.num_clients = 8;
-  cfg.replication = 2;
-  cfg.backups_execute = true;
-  cfg.seed = 31;
-  EngineFactory factory = MakeTpccEngineFactory(wl.scale, 31);
-  Cluster cluster(cfg, factory, std::make_unique<TpccWorkload>(wl));
-  Metrics m = cluster.Run(Micros(20000), Micros(80000));
-  cluster.Quiesce();
-  EXPECT_GT(m.completions(), 50u);
+  TpccRun run = RunTpccSim(wl, CcSchemeKind::kSpeculative, /*clients=*/8, /*seed=*/31,
+                           /*load_seed=*/31, Micros(20000), Micros(80000),
+                           /*log_commits=*/false, /*replication=*/2,
+                           /*backups_execute=*/true);
+  EXPECT_GT(run.metrics.completions(), 50u);
   for (PartitionId p = 0; p < 2; ++p) {
-    EXPECT_EQ(cluster.engine(p).StateHash(), cluster.backup_engine(p, 0).StateHash())
+    EXPECT_EQ(run.db->cluster().engine(p).StateHash(),
+              run.db->cluster().backup_engine(p, 0).StateHash())
         << "backup " << p;
   }
 }

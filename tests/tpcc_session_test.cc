@@ -286,5 +286,42 @@ TEST(TpccSessionParity, SimFigureMetricsMatchSeedHarness) {
   }
 }
 
+// The registry's per-procedure outcome stats must decompose the window
+// metrics across the five TPC-C procedures (same recording gate as the
+// window counters; NewOrder contributes the invalid-item user aborts).
+TEST(TpccProcMetrics, FiveProceduresDecomposeWindowMetrics) {
+  TpccWorkloadConfig wl;
+  wl.scale = SmallScale();
+  auto db = Database::Open(
+      TpccDbOptions(wl.scale, CcSchemeKind::kSpeculative, RunMode::kSimulated, 10, 12345));
+  ClosedLoopOptions loop;
+  loop.num_clients = 10;
+  loop.next = TpccInvocations(wl, *db);
+  loop.warmup = Micros(20000);
+  loop.measure = Micros(100000);
+  Metrics m = RunClosedLoop(*db, loop);
+  db->Close();
+
+  const std::vector<ProcMetricsSnapshot> procs = db->ProcMetrics();
+  ASSERT_EQ(procs.size(), 5u);
+  uint64_t committed = 0, aborts = 0, latencies = 0;
+  for (const ProcMetricsSnapshot& p : procs) {
+    committed += p.committed;
+    aborts += p.user_aborts;
+    latencies += p.latency.count();
+    // The full mix exercises every procedure inside the window.
+    EXPECT_GT(p.committed, 0u) << p.name;
+  }
+  EXPECT_EQ(committed, m.committed);
+  EXPECT_EQ(aborts, m.user_aborts);
+  EXPECT_EQ(latencies, m.sp_latency.count() + m.mp_latency.count());
+  // Only NewOrder can user-abort (the 1% invalid-item rollback).
+  EXPECT_GT(procs[0].user_aborts, 0u);
+  EXPECT_EQ(procs[0].name, tpcc::kTpccNewOrderProc);
+  for (size_t i = 1; i < procs.size(); ++i) {
+    EXPECT_EQ(procs[i].user_aborts, 0u) << procs[i].name;
+  }
+}
+
 }  // namespace
 }  // namespace partdb

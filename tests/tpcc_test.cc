@@ -7,7 +7,7 @@
 #include "tpcc/tpcc_consistency.h"
 #include "tpcc/tpcc_engine.h"
 #include "tpcc/tpcc_loader.h"
-#include "tpcc/tpcc_workload.h"
+#include "tpcc/tpcc_procedures.h"
 
 namespace partdb {
 namespace tpcc {
@@ -350,19 +350,19 @@ TEST(TpccWorkloadGen, ParticipantsAndMix) {
   TpccWorkloadConfig cfg;
   cfg.scale = TinyScale(4, 2);
   cfg.remote_item_prob = 0.5;  // force many multi-partition orders
-  TpccWorkload wl(cfg);
   Rng rng(7);
   int mp = 0, total = 2000;
   for (int i = 0; i < total; ++i) {
-    TxnRequest req = wl.Next(i % 8, rng);
-    ASSERT_GE(req.participants.size(), 1u);
-    ASSERT_LE(req.participants.size(), 2u);
-    if (req.participants.size() > 1) ++mp;
+    TpccDraw draw = DrawTpccTxn(cfg, i % 8, rng);
+    TxnRouting route = RouteTpcc(cfg.scale, *draw.args);
+    ASSERT_GE(route.participants.size(), 1u);
+    ASSERT_LE(route.participants.size(), 2u);
+    if (route.participants.size() > 1) ++mp;
     // The home partition owns the client's warehouse.
-    const auto& args = PayloadCast<TpccArgs>(*req.args);
+    const auto& args = PayloadCast<TpccArgs>(*draw.args);
     if (args.kind == TpccArgs::Kind::kNewOrder) {
       const auto& no = static_cast<const NewOrderArgs&>(args);
-      EXPECT_EQ(req.participants[0], cfg.scale.PartitionOf(no.w_id));
+      EXPECT_EQ(route.participants[0], cfg.scale.PartitionOf(no.w_id));
       EXPECT_GE(no.lines.size(), 5u);
       EXPECT_LE(no.lines.size(), 15u);
     }

@@ -1,107 +1,119 @@
-// Microbenchmark workload generator invariants (paper §5.1-§5.4): key
-// counts, partitioning, conflict/abort injection rates, round plumbing.
+// Microbenchmark generator + router invariants (paper §5.1-§5.4): key
+// counts, partitioning, conflict/abort injection rates, and the registered
+// procedure's router re-deriving the routing facts (participants, rounds,
+// abort annotation) from the arguments alone — plus the §5.4 two-round
+// continuation plumbing.
 #include <memory>
 
 #include "gtest/gtest.h"
-#include "kv/kv_workload.h"
+#include "kv/kv_procedures.h"
 
 namespace partdb {
 namespace {
 
-TEST(MicrobenchWorkload, SpTxnsUseAllKeysOnOnePartition) {
-  MicrobenchConfig cfg;
+/// Draws one transaction and routes it through the registered procedure's
+/// router, the way the session ingress path does.
+struct RoutedDraw {
+  PayloadPtr args;
+  TxnRouting route;
+};
+
+RoutedDraw Draw(const KvWorkloadOptions& cfg, int client, Rng& rng) {
+  const ProcedureDescriptor proc = KvReadUpdateProcedure(cfg);
+  RoutedDraw d;
+  d.args = DrawKvTxn(cfg, client, rng);
+  d.route = proc.route(*d.args);
+  return d;
+}
+
+TEST(KvWorkload, SpTxnsUseAllKeysOnOnePartition) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 0.0;
-  MicrobenchWorkload wl(cfg);
   Rng rng(1);
   for (int i = 0; i < 200; ++i) {
-    TxnRequest req = wl.Next(3, rng);
-    ASSERT_TRUE(req.single_partition());
-    const auto& args = PayloadCast<KvArgs>(*req.args);
-    const PartitionId home = req.participants[0];
+    RoutedDraw d = Draw(cfg, 3, rng);
+    ASSERT_TRUE(d.route.single_partition());
+    const auto& args = PayloadCast<KvArgs>(*d.args);
+    const PartitionId home = d.route.participants[0];
     EXPECT_EQ(args.keys[home].size(), static_cast<size_t>(cfg.keys_per_txn));
     EXPECT_TRUE(args.keys[1 - home].empty());
   }
 }
 
-TEST(MicrobenchWorkload, MpTxnsSplitKeysEvenly) {
-  MicrobenchConfig cfg;
+TEST(KvWorkload, MpTxnsSplitKeysEvenly) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 1.0;
-  MicrobenchWorkload wl(cfg);
   Rng rng(2);
-  TxnRequest req = wl.Next(0, rng);
-  ASSERT_EQ(req.participants.size(), 2u);
-  const auto& args = PayloadCast<KvArgs>(*req.args);
+  RoutedDraw d = Draw(cfg, 0, rng);
+  ASSERT_EQ(d.route.participants.size(), 2u);
+  const auto& args = PayloadCast<KvArgs>(*d.args);
   EXPECT_EQ(args.keys[0].size(), 6u);  // paper: 6 keys on each partition
   EXPECT_EQ(args.keys[1].size(), 6u);
 }
 
-TEST(MicrobenchWorkload, MpFractionMatchesConfig) {
-  MicrobenchConfig cfg;
+TEST(KvWorkload, MpFractionMatchesConfig) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 0.3;
-  MicrobenchWorkload wl(cfg);
   Rng rng(3);
   int mp = 0;
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    if (!wl.Next(i % 8, rng).single_partition()) ++mp;
+    if (!Draw(cfg, i % 8, rng).route.single_partition()) ++mp;
   }
   EXPECT_NEAR(static_cast<double>(mp) / n, 0.3, 0.03);
 }
 
-TEST(MicrobenchWorkload, PinnedClientsStayHome) {
-  MicrobenchConfig cfg;
+TEST(KvWorkload, PinnedClientsStayHome) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 0.0;
   cfg.pin_first_clients = true;
   cfg.conflict_prob = 0.5;
-  MicrobenchWorkload wl(cfg);
   Rng rng(4);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(wl.Next(0, rng).participants[0], 0);
-    EXPECT_EQ(wl.Next(1, rng).participants[0], 1);
+    EXPECT_EQ(Draw(cfg, 0, rng).route.participants[0], 0);
+    EXPECT_EQ(Draw(cfg, 1, rng).route.participants[0], 1);
   }
 }
 
-TEST(MicrobenchWorkload, ConflictInjectionHitsConflictKey) {
-  MicrobenchConfig cfg;
+TEST(KvWorkload, ConflictInjectionHitsConflictKey) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 0.0;
   cfg.pin_first_clients = true;
   cfg.conflict_prob = 1.0;
-  MicrobenchWorkload wl(cfg);
   Rng rng(5);
   // Every non-pinned client's transaction must carry the home conflict key.
   for (int i = 0; i < 100; ++i) {
-    TxnRequest req = wl.Next(7, rng);
-    const auto& args = PayloadCast<KvArgs>(*req.args);
-    const PartitionId home = req.participants[0];
+    RoutedDraw d = Draw(cfg, 7, rng);
+    const auto& args = PayloadCast<KvArgs>(*d.args);
+    const PartitionId home = d.route.participants[0];
     EXPECT_EQ(args.keys[home][0], ConflictKey(home));
   }
 }
 
-TEST(MicrobenchWorkload, AbortInjectionRateAndAnnotation) {
-  MicrobenchConfig cfg;
+TEST(KvWorkload, AbortInjectionRateAndAnnotation) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 0.5;
   cfg.abort_prob = 0.1;
-  MicrobenchWorkload wl(cfg);
   Rng rng(6);
   int aborts = 0, can_abort = 0;
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    TxnRequest req = wl.Next(i % 4, rng);
-    const auto& args = PayloadCast<KvArgs>(*req.args);
+    RoutedDraw d = Draw(cfg, i % 4, rng);
+    const auto& args = PayloadCast<KvArgs>(*d.args);
     const bool aborting = args.abort_txn || args.abort_at >= 0;
     if (aborting) ++aborts;
-    if (req.can_abort) ++can_abort;
+    if (d.route.can_abort) ++can_abort;
     // Only transactions that will abort are annotated (paper §3.2), and
     // multi-partition aborts name exactly one participant.
-    EXPECT_EQ(aborting, req.can_abort);
+    EXPECT_EQ(aborting, d.route.can_abort);
     if (args.abort_at >= 0) {
-      EXPECT_FALSE(req.single_partition());
+      EXPECT_FALSE(d.route.single_partition());
       EXPECT_FALSE(args.abort_txn);
     }
   }
@@ -109,43 +121,52 @@ TEST(MicrobenchWorkload, AbortInjectionRateAndAnnotation) {
   EXPECT_EQ(aborts, can_abort);
 }
 
-TEST(MicrobenchWorkload, TwoRoundPlumbing) {
-  MicrobenchConfig cfg;
+TEST(KvWorkload, ForceUndoAnnotatesEveryTxn) {
+  KvWorkloadOptions cfg;
+  cfg.num_partitions = 2;
+  cfg.mp_fraction = 0.5;
+  cfg.force_undo = true;  // the tspS calibration probe (paper Table 2)
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(Draw(cfg, i % 4, rng).route.can_abort);
+  }
+}
+
+TEST(KvWorkload, TwoRoundPlumbing) {
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 1.0;
   cfg.mp_rounds = 2;
-  MicrobenchWorkload wl(cfg);
+  const ProcedureDescriptor proc = KvReadUpdateProcedure(cfg);
   Rng rng(7);
-  TxnRequest req = wl.Next(0, rng);
-  EXPECT_EQ(req.rounds, 2);
-  const auto& args = PayloadCast<KvArgs>(*req.args);
-  EXPECT_EQ(args.rounds, 2);
+  PayloadPtr args = DrawKvTxn(cfg, 0, rng);
+  EXPECT_EQ(proc.route(*args).rounds, 2);
+  EXPECT_EQ(PayloadCast<KvArgs>(*args).rounds, 2);
 
   // Coordinator-side continuation assembles round-0 results per partition.
   auto r0 = std::make_shared<KvResult>();
   r0->values = {10, 20, 30, 40, 50, 60};
   auto r1 = std::make_shared<KvResult>();
   r1->values = {1, 2, 3, 4, 5, 6};
-  PayloadPtr input = wl.RoundInput(*req.args, 1, {{0, r0}, {1, r1}});
+  PayloadPtr input = proc.round_input(*args, 1, {{0, r0}, {1, r1}});
   const auto& in = PayloadCast<KvRoundInput>(*input);
   ASSERT_EQ(in.values.size(), 2u);
   EXPECT_EQ(in.values[0][0], 10u);
   EXPECT_EQ(in.values[1][5], 6u);
 }
 
-TEST(MicrobenchWorkload, KeysAreClientPrivate) {
+TEST(KvWorkload, KeysAreClientPrivate) {
   // Distinct clients never share keys (the paper's no-sharing baseline).
-  MicrobenchConfig cfg;
+  KvWorkloadOptions cfg;
   cfg.num_partitions = 2;
   cfg.mp_fraction = 0.5;
-  MicrobenchWorkload wl(cfg);
   Rng rng(8);
   for (int a = 0; a < 6; ++a) {
     for (int b = a + 1; b < 6; ++b) {
-      TxnRequest ra = wl.Next(a, rng);
-      TxnRequest rb = wl.Next(b, rng);
-      const auto& ka = PayloadCast<KvArgs>(*ra.args);
-      const auto& kb = PayloadCast<KvArgs>(*rb.args);
+      PayloadPtr ra = DrawKvTxn(cfg, a, rng);
+      PayloadPtr rb = DrawKvTxn(cfg, b, rng);
+      const auto& ka = PayloadCast<KvArgs>(*ra);
+      const auto& kb = PayloadCast<KvArgs>(*rb);
       for (const auto& pa : ka.keys) {
         for (const auto& key_a : pa) {
           for (const auto& pb : kb.keys) {
