@@ -7,7 +7,7 @@
 
 namespace partdb {
 
-TxnId SessionActor::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
+SubmitResult SessionActor::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
   PARTDB_CHECK(args != nullptr);  // fail at the call site, not on the worker
   PARTDB_CHECK(router_ != nullptr);
   PendingSubmit p;
@@ -17,7 +17,7 @@ TxnId SessionActor::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
   return Enqueue(std::move(p));
 }
 
-TxnId SessionActor::SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb) {
+SubmitResult SessionActor::SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb) {
   PARTDB_CHECK(args != nullptr);
   PendingSubmit p;
   p.args = std::move(args);
@@ -27,7 +27,7 @@ TxnId SessionActor::SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback 
   return Enqueue(std::move(p));
 }
 
-TxnId SessionActor::Enqueue(PendingSubmit p) {
+SubmitResult SessionActor::Enqueue(PendingSubmit p) {
   // A submission made from within one of this actor's own handlers (a
   // completion callback issuing the next closed-loop request) starts inline:
   // the wake-up hop would only charge an extra client message and delay the
@@ -38,12 +38,14 @@ TxnId SessionActor::Enqueue(PendingSubmit p) {
     TxnId id;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (max_inflight_ != 0 && admitted_ >= max_inflight_) return {false, kInvalidTxn};
+      ++admitted_;
       id = MakeTxnId(node_id(), next_seq_++);
       ++outstanding_;
     }
     p.id = id;
     StartTxn(id, std::move(p), ctx);
-    return id;
+    return {true, id};
   }
 
   // Latency is measured from here: ingress queueing (the wait until the
@@ -51,16 +53,26 @@ TxnId SessionActor::Enqueue(PendingSubmit p) {
   // driver exists to observe.
   p.submit_time = exec()->Now();
   TxnId id;
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (max_inflight_ != 0 && admitted_ >= max_inflight_) return {false, kInvalidTxn};
+    ++admitted_;
     id = MakeTxnId(node_id(), next_seq_++);
     p.id = id;
     pending_.push_back(std::move(p));
     ++outstanding_;
+    // Coalesce: one wake per pending batch. If a wake is already scheduled
+    // and not yet drained, this submission rides along with it.
+    wake = !wake_pending_;
+    if (wake) {
+      wake_pending_ = true;
+      ++ingress_wakes_;
+    }
   }
   // Wake the actor on its own worker; SetTimer is safe from any thread.
-  exec()->SetTimer(node_id(), exec()->Now(), TimerFire{kInvalidTxn, 0});
-  return id;
+  if (wake) exec()->SetTimer(node_id(), exec()->Now(), TimerFire{kInvalidTxn, 0});
+  return {true, id};
 }
 
 bool SessionActor::WaitDrained(std::chrono::steady_clock::duration timeout) {
@@ -112,6 +124,8 @@ void SessionActor::DrainSubmissions(ActorContext& ctx) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch.swap(pending_);
+    // Submissions arriving from here on need a fresh wake.
+    wake_pending_ = false;
   }
   for (PendingSubmit& p : batch) {
     const TxnId id = p.id;
@@ -298,6 +312,15 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
   r.latency_ns = ctx.now() - t.issue_time;
   r.attempts = attempts;
   r.payload = committed ? std::move(result) : nullptr;
+
+  // The admission slot frees before the callback: a closed loop's
+  // resubmit-from-callback reuses the slot this transaction held, so
+  // max_inflight = 1 sustains a closed loop.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PARTDB_CHECK(admitted_ > 0);
+    --admitted_;
+  }
 
   // The callback runs before outstanding_ drops: a Drain that returns must
   // observe every completion's side effects (it may also Submit again —

@@ -63,6 +63,17 @@ struct TxnResult {
 /// pump (simulated mode). Must not block; it may submit new transactions.
 using TxnCallback = std::function<void(const TxnResult&)>;
 
+/// Outcome of one Submit call. `accepted == false` is the bounded-in-flight
+/// overload signal: the session already has max_inflight transactions
+/// admitted, the submission was NOT enqueued, and the callback will never
+/// run. Open-loop drivers surface the count; closed loops never trip it
+/// (a completing transaction releases its slot before the completion
+/// callback resubmits).
+struct SubmitResult {
+  bool accepted = false;
+  TxnId txn_id = kInvalidTxn;
+};
+
 /// Derives routing facts for a registered procedure invocation (the db layer
 /// passes its ProcedureRegistry's router). Must be deterministic in the
 /// arguments. May be null when only SubmitRouted is used.
@@ -90,18 +101,31 @@ class SessionActor : public Actor {
   /// per-proc counts decompose the window's committed/user_aborts exactly.
   void set_proc_metrics(ProcMetricsSink* s) { proc_metrics_ = s; }
 
-  /// Queues one invocation and wakes the actor. Thread-safe; returns the
-  /// assigned transaction id. Routing comes from the actor's ProcRouter.
-  TxnId Submit(ProcId proc, PayloadPtr args, TxnCallback cb);
+  /// Admission bound: at most `n` transactions admitted-and-uncompleted at a
+  /// time (0 = unlimited). Set before traffic starts (Database::Open /
+  /// connection setup), not concurrently with submissions.
+  void set_max_inflight(uint64_t n) { max_inflight_ = n; }
+
+  /// Queues one invocation and wakes the actor (at most one wake per pending
+  /// batch: submissions arriving while a wake is already scheduled coalesce
+  /// into it). Thread-safe. Routing comes from the actor's ProcRouter.
+  SubmitResult Submit(ProcId proc, PayloadPtr args, TxnCallback cb);
 
   /// Like Submit, but with caller-supplied routing (tests and harnesses that
   /// derive routing alongside the arguments, bypassing the registry).
-  TxnId SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb);
+  SubmitResult SubmitRouted(PayloadPtr args, TxnRouting route, TxnCallback cb);
 
   /// Queued + in-flight transactions. Thread-safe.
   uint64_t outstanding() const {
     std::lock_guard<std::mutex> lock(mu_);
     return outstanding_;
+  }
+
+  /// Ingress wake-ups scheduled so far (coalesced mailbox wakes: a burst of
+  /// foreign-thread submissions costs one). Thread-safe; test observability.
+  uint64_t ingress_wakes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ingress_wakes_;
   }
 
   /// Blocks until outstanding() == 0 (parallel mode; the sim pump drains
@@ -141,7 +165,7 @@ class SessionActor : public Actor {
     std::vector<FragmentResponse> resp;
   };
 
-  TxnId Enqueue(PendingSubmit p);
+  SubmitResult Enqueue(PendingSubmit p);
   void DrainSubmissions(ActorContext& ctx);
   void StartTxn(TxnId id, PendingSubmit p, ActorContext& ctx);
   void SendCurrent(TxnId id, Txn& t, ActorContext& ctx);
@@ -160,11 +184,21 @@ class SessionActor : public Actor {
   ProcMetricsSink* proc_metrics_ = nullptr;
   Rng rng_;
 
+  uint64_t max_inflight_ = 0;  // 0 = unlimited; set before traffic
+
   // Shared with submitting threads.
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
   std::deque<PendingSubmit> pending_;
   uint64_t outstanding_ = 0;
+  /// Admitted-and-uncompleted transactions (the admission-control counter).
+  /// Unlike outstanding_, this drops *before* the completion callback runs,
+  /// so a closed loop's resubmit-from-callback reuses the slot it held.
+  uint64_t admitted_ = 0;
+  /// True while an ingress wake is scheduled but not yet drained: further
+  /// submissions coalesce into the pending wake instead of scheduling more.
+  bool wake_pending_ = false;
+  uint64_t ingress_wakes_ = 0;
   uint32_t next_seq_ = 0;
 
   // Owned by the actor's worker (or the sim pump).

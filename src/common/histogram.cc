@@ -77,6 +77,31 @@ double Histogram::Percentile(double p) const {
   return static_cast<double>(max_);
 }
 
+std::vector<std::pair<uint32_t, uint64_t>> Histogram::NonZeroBuckets() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] != 0) out.emplace_back(static_cast<uint32_t>(i), buckets_[i]);
+  }
+  return out;
+}
+
+Histogram Histogram::FromRaw(uint64_t count, int64_t min, int64_t max, double sum,
+                             const std::vector<std::pair<uint32_t, uint64_t>>& nonzero) {
+  Histogram h;
+  uint64_t total = 0;
+  for (const auto& [idx, n] : nonzero) {
+    PARTDB_CHECK(idx < static_cast<uint32_t>(kNumBuckets));
+    h.buckets_[idx] = n;
+    total += n;
+  }
+  PARTDB_CHECK(total == count);
+  h.count_ = count;
+  h.min_ = min;
+  h.max_ = max;
+  h.sum_ = sum;
+  return h;
+}
+
 std::string Histogram::Summary(double scale) const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace partdb {
@@ -27,6 +28,17 @@ class Histogram {
 
   /// One-line summary: count/mean/p50/p95/p99/max (values scaled by `scale`).
   std::string Summary(double scale = 1.0) const;
+
+  // Raw-state access for the wire codec (net tier ships measurement-window
+  // metrics): the non-zero buckets as (index, count) pairs — ascending
+  // index — plus the running aggregates, and the inverse constructor
+  // (which CHECKs bucket indices; decoders validate before calling it).
+  static constexpr int num_buckets() { return kNumBuckets; }
+  std::vector<std::pair<uint32_t, uint64_t>> NonZeroBuckets() const;
+  double raw_sum() const { return sum_; }
+  int64_t raw_min() const { return min_; }
+  static Histogram FromRaw(uint64_t count, int64_t min, int64_t max, double sum,
+                           const std::vector<std::pair<uint32_t, uint64_t>>& nonzero);
 
  private:
   static constexpr int kNumBuckets = 512;

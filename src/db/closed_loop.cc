@@ -27,11 +27,11 @@ struct ClientLoop {
   std::unique_ptr<Session> session;
 
   void IssueNext() {
-    // By default the client draws from its session actor's stream — client c
-    // of a run is always session slot c, so the draw sequence matches the
+    // By default the client draws from its session's stream — client c of a
+    // run is always session slot c, so the draw sequence matches the
     // historical dedicated-client harness. An explicit seed switches to the
     // loop-owned stream.
-    Invocation inv = next(index, rng != nullptr ? *rng : session->actor().rng());
+    Invocation inv = next(index, rng != nullptr ? *rng : session->rng());
     // The stop flag is captured by value: the final completion callback runs
     // while ~ClientLoop is draining the session, after the members have begun
     // destructing. Once stop is set (always before destruction), the callback
@@ -45,7 +45,7 @@ struct ClientLoop {
 
 }  // namespace
 
-Metrics RunClosedLoop(Database& db, const ClosedLoopOptions& options) {
+Metrics RunClosedLoop(DbHandle& db, const ClosedLoopOptions& options) {
   PARTDB_CHECK(options.num_clients >= 1);
   InvocationGenerator next = options.next;
   if (next == nullptr) {

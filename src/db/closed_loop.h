@@ -19,7 +19,7 @@
 #include <optional>
 
 #include "common/rng.h"
-#include "db/database.h"
+#include "db/db_handle.h"
 
 namespace partdb {
 
@@ -57,8 +57,10 @@ struct ClosedLoopOptions {
 
 /// Runs the closed loop for warmup+measure and returns the window's metrics.
 /// On return all transactions have drained (parallel mode: the database is
-/// still running and can be measured again or closed).
-Metrics RunClosedLoop(Database& db, const ClosedLoopOptions& options);
+/// still running and can be measured again or closed). `db` may be the
+/// embedded Database or a net-tier RemoteDatabase — the loop is written
+/// against the transport-independent handle.
+Metrics RunClosedLoop(DbHandle& db, const ClosedLoopOptions& options);
 
 }  // namespace partdb
 

@@ -45,6 +45,7 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
         options_.scheme, options_.cost, ClientStreamSeed(options_.seed, i));
     actor->set_metrics(cluster_->BindSession(i, actor.get()));
     actor->set_proc_metrics(&registry_);
+    actor->set_max_inflight(options_.max_inflight_per_session);
     session_actors_.push_back(std::move(actor));
   }
   for (int i = options_.max_sessions - 1; i >= 0; --i) free_slots_.push_back(i);
@@ -61,12 +62,18 @@ ProcId Database::proc(std::string_view name) const {
 }
 
 std::unique_ptr<Session> Database::CreateSession() {
+  std::unique_ptr<Session> s = TryCreateSession();
+  PARTDB_CHECK(s != nullptr);  // raise DbOptions::max_sessions
+  return s;
+}
+
+std::unique_ptr<Session> Database::TryCreateSession() {
   std::lock_guard<std::mutex> lock(mu_);
   PARTDB_CHECK(!closed_);
-  PARTDB_CHECK(!free_slots_.empty());  // raise DbOptions::max_sessions
+  if (free_slots_.empty()) return nullptr;
   const int slot = free_slots_.back();
   free_slots_.pop_back();
-  return std::unique_ptr<Session>(new Session(this, session_actors_[slot].get()));
+  return std::unique_ptr<Session>(new LocalSession(this, session_actors_[slot].get()));
 }
 
 void Database::ReleaseSession(SessionActor* actor) {

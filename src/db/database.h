@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "db/db_handle.h"
 #include "db/procedure_registry.h"
 #include "db/session.h"
 #include "runtime/cluster.h"
@@ -35,6 +36,13 @@ struct DbOptions {
   int max_sessions = 16;
   /// Parallel-mode worker threads shared by the session ingress actors.
   int session_workers = 2;
+  /// Admission control / backpressure: at most this many transactions
+  /// admitted-and-uncompleted per session (0 = unlimited). Submissions past
+  /// the bound return SubmitResult{accepted = false} instead of queueing —
+  /// the overload signal open-loop drivers surface. Enforced identically by
+  /// embedded sessions and remote sessions (the server's handshake carries
+  /// the bound to clients).
+  uint64_t max_inflight_per_session = 0;
   NetworkConfig net;
   CostModel cost;
   Duration lock_timeout = Micros(20000);
@@ -51,34 +59,39 @@ struct DbOptions {
   std::vector<ProcedureDescriptor> procedures;
 };
 
-class Database {
+class Database : public DbHandle {
  public:
   /// Builds and starts a database. In parallel mode the worker threads are
   /// running when this returns; in simulated mode the virtual clock advances
   /// whenever a session Execute/Drain pumps it.
   static std::unique_ptr<Database> Open(DbOptions options);
 
-  ~Database();
+  ~Database() override;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   /// Id of a registered procedure. CHECK-fails when absent (use
   /// registry().Find for a probing lookup).
-  ProcId proc(std::string_view name) const;
+  ProcId proc(std::string_view name) const override;
   const ProcedureRegistry& registry() const { return registry_; }
-  RunMode mode() const { return options_.mode; }
+  RunMode mode() const override { return options_.mode; }
   const DbOptions& options() const { return options_; }
 
   /// Hands out a session slot. Thread-safe. Destroy every Session before the
   /// Database; the destructor returns the slot.
-  std::unique_ptr<Session> CreateSession();
+  std::unique_ptr<Session> CreateSession() override;
+
+  /// Like CreateSession, but returns null when every slot is taken instead
+  /// of CHECK-failing — for callers where slot demand is external input (the
+  /// network tier's per-connection sessions).
+  std::unique_ptr<Session> TryCreateSession();
 
   /// Begins/ends a metrics window (throughput, latency histograms, CPU
   /// utilization). In parallel mode the flips run on each actor's worker;
   /// in simulated mode they gate the shared metrics instance. Begin also
   /// zeroes the per-procedure outcome stats.
-  void BeginMeasurement();
-  Metrics EndMeasurement();
+  void BeginMeasurement() override;
+  Metrics EndMeasurement() override;
 
   /// Per-procedure outcomes of the current/last measurement window, in
   /// registration order (committed / user-abort counts plus a latency
@@ -87,7 +100,7 @@ class Database {
 
   /// Simulated mode: advances the virtual clock by `d` (closed-loop
   /// measurement windows with traffic already in flight).
-  void AdvanceSim(Duration d);
+  void AdvanceSim(Duration d) override;
 
   /// Drains every session, stops the runtime (parallel mode joins all
   /// workers) and verifies the partitions are quiescent. Idempotent; the
@@ -99,7 +112,7 @@ class Database {
   Cluster& cluster() { return *cluster_; }
 
  private:
-  friend class Session;
+  friend class LocalSession;
 
   explicit Database(DbOptions options);
 

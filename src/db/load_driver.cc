@@ -27,7 +27,7 @@ struct ThreadStats {
 
 }  // namespace
 
-LoadDriverReport RunOpenLoop(Database& db, const LoadDriverOptions& options) {
+LoadDriverReport RunOpenLoop(DbHandle& db, const LoadDriverOptions& options) {
   PARTDB_CHECK(db.mode() == RunMode::kParallel);
   PARTDB_CHECK(options.threads >= 1);
   PARTDB_CHECK(options.target_tps > 0);
@@ -37,6 +37,7 @@ LoadDriverReport RunOpenLoop(Database& db, const LoadDriverOptions& options) {
   const double per_thread_tps = options.target_tps / options.threads;
   std::vector<std::unique_ptr<ThreadStats>> stats;
   std::vector<uint64_t> submitted(options.threads, 0);
+  std::vector<uint64_t> rejected(options.threads, 0);
   for (int t = 0; t < options.threads; ++t) stats.push_back(std::make_unique<ThreadStats>());
 
   const steady_clock::time_point start = steady_clock::now();
@@ -55,16 +56,24 @@ LoadDriverReport RunOpenLoop(Database& db, const LoadDriverOptions& options) {
         std::this_thread::sleep_until(
             start + std::chrono::nanoseconds(static_cast<int64_t>(next_ns)));
         PayloadPtr args = options.next_args(t, rng);
-        session->Submit(options.proc, std::move(args), [st](const TxnResult& r) {
-          std::lock_guard<std::mutex> lock(st->mu);
-          st->completed++;
-          if (r.committed) {
-            st->committed++;
-          } else {
-            st->user_aborts++;
-          }
-          st->latency.Add(r.latency_ns);
-        });
+        const SubmitResult sr =
+            session->Submit(options.proc, std::move(args), [st](const TxnResult& r) {
+              std::lock_guard<std::mutex> lock(st->mu);
+              st->completed++;
+              if (r.committed) {
+                st->committed++;
+              } else {
+                st->user_aborts++;
+              }
+              st->latency.Add(r.latency_ns);
+            });
+        if (!sr.accepted) {
+          // Admission control refused the arrival: open-loop overload. The
+          // arrival is lost (shed), not retried — exactly the backpressure
+          // the bound exists to provide.
+          rejected[t]++;
+          continue;
+        }
         submitted[t]++;
       }
       session->Drain();  // session returns to the pool on destruction
@@ -81,6 +90,7 @@ LoadDriverReport RunOpenLoop(Database& db, const LoadDriverOptions& options) {
     ThreadStats* st = stats[t].get();
     std::lock_guard<std::mutex> lock(st->mu);
     report.submitted += submitted[t];
+    report.rejected += rejected[t];
     report.completed += st->completed;
     report.committed += st->committed;
     report.user_aborts += st->user_aborts;

@@ -11,7 +11,7 @@
 
 #include "common/histogram.h"
 #include "db/closed_loop.h"
-#include "db/database.h"
+#include "db/db_handle.h"
 
 namespace partdb {
 
@@ -31,6 +31,10 @@ struct LoadDriverReport {
   uint64_t completed = 0;
   uint64_t committed = 0;
   uint64_t user_aborts = 0;
+  /// Arrivals the session refused (max_inflight_per_session admission bound):
+  /// the overload signal when offered load exceeds capacity. Rejected
+  /// arrivals are not counted in `submitted`.
+  uint64_t rejected = 0;
   /// First submission to last completion (wall clock).
   Duration elapsed_ns = 0;
   /// Submissions per second of the submission window — what the driver
@@ -41,9 +45,9 @@ struct LoadDriverReport {
   Histogram latency;  // ns, submission to completion
 };
 
-/// Runs the open-loop load against `db` (RunMode::kParallel) and blocks until
-/// every submitted transaction completed.
-LoadDriverReport RunOpenLoop(Database& db, const LoadDriverOptions& options);
+/// Runs the open-loop load against `db` (RunMode::kParallel; embedded or
+/// remote) and blocks until every submitted transaction completed.
+LoadDriverReport RunOpenLoop(DbHandle& db, const LoadDriverOptions& options);
 
 }  // namespace partdb
 

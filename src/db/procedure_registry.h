@@ -26,8 +26,13 @@
 #include "common/types.h"
 #include "coord/txn_continuations.h"
 #include "msg/payload.h"
+#include "msg/wire.h"
 
 namespace partdb {
+
+/// Decodes one payload from its wire encoding. Returns null (and clears the
+/// reader's ok()) on a malformed span.
+using PayloadDecoder = std::function<PayloadPtr(WireReader& r)>;
 
 struct ProcedureDescriptor {
   std::string name;
@@ -42,6 +47,14 @@ struct ProcedureDescriptor {
   std::function<PayloadPtr(const Payload& args, int round,
                            const std::vector<std::pair<PartitionId, PayloadPtr>>& prev)>
       round_input;
+
+  /// Wire codecs: deserializers for the argument and result payload types
+  /// (serialization is Payload::SerializeTo on the instances themselves).
+  /// Both may be null for embedded-only procedures; the network tier
+  /// CHECK-fails when serving a procedure without them (DbServer needs
+  /// decode_args, a remote client needs decode_result).
+  PayloadDecoder decode_args;
+  PayloadDecoder decode_result;
 };
 
 /// One procedure's measurement-window outcomes (Database::ProcMetrics).

@@ -9,56 +9,56 @@
 
 namespace partdb {
 
-Session::~Session() {
+TxnResult Session::SubmitAndWait(ProcId proc, PayloadPtr args) {
+  struct Sync {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    TxnResult r;
+  };
+  auto s = std::make_shared<Sync>();
+  const SubmitResult sr = Submit(proc, std::move(args), [s](const TxnResult& r) {
+    {
+      std::lock_guard<std::mutex> lock(s->m);
+      s->r = r;
+      s->done = true;
+    }
+    s->cv.notify_one();
+  });
+  PARTDB_CHECK(sr.accepted);  // Execute callers hold an admission slot
+  std::unique_lock<std::mutex> lock(s->m);
+  s->cv.wait(lock, [&] { return s->done; });
+  return s->r;
+}
+
+LocalSession::~LocalSession() {
   Drain();
   db_->ReleaseSession(actor_);
 }
 
-TxnId Session::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
+SubmitResult LocalSession::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
   return actor_->Submit(proc, std::move(args), std::move(cb));
 }
 
-TxnId Session::Submit(std::string_view proc_name, PayloadPtr args, TxnCallback cb) {
-  return Submit(db_->proc(proc_name), std::move(args), std::move(cb));
-}
+ProcId LocalSession::proc(std::string_view name) const { return db_->proc(name); }
 
-TxnResult Session::Execute(ProcId proc, PayloadPtr args) {
+TxnResult LocalSession::Execute(ProcId proc, PayloadPtr args) {
   if (db_->mode() == RunMode::kParallel) {
-    struct Sync {
-      std::mutex m;
-      std::condition_variable cv;
-      bool done = false;
-      TxnResult r;
-    };
-    auto s = std::make_shared<Sync>();
-    actor_->Submit(proc, std::move(args), [s](const TxnResult& r) {
-      {
-        std::lock_guard<std::mutex> lock(s->m);
-        s->r = r;
-        s->done = true;
-      }
-      s->cv.notify_one();
-    });
-    std::unique_lock<std::mutex> lock(s->m);
-    s->cv.wait(lock, [&] { return s->done; });
-    return s->r;
+    return SubmitAndWait(proc, std::move(args));
   }
   // Simulated mode: pump the virtual clock until the callback fires.
   bool done = false;
   TxnResult out;
-  actor_->Submit(proc, std::move(args), [&](const TxnResult& r) {
+  const SubmitResult sr = actor_->Submit(proc, std::move(args), [&](const TxnResult& r) {
     out = r;
     done = true;
   });
+  PARTDB_CHECK(sr.accepted);
   db_->PumpSimUntil([&] { return done; });
   return out;
 }
 
-TxnResult Session::Execute(std::string_view proc_name, PayloadPtr args) {
-  return Execute(db_->proc(proc_name), std::move(args));
-}
-
-void Session::Drain() {
+void LocalSession::Drain() {
   if (db_->mode() == RunMode::kParallel) {
     PARTDB_CHECK(actor_->WaitDrained(std::chrono::seconds(30)));
     return;

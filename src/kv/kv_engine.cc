@@ -70,6 +70,119 @@ ExecResult KvEngine::Execute(const Payload& payload, int round, const Payload* r
   return res;
 }
 
+// --- wire codecs -------------------------------------------------------------
+//
+// Layouts are documented in README "Wire protocol". The fixed header widths
+// are chosen so that at the paper's 2-partition figure configurations the
+// encoded sizes equal the byte counts the sim cost model has always charged
+// (KvArgs: 32 + 9/key, KvResult: 8 + 8/value, KvRoundInput: 16 + 8/value) —
+// the sim figure goldens pin this.
+
+void KvArgs::SerializeTo(WireWriter& w) const {
+  uint64_t total = 0;
+  for (const auto& ks : keys) total += ks.size();
+  w.I32(rounds);
+  w.U32(abort_txn ? 1 : 0);
+  w.I32(abort_at);
+  w.U32(static_cast<uint32_t>(keys.size()));
+  w.U64(total);
+  for (const auto& ks : keys) w.U32(static_cast<uint32_t>(ks.size()));
+  for (const auto& ks : keys) {
+    for (const KvKey& k : ks) w.Str(k);
+  }
+}
+
+// Key lists are indexed by PartitionId, so any real deployment has a small
+// number of them; bounding the count up front stops a malformed frame from
+// forcing large vector-of-vectors allocations before validation finishes
+// (a 64MB frame could otherwise claim ~16M empty lists).
+constexpr uint32_t kMaxWireLists = 1024;
+
+PayloadPtr DecodeKvArgs(WireReader& r) {
+  auto args = std::make_shared<KvArgs>();
+  args->rounds = r.I32();
+  args->abort_txn = (r.U32() & 1) != 0;
+  args->abort_at = r.I32();
+  const uint32_t num_lists = r.U32();
+  const uint64_t total = r.U64();
+  // Each key costs 9 bytes on the wire: reject impossible totals before
+  // sizing anything from attacker-controlled lengths.
+  if (num_lists > kMaxWireLists || total > r.remaining() / 9) {
+    r.MarkCorrupt();
+    return nullptr;
+  }
+  std::vector<uint32_t> counts(num_lists);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    counts[i] = r.U32();
+    sum += counts[i];
+  }
+  if (!r.ok() || sum != total) {
+    r.MarkCorrupt();
+    return nullptr;
+  }
+  args->keys.resize(num_lists);
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    args->keys[i].reserve(counts[i]);
+    for (uint32_t k = 0; k < counts[i]; ++k) args->keys[i].push_back(r.Str<8>());
+  }
+  return r.ok() ? args : nullptr;
+}
+
+void KvResult::SerializeTo(WireWriter& w) const {
+  w.U64(values.size());
+  for (uint64_t v : values) w.U64(v);
+}
+
+PayloadPtr DecodeKvResult(WireReader& r) {
+  auto result = std::make_shared<KvResult>();
+  const uint64_t count = r.U64();
+  if (count > r.remaining() / 8) {
+    r.MarkCorrupt();
+    return nullptr;
+  }
+  result->values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) result->values.push_back(r.U64());
+  return r.ok() ? result : nullptr;
+}
+
+void KvRoundInput::SerializeTo(WireWriter& w) const {
+  uint64_t total = 0;
+  for (const auto& vs : values) total += vs.size();
+  w.U32(static_cast<uint32_t>(values.size()));
+  w.U32(static_cast<uint32_t>(total));
+  for (const auto& vs : values) w.U32(static_cast<uint32_t>(vs.size()));
+  for (const auto& vs : values) {
+    for (uint64_t v : vs) w.U64(v);
+  }
+}
+
+PayloadPtr DecodeKvRoundInput(WireReader& r) {
+  auto input = std::make_shared<KvRoundInput>();
+  const uint32_t num_lists = r.U32();
+  const uint32_t total = r.U32();
+  if (num_lists > kMaxWireLists || total > r.remaining() / 8) {
+    r.MarkCorrupt();
+    return nullptr;
+  }
+  std::vector<uint32_t> counts(num_lists);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    counts[i] = r.U32();
+    sum += counts[i];
+  }
+  if (!r.ok() || sum != total) {
+    r.MarkCorrupt();
+    return nullptr;
+  }
+  input->values.resize(num_lists);
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    input->values[i].reserve(counts[i]);
+    for (uint32_t v = 0; v < counts[i]; ++v) input->values[i].push_back(r.U64());
+  }
+  return r.ok() ? input : nullptr;
+}
+
 void KvEngine::LockSet(const Payload& payload, int round,
                        std::vector<LockRequest>* out) const {
   const auto& args = PayloadCast<KvArgs>(payload);

@@ -9,39 +9,47 @@
 
 #include "engine/engine.h"
 #include "kv/kv_store.h"
+#include "msg/wire.h"
 
 namespace partdb {
 
 /// Arguments of the read/update transaction. Keys are grouped per partition;
 /// a single-partition transaction has keys on exactly one partition.
+/// Wire layout (README "Wire protocol"): a 24-byte fixed header (rounds,
+/// flags, abort_at, list count, total key count), one u32 count per
+/// partition list, then each key as a 9-byte fixed-width inline string.
 struct KvArgs : public Payload {
   std::vector<std::vector<KvKey>> keys;  // indexed by PartitionId
   int rounds = 1;                        // 2 = general transaction (§5.4)
   bool abort_txn = false;                // single-partition user abort
   PartitionId abort_at = -1;             // multi-partition: partition that aborts locally
 
-  size_t ByteSize() const override {
-    size_t n = 32;
-    for (const auto& ks : keys) n += ks.size() * 9;
-    return n;
-  }
+  void SerializeTo(WireWriter& w) const override;
 };
 
+/// Decodes a KvArgs payload (registered as the procedure's args codec).
+PayloadPtr DecodeKvArgs(WireReader& r);
+
 /// Result of a fragment: the values read (pre-update), in key order.
+/// Wire layout: u64 count, then each value as a u64.
 struct KvResult : public Payload {
   std::vector<uint64_t> values;
-  size_t ByteSize() const override { return 8 + values.size() * 8; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
+
+PayloadPtr DecodeKvResult(WireReader& r);
+
+PayloadPtr DecodeKvRoundInput(WireReader& r);
 
 /// Round-1 input of a general transaction: the round-0 read values, grouped
 /// by partition (computed by the coordinator from KvResults).
+/// Wire layout: u32 list count + u32 total, one u32 count per list, then
+/// each value as a u64.
 struct KvRoundInput : public Payload {
   std::vector<std::vector<uint64_t>> values;  // indexed by PartitionId
-  size_t ByteSize() const override {
-    size_t n = 16;
-    for (const auto& vs : values) n += vs.size() * 8;
-    return n;
-  }
+
+  void SerializeTo(WireWriter& w) const override;
 };
 
 class KvEngine : public Engine {

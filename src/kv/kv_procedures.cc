@@ -31,6 +31,8 @@ ProcedureDescriptor KvReadUpdateProcedure(const KvWorkloadOptions& config) {
     }
     return input;
   };
+  d.decode_args = DecodeKvArgs;
+  d.decode_result = DecodeKvResult;
   return d;
 }
 
@@ -83,7 +85,7 @@ PayloadPtr DrawKvTxn(const KvWorkloadOptions& config, int client_index, Rng& rng
   return args;
 }
 
-InvocationGenerator KvInvocations(const KvWorkloadOptions& config, Database& db) {
+InvocationGenerator KvInvocations(const KvWorkloadOptions& config, DbHandle& db) {
   const ProcId proc = db.proc(kKvReadUpdateProc);
   return [config, proc](int client_index, Rng& rng) {
     return Invocation{proc, DrawKvTxn(config, client_index, rng)};

@@ -11,6 +11,7 @@
 #define PARTDB_KV_KV_PROCEDURES_H_
 
 #include "db/closed_loop.h"
+#include "db/database.h"
 #include "db/procedure_registry.h"
 #include "kv/kv_workload.h"
 
@@ -33,8 +34,9 @@ PayloadPtr DrawKvTxn(const KvWorkloadOptions& config, int client_index, Rng& rng
 
 /// Closed-loop generator over a database with KvReadUpdateProcedure
 /// registered (resolves the ProcId up front; the returned generator is
-/// stateless beyond the client's rng).
-InvocationGenerator KvInvocations(const KvWorkloadOptions& config, Database& db);
+/// stateless beyond the client's rng). Works on any handle — embedded or
+/// remote.
+InvocationGenerator KvInvocations(const KvWorkloadOptions& config, DbHandle& db);
 
 /// DbOptions preloaded for the microbenchmark: the engine factory, the
 /// read/update procedure, one session slot per closed-loop client, and the

@@ -1,0 +1,18 @@
+#include "msg/payload.h"
+
+#include "common/logging.h"
+#include "msg/wire.h"
+
+namespace partdb {
+
+void Payload::SerializeTo(WireWriter& /*w*/) const {
+  PARTDB_CHECK(false);  // payload type has no wire codec: embedded use only
+}
+
+size_t Payload::ByteSize() const {
+  WireWriter counter;
+  SerializeTo(counter);
+  return counter.bytes_written();
+}
+
+}  // namespace partdb

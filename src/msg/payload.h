@@ -1,6 +1,11 @@
 // Type-erased payload base for stored-procedure arguments and results.
-// Engines (KV, TPC-C) define concrete subclasses; the transport layer only
-// needs the serialized size for network cost accounting.
+// Engines (KV, TPC-C) define concrete subclasses and give them a wire
+// encoding via SerializeTo; the serialized size doubles as the input of the
+// simulated network's bandwidth model, so the cost model charges exactly the
+// bytes a real frame would carry. Payload types that are only ever used
+// embedded (custom in-process procedures) may skip SerializeTo and override
+// ByteSize() by hand instead — the network tier refuses to serve procedures
+// whose payloads cannot cross the wire.
 #ifndef PARTDB_MSG_PAYLOAD_H_
 #define PARTDB_MSG_PAYLOAD_H_
 
@@ -9,13 +14,22 @@
 
 namespace partdb {
 
+class WireWriter;
+
 class Payload {
  public:
   virtual ~Payload() = default;
 
-  /// Size in bytes this payload would occupy on the wire. Used for the
-  /// network bandwidth model; does not need to be exact to the byte.
-  virtual size_t ByteSize() const = 0;
+  /// Encodes this payload in its wire format (frame bodies of the network
+  /// tier; byte accounting of the simulated network). The default
+  /// implementation CHECK-fails: payloads without a codec are embedded-only.
+  virtual void SerializeTo(WireWriter& w) const;
+
+  /// Size in bytes this payload occupies on the wire — derived from
+  /// SerializeTo (a counting pass over the same encoder), so the sim cost
+  /// model and the real frames can never disagree. Embedded-only payloads
+  /// without a codec override this with an estimate instead.
+  virtual size_t ByteSize() const;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

@@ -1,0 +1,162 @@
+// Wire primitives for the payload/frame encoding: a little-endian
+// fixed-width writer that can either append to a buffer or just count bytes
+// (Payload::ByteSize derives the sim cost model's network sizes from the
+// same code path that produces real frames), and a bounds-checked reader
+// that never reads past its span — a truncated or corrupt frame flips ok()
+// instead of invoking undefined behavior.
+#ifndef PARTDB_MSG_WIRE_H_
+#define PARTDB_MSG_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/inline_string.h"
+
+namespace partdb {
+
+/// Appends fixed-width little-endian values to `out`, or — when constructed
+/// without a buffer — only counts the bytes that would be written. The two
+/// modes share every call site, so a payload's ByteSize() is exactly the
+/// number of bytes its SerializeTo() puts on the wire.
+class WireWriter {
+ public:
+  WireWriter() = default;                              // counting mode
+  explicit WireWriter(std::string* out) : out_(out) {}  // append mode
+
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U16(uint16_t v) { PutLe(v); }
+  void U32(uint32_t v) { PutLe(v); }
+  void U64(uint64_t v) { PutLe(v); }
+  void I32(int32_t v) { PutLe(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { PutLe(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    PutLe(bits);
+  }
+
+  void Raw(const void* p, size_t n) {
+    if (out_ != nullptr) out_->append(static_cast<const char*>(p), n);
+    n_ += n;
+  }
+
+  /// Zero padding/reserved bytes (encodings keep their historical sizes).
+  void Pad(size_t n) {
+    for (size_t i = 0; i < n; ++i) U8(0);
+  }
+
+  /// Fixed-width inline string: 1 length byte + the full N-byte backing store
+  /// (bytes past the length are zero by construction, so this round-trips
+  /// bit-identically and keeps every instance the same wire size).
+  template <size_t N>
+  void Str(const InlineString<N>& s) {
+    U8(static_cast<uint8_t>(s.size()));
+    char buf[N] = {};
+    std::memcpy(buf, s.data(), s.size());
+    Raw(buf, N);
+  }
+
+  size_t bytes_written() const { return n_; }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    char buf[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    Raw(buf, sizeof(T));
+  }
+
+  std::string* out_ = nullptr;
+  size_t n_ = 0;
+};
+
+/// Bounds-checked reader over one encoded span. An attempted over-read (or a
+/// malformed length) clears ok(); every subsequent read returns zero values,
+/// so decoders can run to completion and check ok() once at the end.
+class WireReader {
+ public:
+  WireReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit WireReader(std::string_view s) : WireReader(s.data(), s.size()) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint16_t U16() { return GetLe<uint16_t>(); }
+  uint32_t U32() { return GetLe<uint32_t>(); }
+  uint64_t U64() { return GetLe<uint64_t>(); }
+  int32_t I32() { return static_cast<int32_t>(GetLe<uint32_t>()); }
+  int64_t I64() { return static_cast<int64_t>(GetLe<uint64_t>()); }
+  double F64() {
+    const uint64_t bits = GetLe<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  void Raw(void* p, size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  void Skip(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return;
+    }
+    pos_ += n;
+  }
+
+  template <size_t N>
+  InlineString<N> Str() {
+    const uint8_t len = U8();
+    char buf[N] = {};
+    Raw(buf, N);
+    if (len > N) {
+      ok_ = false;
+      return InlineString<N>();
+    }
+    return InlineString<N>(std::string_view(buf, len));
+  }
+
+  /// Marks the span malformed (decoders that find an impossible value).
+  void MarkCorrupt() { ok_ = false; }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+  /// True when every byte was consumed and no read failed — strict decoders
+  /// require this so trailing garbage is rejected, not silently ignored.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  template <typename T>
+  T GetLe() {
+    char buf[sizeof(T)] = {};
+    Raw(buf, sizeof(T));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(buf[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_MSG_WIRE_H_

@@ -1,0 +1,193 @@
+#include "net/db_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+DbServer::DbServer(Database* db, DbServerOptions options) : db_(db) {
+  PARTDB_CHECK(db_ != nullptr);
+  // Simulated databases cannot be served: their clock only advances when a
+  // session pumps it, and server threads must never own the pump.
+  PARTDB_CHECK(db_->mode() == RunMode::kParallel);
+
+  HelloBody hello;
+  hello.max_inflight = db_->options().max_inflight_per_session;
+  hello.mode = 0;  // parallel
+  for (size_t i = 0; i < db_->registry().size(); ++i) {
+    hello.proc_names.push_back(db_->registry().Get(static_cast<ProcId>(i)).name);
+  }
+  hello_ = EncodeHello(hello);
+
+  listener_ = TcpListener::Listen(options.host, options.port);
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+DbServer::~DbServer() { Stop(); }
+
+void DbServer::AcceptLoop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    ReapFinishedConns();
+    TcpConn sock = listener_.AcceptWithTimeout(/*timeout_ms=*/50);
+    if (!sock.valid()) continue;
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // raced with Stop: drop the connection
+    conns_.push_back(std::move(conn));
+    raw->reader = std::thread([this, raw] {
+      ServeConn(raw);
+      raw->done.store(true, std::memory_order_release);  // last touch of *raw
+    });
+  }
+}
+
+void DbServer::ReapFinishedConns() {
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < conns_.size();) {
+      if (conns_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(conns_[i]));
+        conns_[i] = std::move(conns_.back());
+        conns_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Join outside the lock (the thread is past its last *Conn access).
+  for (auto& c : finished) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+}
+
+void DbServer::ServeConn(Conn* conn) {
+  if (!WriteFrame(conn->sock, FrameType::kHello, hello_)) return;
+  // One server-side session per connection, bound lazily on the first
+  // request: the remote peer's submissions share the embedded ingress path
+  // (admission control included), and request-free connections — a remote
+  // handle's measurement control channel — hold no session slot.
+  std::unique_ptr<Session> session;
+
+  Frame f;
+  while (ReadFrame(conn->sock, &f)) {
+    switch (f.type) {
+      case FrameType::kRequest: {
+        WireReader r(f.body);
+        RequestHeader h;
+        if (!DecodeRequestHeader(r, &h)) break;
+        if (h.proc < 0 || static_cast<size_t>(h.proc) >= db_->registry().size()) break;
+        const ProcedureDescriptor& desc = db_->registry().Get(h.proc);
+        // Refuse procedures without a wire codec (embedded-only): the proc
+        // id is remote input, so this is a protocol violation, not a bug.
+        if (desc.decode_args == nullptr) break;
+        PayloadPtr args = desc.decode_args(r);
+        if (args == nullptr || !r.AtEnd()) break;  // malformed: drop the conn
+        // Wire-shape validity is not semantic validity: drop arguments whose
+        // derived routing leaves this database (a well-formed frame naming
+        // partition 1000 must not trip the runtime's CHECKs).
+        const TxnRouting route = desc.route(*args);
+        bool routable = !route.participants.empty() && route.rounds >= 1;
+        for (PartitionId p : route.participants) {
+          routable = routable && p >= 0 && p < db_->options().num_partitions;
+        }
+        if (!routable) break;
+        if (session == nullptr) session = db_->TryCreateSession();
+
+        const uint64_t seq = h.seq;
+        SubmitResult sr;
+        if (session != nullptr) {
+          sr = session->Submit(
+              h.proc, std::move(args), [this, conn, seq](const TxnResult& res) {
+                ResponseHeader rh;
+                rh.seq = seq;
+                rh.status = res.committed ? TxnStatus::kCommitted : TxnStatus::kUserAbort;
+                rh.attempts = res.attempts;
+                rh.has_result = res.payload != nullptr;
+                const std::string body = EncodeResponse(rh, res.payload.get());
+                std::lock_guard<std::mutex> lock(conn->write_mu);
+                // A peer that vanished mid-transaction is torn down by its
+                // reader loop; the failed write is not an error here.
+                WriteFrame(conn->sock, FrameType::kResponse, body);
+              });
+        }
+        if (!sr.accepted) {
+          // Refused — by admission control (the client's own bound normally
+          // prevents this; the server enforces regardless), or because every
+          // session slot is already taken (more request-bearing connections
+          // than DbOptions::max_sessions). Tell the client rather than
+          // crashing the shared server.
+          ResponseHeader rh;
+          rh.seq = seq;
+          rh.status = TxnStatus::kRejected;
+          rh.attempts = 0;
+          const std::string body = EncodeResponse(rh, nullptr);
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          WriteFrame(conn->sock, FrameType::kResponse, body);
+        }
+        continue;
+      }
+      case FrameType::kBeginMeasure: {
+        db_->BeginMeasurement();
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        WriteFrame(conn->sock, FrameType::kMeasureBegun, "");
+        continue;
+      }
+      case FrameType::kEndMeasure: {
+        const Metrics m = db_->EndMeasurement();
+        const std::string body = EncodeMetrics(m);
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        WriteFrame(conn->sock, FrameType::kMetrics, body);
+        continue;
+      }
+      default:
+        break;  // protocol violation: drop the conn
+    }
+    break;
+  }
+
+  // Shut down first so completion callbacks already blocked in a send to a
+  // stalled peer fail fast instead of wedging their session worker, then
+  // drain: remaining in-flight completions still attempt their responses
+  // (failing harmlessly on a dead peer). The session returns its slot on
+  // destruction. The fd itself is released when the Conn is reaped/stopped —
+  // after this thread is joined — so no close races a concurrent Shutdown
+  // from Stop.
+  conn->sock.Shutdown();
+  if (session != nullptr) {
+    session->Drain();
+    session.reset();
+  }
+}
+
+void DbServer::Stop() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    conns.swap(conns_);
+  }
+  // The accept loop exits on its next stop-flag check (its poll wait is
+  // bounded); only then is the listener closed — no thread still polls it.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Deliberately NOT under write_mu: a completion callback may be holding
+  // write_mu while blocked in a send to a peer that stopped reading, and
+  // this very shutdown is what unblocks it. shutdown(2) is safe concurrent
+  // with send/recv, and the fd is not released until after the join below.
+  for (auto& c : conns) c->sock.Shutdown();
+  for (auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+}
+
+}  // namespace partdb

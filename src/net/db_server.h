@@ -1,0 +1,75 @@
+// DbServer: hosts an opened Database on a TCP listener — the first real
+// network tier (paper target deployment: clients invoke named stored
+// procedures with serialized parameters over a socket, H-Store style). Each
+// accepted connection gets its own server-side Session; decoded invocations
+// are pumped through Session::Submit exactly like embedded traffic, so the
+// whole concurrency-control machinery (routing, 2PC, admission control,
+// metrics) is shared with the in-process path. Responses are written from
+// the session workers' completion callbacks.
+#ifndef PARTDB_NET_DB_SERVER_H_
+#define PARTDB_NET_DB_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace partdb {
+
+struct DbServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; DbServer::port() reports the bound port.
+  int port = 0;
+};
+
+/// Serves `db` (RunMode::kParallel; must outlive the server) until Stop.
+/// Every served procedure must have a registered decode_args codec; stop the
+/// server before Database::Close.
+class DbServer {
+ public:
+  explicit DbServer(Database* db, DbServerOptions options = {});
+  ~DbServer();
+  DbServer(const DbServer&) = delete;
+  DbServer& operator=(const DbServer&) = delete;
+
+  int port() const { return port_; }
+
+  /// Stops accepting, severs every connection (in-flight transactions are
+  /// drained and their responses delivered first), joins all threads.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  struct Conn {
+    TcpConn sock;
+    std::mutex write_mu;  // completions write from session workers
+    std::thread reader;
+    /// Set (last) by the reader on exit; the accept loop reaps done conns
+    /// so a long-lived server does not accumulate disconnected peers.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConn(Conn* conn);
+  void ReapFinishedConns();
+
+  Database* db_;
+  TcpListener listener_;
+  int port_ = 0;
+  std::string hello_;  // identical preamble for every connection
+
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  bool stopping_ = false;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_NET_DB_SERVER_H_

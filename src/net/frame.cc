@@ -1,0 +1,202 @@
+#include "net/frame.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+bool ReadFrame(TcpConn& conn, Frame* out) {
+  char prefix[6];  // u32 length + u8 version + u8 type
+  if (!conn.ReadFull(prefix, 6)) return false;
+  WireReader pr(prefix, 6);
+  const uint32_t len = pr.U32();
+  if (len < 2 || len > kMaxFrameBytes) return false;
+  if (pr.U8() != kWireVersion) return false;
+  out->type = static_cast<FrameType>(pr.U8());
+  // Read the body straight into the frame: this runs once per transaction,
+  // so no intermediate buffer.
+  out->body.resize(len - 2);
+  return out->body.empty() || conn.ReadFull(out->body.data(), out->body.size());
+}
+
+bool WriteFrame(TcpConn& conn, FrameType type, std::string_view body) {
+  std::string frame;
+  frame.reserve(4 + 2 + body.size());
+  WireWriter w(&frame);
+  w.U32(static_cast<uint32_t>(2 + body.size()));
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.Raw(body.data(), body.size());
+  return conn.WriteAll(frame.data(), frame.size());
+}
+
+std::string EncodeHello(const HelloBody& h) {
+  std::string body;
+  WireWriter w(&body);
+  w.U64(h.max_inflight);
+  w.U8(h.mode);
+  w.U32(static_cast<uint32_t>(h.proc_names.size()));
+  for (const std::string& name : h.proc_names) {
+    w.U16(static_cast<uint16_t>(name.size()));
+    w.Raw(name.data(), name.size());
+  }
+  return body;
+}
+
+bool DecodeHello(std::string_view body, HelloBody* out) {
+  WireReader r(body);
+  out->max_inflight = r.U64();
+  out->mode = r.U8();
+  const uint32_t n = r.U32();
+  out->proc_names.clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const uint16_t len = r.U16();
+    if (len > r.remaining()) return false;
+    std::string name(len, '\0');
+    r.Raw(name.data(), len);
+    out->proc_names.push_back(std::move(name));
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeRequest(const RequestHeader& h, const Payload& args) {
+  std::string body;
+  WireWriter w(&body);
+  w.U64(h.seq);
+  w.U32(static_cast<uint32_t>(h.proc));
+  args.SerializeTo(w);
+  return body;
+}
+
+bool DecodeRequestHeader(WireReader& r, RequestHeader* out) {
+  out->seq = r.U64();
+  out->proc = static_cast<ProcId>(r.U32());
+  return r.ok();
+}
+
+std::string EncodeResponse(const ResponseHeader& h, const Payload* result) {
+  std::string body;
+  WireWriter w(&body);
+  w.U64(h.seq);
+  w.U8(static_cast<uint8_t>(h.status));
+  w.U32(h.attempts);
+  w.U8(h.has_result ? 1 : 0);
+  if (h.has_result) {
+    PARTDB_CHECK(result != nullptr);
+    result->SerializeTo(w);
+  }
+  return body;
+}
+
+bool DecodeResponseHeader(WireReader& r, ResponseHeader* out) {
+  out->seq = r.U64();
+  const uint8_t status = r.U8();
+  if (status > static_cast<uint8_t>(TxnStatus::kRejected)) return false;
+  out->status = static_cast<TxnStatus>(status);
+  out->attempts = r.U32();
+  out->has_result = r.U8() != 0;
+  return r.ok();
+}
+
+namespace {
+
+void EncodeHistogram(WireWriter& w, const Histogram& h) {
+  w.U64(h.count());
+  w.I64(h.raw_min());
+  w.I64(h.max());
+  w.F64(h.raw_sum());
+  const auto nonzero = h.NonZeroBuckets();
+  w.U32(static_cast<uint32_t>(nonzero.size()));
+  for (const auto& [idx, n] : nonzero) {
+    w.U32(idx);
+    w.U64(n);
+  }
+}
+
+bool DecodeHistogram(WireReader& r, Histogram* out) {
+  const uint64_t count = r.U64();
+  const int64_t min = r.I64();
+  const int64_t max = r.I64();
+  const double sum = r.F64();
+  const uint32_t n = r.U32();
+  if (n > r.remaining() / 12) return false;
+  std::vector<std::pair<uint32_t, uint64_t>> nonzero;
+  uint64_t total = 0;
+  nonzero.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t idx = r.U32();
+    const uint64_t c = r.U64();
+    // Ascending in-range indices (the encoder's invariant): a corrupt frame
+    // must fail here, not inside FromRaw's CHECKs.
+    if (idx >= static_cast<uint32_t>(Histogram::num_buckets())) return false;
+    if (!nonzero.empty() && idx <= nonzero.back().first) return false;
+    nonzero.emplace_back(idx, c);
+    total += c;
+  }
+  if (!r.ok() || total != count) return false;
+  *out = Histogram::FromRaw(count, min, max, sum, nonzero);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeMetrics(const Metrics& m) {
+  std::string body;
+  WireWriter w(&body);
+  w.U64(m.committed);
+  w.U64(m.sp_committed);
+  w.U64(m.mp_committed);
+  w.U64(m.user_aborts);
+  w.U64(m.speculative_execs);
+  w.U64(m.cascading_reexecs);
+  w.U64(m.lock_fast_path);
+  w.U64(m.locked_txns);
+  w.U64(m.lock_waits);
+  w.U64(m.local_deadlocks);
+  w.U64(m.timeout_aborts);
+  w.U64(m.txn_retries);
+  w.U64(m.occ_survivors);
+  w.I64(m.lock_acquire_ns);
+  w.I64(m.lock_release_ns);
+  w.I64(m.lock_table_ns);
+  w.I64(m.window_ns);
+  w.I64(m.partition_busy_ns);
+  w.I64(m.coord_busy_ns);
+  w.I32(m.num_partitions);
+  EncodeHistogram(w, m.sp_latency);
+  EncodeHistogram(w, m.mp_latency);
+  return body;
+}
+
+bool DecodeMetrics(std::string_view body, Metrics* out) {
+  WireReader r(body);
+  Metrics m;
+  m.committed = r.U64();
+  m.sp_committed = r.U64();
+  m.mp_committed = r.U64();
+  m.user_aborts = r.U64();
+  m.speculative_execs = r.U64();
+  m.cascading_reexecs = r.U64();
+  m.lock_fast_path = r.U64();
+  m.locked_txns = r.U64();
+  m.lock_waits = r.U64();
+  m.local_deadlocks = r.U64();
+  m.timeout_aborts = r.U64();
+  m.txn_retries = r.U64();
+  m.occ_survivors = r.U64();
+  m.lock_acquire_ns = r.I64();
+  m.lock_release_ns = r.I64();
+  m.lock_table_ns = r.I64();
+  m.window_ns = r.I64();
+  m.partition_busy_ns = r.I64();
+  m.coord_busy_ns = r.I64();
+  m.num_partitions = r.I32();
+  if (!DecodeHistogram(r, &m.sp_latency)) return false;
+  if (!DecodeHistogram(r, &m.mp_latency)) return false;
+  if (!r.AtEnd()) return false;
+  *out = std::move(m);
+  return true;
+}
+
+}  // namespace partdb

@@ -1,0 +1,101 @@
+// Wire protocol of the network tier (README "Wire protocol" documents the
+// byte-level layouts). Every frame is length-prefixed:
+//
+//   u32 length | u8 version | u8 type | body (length - 2 bytes)
+//
+// Request bodies carry the procedure id plus the argument payload in its
+// procedure codec encoding; response bodies carry the transaction outcome
+// plus the result payload. Measurement-control frames let a remote handle
+// run the same BeginMeasurement/EndMeasurement protocol as an embedded one
+// (Metrics, histograms included, ships back serialized).
+#ifndef PARTDB_NET_FRAME_H_
+#define PARTDB_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/payload.h"
+#include "msg/wire.h"
+#include "net/socket.h"
+#include "runtime/metrics.h"
+
+namespace partdb {
+
+/// Protocol version: the first body byte of every frame. A peer speaking a
+/// different version is rejected at frame level.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Upper bound on one frame body: protects both sides from allocating on a
+/// corrupt length prefix.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,          // server -> client, once per connection
+  kRequest = 2,        // client -> server: invoke a procedure
+  kResponse = 3,       // server -> client: transaction outcome
+  kBeginMeasure = 4,   // client -> server: start a metrics window
+  kMeasureBegun = 5,   // server -> client: ack
+  kEndMeasure = 6,     // client -> server: end the window
+  kMetrics = 7,        // server -> client: serialized window Metrics
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string body;
+};
+
+/// Reads one frame. False on EOF, I/O error, version mismatch, or an
+/// over-limit length (the connection is then unusable).
+bool ReadFrame(TcpConn& conn, Frame* out);
+
+/// Writes one frame. False when the peer is gone.
+bool WriteFrame(TcpConn& conn, FrameType type, std::string_view body);
+
+// --- body layouts ------------------------------------------------------------
+
+/// kHello: the server's connection preamble — admission bound, execution
+/// mode, and the procedure table (ids are positions in registration order).
+struct HelloBody {
+  uint64_t max_inflight = 0;  // 0 = unlimited (DbOptions::max_inflight_per_session)
+  uint8_t mode = 0;           // 0 = parallel (the only servable mode)
+  std::vector<std::string> proc_names;  // index == ProcId
+};
+
+std::string EncodeHello(const HelloBody& h);
+bool DecodeHello(std::string_view body, HelloBody* out);
+
+/// kRequest: u64 seq | u32 proc | args bytes (procedure codec).
+struct RequestHeader {
+  uint64_t seq = 0;
+  ProcId proc = kInvalidProc;
+};
+
+std::string EncodeRequest(const RequestHeader& h, const Payload& args);
+/// Parses the header and leaves `r` positioned at the args bytes.
+bool DecodeRequestHeader(WireReader& r, RequestHeader* out);
+
+/// kResponse: u64 seq | u8 status | u32 attempts | u8 has_result |
+/// result bytes (procedure codec).
+enum class TxnStatus : uint8_t { kCommitted = 0, kUserAbort = 1, kRejected = 2 };
+
+struct ResponseHeader {
+  uint64_t seq = 0;
+  TxnStatus status = TxnStatus::kCommitted;
+  uint32_t attempts = 1;
+  bool has_result = false;
+};
+
+std::string EncodeResponse(const ResponseHeader& h, const Payload* result);
+/// Parses the header and leaves `r` positioned at the result bytes.
+bool DecodeResponseHeader(WireReader& r, ResponseHeader* out);
+
+/// kMetrics body: every counter and both latency histograms of a Metrics.
+std::string EncodeMetrics(const Metrics& m);
+bool DecodeMetrics(std::string_view body, Metrics* out);
+
+}  // namespace partdb
+
+#endif  // PARTDB_NET_FRAME_H_

@@ -1,0 +1,208 @@
+#include "net/remote_db.h"
+
+#include <chrono>
+#include <utility>
+
+namespace partdb {
+
+namespace {
+
+Time SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// --- RemoteSession -----------------------------------------------------------
+
+RemoteSession::RemoteSession(const RemoteDatabase* db, TcpConn sock, uint64_t rng_seed)
+    : db_(db), sock_(std::move(sock)), rng_(rng_seed) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+RemoteSession::~RemoteSession() {
+  Drain();
+  sock_.Shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+SubmitResult RemoteSession::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
+  PARTDB_CHECK(args != nullptr);
+  const uint64_t max = db_->max_inflight();
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PARTDB_CHECK(!closed_);  // server gone or protocol error
+    if (max != 0 && admitted_ >= max) return {false, kInvalidTxn};
+    ++admitted_;
+    ++outstanding_;
+    seq = next_seq_++;
+    PendingTxn p;
+    p.proc = proc;
+    p.cb = std::move(cb);
+    p.submit_ns = SteadyNowNs();
+    // Registered before the frame leaves: the response may beat the
+    // registration otherwise.
+    pending_.emplace(seq, std::move(p));
+  }
+  RequestHeader h;
+  h.seq = seq;
+  h.proc = proc;
+  const std::string body = EncodeRequest(h, *args);
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    ok = WriteFrame(sock_, FrameType::kRequest, body);
+  }
+  PARTDB_CHECK(ok);  // a broken connection mid-run is fatal, like a lost node
+  return {true, seq};
+}
+
+TxnResult RemoteSession::Execute(ProcId proc, PayloadPtr args) {
+  return SubmitAndWait(proc, std::move(args));
+}
+
+void RemoteSession::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] { return outstanding_ == 0 || closed_; });
+  PARTDB_CHECK(outstanding_ == 0);  // closed with txns in flight: server died
+}
+
+uint64_t RemoteSession::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+ProcId RemoteSession::proc(std::string_view name) const { return db_->proc(name); }
+
+void RemoteSession::ReaderLoop() {
+  Frame f;
+  while (ReadFrame(sock_, &f)) {
+    if (f.type != FrameType::kResponse) break;  // protocol violation
+    WireReader r(f.body);
+    ResponseHeader h;
+    if (!DecodeResponseHeader(r, &h)) break;
+    // The client-side admission bound makes inflight rejections unreachable;
+    // one arriving anyway means the peer ran out of session slots (more
+    // connections than the server's DbOptions::max_sessions — a deployment
+    // misconfiguration) or the two bounds disagree. The shared server stays
+    // up; this client fails loudly.
+    PARTDB_CHECK(h.status != TxnStatus::kRejected);
+
+    PendingTxn p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(h.seq);
+      PARTDB_CHECK(it != pending_.end());
+      p = std::move(it->second);
+      pending_.erase(it);
+      // The admission slot frees before the callback runs — identical to the
+      // embedded session, so resubmit-from-callback closed loops hold one
+      // slot under either transport.
+      PARTDB_CHECK(admitted_ > 0);
+      --admitted_;
+    }
+
+    TxnResult res;
+    res.committed = h.status == TxnStatus::kCommitted;
+    res.latency_ns = SteadyNowNs() - p.submit_ns;
+    res.attempts = h.attempts;
+    if (h.has_result) {
+      const PayloadDecoder* dec = db_->result_decoder(p.proc);
+      PARTDB_CHECK(dec != nullptr);  // pass the procedure list to Connect
+      res.payload = (*dec)(r);
+      PARTDB_CHECK(res.payload != nullptr && r.AtEnd());
+    }
+
+    if (p.cb) p.cb(res);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PARTDB_CHECK(outstanding_ > 0);
+      --outstanding_;
+    }
+    drained_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  // Fail loudly, not silently: a connection that died with transactions in
+  // flight would otherwise leave Execute/Drain callers blocked forever.
+  PARTDB_CHECK(pending_.empty());
+  drained_cv_.notify_all();
+}
+
+// --- RemoteDatabase ----------------------------------------------------------
+
+std::unique_ptr<RemoteDatabase> RemoteDatabase::Connect(const std::string& host, int port,
+                                                        ConnectOptions options) {
+  TcpConn control = TcpConn::ConnectTo(host, port);
+  PARTDB_CHECK(control.valid());
+  Frame f;
+  PARTDB_CHECK(ReadFrame(control, &f));
+  PARTDB_CHECK(f.type == FrameType::kHello);
+  HelloBody hello;
+  PARTDB_CHECK(DecodeHello(f.body, &hello));
+  PARTDB_CHECK(hello.mode == 0);  // parallel
+  return std::unique_ptr<RemoteDatabase>(new RemoteDatabase(
+      host, port, std::move(options), std::move(control), std::move(hello)));
+}
+
+RemoteDatabase::RemoteDatabase(std::string host, int port, ConnectOptions options,
+                               TcpConn control, HelloBody hello)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      hello_(std::move(hello)),
+      control_(std::move(control)) {
+  result_decoders_.resize(hello_.proc_names.size());
+  for (size_t i = 0; i < hello_.proc_names.size(); ++i) {
+    by_name_.emplace(hello_.proc_names[i], static_cast<ProcId>(i));
+    for (const ProcedureDescriptor& d : options_.procedures) {
+      if (d.name == hello_.proc_names[i]) result_decoders_[i] = d.decode_result;
+    }
+  }
+}
+
+std::unique_ptr<Session> RemoteDatabase::CreateSession() {
+  TcpConn sock = TcpConn::ConnectTo(host_, port_);
+  PARTDB_CHECK(sock.valid());
+  Frame f;
+  PARTDB_CHECK(ReadFrame(sock, &f));
+  PARTDB_CHECK(f.type == FrameType::kHello);  // preamble verified at Connect
+  const int slot = next_session_slot_.fetch_add(1);
+  return std::unique_ptr<Session>(new RemoteSession(
+      this, std::move(sock), ClientStreamSeed(options_.seed, slot)));
+}
+
+ProcId RemoteDatabase::proc(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  PARTDB_CHECK(it != by_name_.end());
+  return it->second;
+}
+
+const PayloadDecoder* RemoteDatabase::result_decoder(ProcId proc) const {
+  PARTDB_CHECK(proc >= 0 && static_cast<size_t>(proc) < result_decoders_.size());
+  return result_decoders_[proc] == nullptr ? nullptr : &result_decoders_[proc];
+}
+
+void RemoteDatabase::BeginMeasurement() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  PARTDB_CHECK(WriteFrame(control_, FrameType::kBeginMeasure, ""));
+  Frame f;
+  PARTDB_CHECK(ReadFrame(control_, &f));
+  PARTDB_CHECK(f.type == FrameType::kMeasureBegun);
+}
+
+Metrics RemoteDatabase::EndMeasurement() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  PARTDB_CHECK(WriteFrame(control_, FrameType::kEndMeasure, ""));
+  Frame f;
+  PARTDB_CHECK(ReadFrame(control_, &f));
+  PARTDB_CHECK(f.type == FrameType::kMetrics);
+  Metrics m;
+  PARTDB_CHECK(DecodeMetrics(f.body, &m));
+  return m;
+}
+
+}  // namespace partdb

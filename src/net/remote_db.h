@@ -1,0 +1,137 @@
+// RemoteDatabase / RemoteSession: the client side of the network tier.
+// partdb::Connect(host, port) dials a DbServer and returns a DbHandle whose
+// sessions expose the same Submit/Execute/Drain surface as embedded ones —
+// closed-loop and open-loop drivers run unmodified over TCP. Each session is
+// its own connection (one server-side Session per connection); the handle
+// keeps a control connection for measurement windows. The server's admission
+// bound (DbOptions::max_inflight_per_session, shipped in the handshake) is
+// enforced client-side so Submit returns the same overload signal an
+// embedded session would, without a wasted round trip.
+#ifndef PARTDB_NET_REMOTE_DB_H_
+#define PARTDB_NET_REMOTE_DB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "db/db_handle.h"
+#include "db/procedure_registry.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace partdb {
+
+struct ConnectOptions {
+  /// Procedure descriptors matched by name against the server's table — they
+  /// provide the client-side result codecs (decode_result; route/round_input
+  /// are unused remotely). Procedures missing here can still be invoked, but
+  /// a result payload arriving for one is a usage error (CHECK).
+  std::vector<ProcedureDescriptor> procedures;
+  /// Session random streams: session slot i draws from
+  /// ClientStreamSeed(seed, i), mirroring the embedded slot streams.
+  uint64_t seed = 12345;
+};
+
+class RemoteDatabase;
+
+/// A session over its own TCP connection. Thread-safe like LocalSession;
+/// completion callbacks run on the session's reader thread.
+class RemoteSession : public Session {
+ public:
+  ~RemoteSession() override;
+
+  SubmitResult Submit(ProcId proc, PayloadPtr args, TxnCallback cb = nullptr) override;
+  using Session::Submit;
+  TxnResult Execute(ProcId proc, PayloadPtr args) override;
+  using Session::Execute;
+  void Drain() override;
+  uint64_t outstanding() const override;
+  ProcId proc(std::string_view name) const override;
+  Rng& rng() override { return rng_; }
+
+ private:
+  friend class RemoteDatabase;
+  RemoteSession(const RemoteDatabase* db, TcpConn sock, uint64_t rng_seed);
+
+  void ReaderLoop();
+
+  struct PendingTxn {
+    ProcId proc = kInvalidProc;
+    TxnCallback cb;
+    Time submit_ns = 0;  // steady-clock ns
+  };
+
+  const RemoteDatabase* db_;
+  TcpConn sock_;
+  Rng rng_;
+
+  std::mutex write_mu_;  // frames are written whole, one submitter at a time
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::unordered_map<uint64_t, PendingTxn> pending_;
+  uint64_t next_seq_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t outstanding_ = 0;
+  bool closed_ = false;  // reader saw EOF / protocol error
+
+  std::thread reader_;
+};
+
+/// Client handle on a served database. Create via Connect; destroy after
+/// every session it handed out.
+class RemoteDatabase : public DbHandle {
+ public:
+  /// Dials `host:port` (numeric IPv4), performs the handshake, and returns
+  /// the handle. CHECK-fails when the server is unreachable or speaks a
+  /// different protocol version.
+  static std::unique_ptr<RemoteDatabase> Connect(const std::string& host, int port,
+                                                 ConnectOptions options = {});
+
+  ~RemoteDatabase() override = default;
+
+  std::unique_ptr<Session> CreateSession() override;
+  ProcId proc(std::string_view name) const override;
+  RunMode mode() const override { return RunMode::kParallel; }
+  void BeginMeasurement() override;
+  Metrics EndMeasurement() override;
+  void AdvanceSim(Duration) override { PARTDB_CHECK(false); }  // remote: no sim clock
+
+  /// The server's per-session admission bound (0 = unlimited).
+  uint64_t max_inflight() const { return hello_.max_inflight; }
+
+ private:
+  friend class RemoteSession;
+  RemoteDatabase(std::string host, int port, ConnectOptions options, TcpConn control,
+                 HelloBody hello);
+
+  const PayloadDecoder* result_decoder(ProcId proc) const;
+
+  std::string host_;
+  int port_;
+  ConnectOptions options_;
+  HelloBody hello_;
+  std::unordered_map<std::string, ProcId> by_name_;
+  std::vector<PayloadDecoder> result_decoders_;  // indexed by ProcId; may be null
+
+  mutable std::mutex control_mu_;  // measurement round trips are serialized
+  TcpConn control_;
+
+  std::atomic<int> next_session_slot_{0};
+};
+
+/// Convenience alias for the common call shape: partdb::Connect("1.2.3.4", 5432).
+inline std::unique_ptr<RemoteDatabase> Connect(const std::string& host, int port,
+                                               ConnectOptions options = {}) {
+  return RemoteDatabase::Connect(host, port, std::move(options));
+}
+
+}  // namespace partdb
+
+#endif  // PARTDB_NET_REMOTE_DB_H_

@@ -1,0 +1,138 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+namespace {
+
+void SetNoDelay(int fd) {
+  // Request/response frames are small; Nagle would add 40ms stalls.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in MakeAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  PARTDB_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1);
+  return addr;
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_.store(o.fd_.exchange(-1));
+  }
+  return *this;
+}
+
+TcpConn TcpConn::ConnectTo(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return TcpConn();
+  const sockaddr_in addr = MakeAddr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return TcpConn();
+  }
+  SetNoDelay(fd);
+  return TcpConn(fd);
+}
+
+bool TcpConn::ReadFull(void* buf, size_t n) {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r == 0) return false;  // orderly EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool TcpConn::WriteAll(const void* buf, size_t n) {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void TcpConn::Shutdown() {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    port_ = o.port_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener TcpListener::Listen(const std::string& host, int port) {
+  TcpListener l;
+  l.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PARTDB_CHECK(l.fd_ >= 0);
+  int one = 1;
+  ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = MakeAddr(host, port);
+  PARTDB_CHECK(::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0);
+  PARTDB_CHECK(::listen(l.fd_, 64) == 0);
+  socklen_t len = sizeof(addr);
+  PARTDB_CHECK(::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+TcpConn TcpListener::AcceptWithTimeout(int timeout_ms) {
+  if (fd_ < 0) return TcpConn();
+  pollfd pfd{fd_, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r <= 0 || (pfd.revents & POLLIN) == 0) return TcpConn();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return TcpConn();
+  SetNoDelay(fd);
+  return TcpConn(fd);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace partdb

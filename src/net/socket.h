@@ -1,0 +1,86 @@
+// Thin RAII wrappers over POSIX TCP sockets: a connected stream with
+// full-buffer read/write loops (partial reads/writes and EINTR handled,
+// SIGPIPE suppressed) and a listener with a poll-based interruptible accept.
+// No external dependencies — the network tier is plain BSD sockets.
+#ifndef PARTDB_NET_SOCKET_H_
+#define PARTDB_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace partdb {
+
+/// One connected TCP stream. Move-only; closes on destruction.
+///
+/// Thread contract: ReadFull/WriteAll may run concurrently with Shutdown
+/// from any thread — Shutdown is the cross-thread interrupt that unblocks
+/// both a stuck recv AND a stuck send (a peer that stopped reading). Close
+/// releases the fd and must only run when no other thread can still be
+/// inside a read/write (typically: after joining the conn's reader).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { Close(); }
+
+  TcpConn(TcpConn&& o) noexcept : fd_(o.fd_.exchange(-1)) {}
+  TcpConn& operator=(TcpConn&& o) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to a numeric IPv4 address ("127.0.0.1"). Returns an invalid
+  /// conn on failure.
+  static TcpConn ConnectTo(const std::string& host, int port);
+
+  bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+
+  /// Reads exactly `n` bytes. False on EOF or error (the conn is then dead).
+  bool ReadFull(void* buf, size_t n);
+
+  /// Writes exactly `n` bytes. False on error (peer gone or shut down).
+  bool WriteAll(const void* buf, size_t n);
+
+  /// Shuts down both directions, waking any thread blocked in ReadFull or
+  /// WriteAll on this conn. Safe from any thread; the fd stays owned until
+  /// Close.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// A listening TCP socket bound to `host:port` (port 0 = ephemeral).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(TcpListener&& o) noexcept : fd_(o.fd_), port_(o.port_) { o.fd_ = -1; }
+  TcpListener& operator=(TcpListener&& o) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens. CHECK-fails on bind errors (a server that cannot
+  /// listen is a configuration bug, not a runtime condition).
+  static TcpListener Listen(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection; returns an invalid conn on
+  /// timeout or when the listener was closed. Poll-based so an accept loop
+  /// can check its stop flag between waits.
+  TcpConn AcceptWithTimeout(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_NET_SOCKET_H_

@@ -87,6 +87,139 @@ void TpccEngine::LockSet(const Payload& payload, int /*round*/,
   }
 }
 
+// --- wire codecs -------------------------------------------------------------
+
+void NewOrderArgs::SerializeTo(WireWriter& w) const {
+  w.I32(w_id);
+  w.I32(d_id);
+  w.I32(c_id);
+  w.U32(static_cast<uint32_t>(lines.size()));
+  w.I64(entry_d);
+  w.U64(0);  // reserved
+  for (const Line& l : lines) {
+    w.I32(l.i_id);
+    w.I32(l.supply_w_id);
+    w.I32(l.quantity);
+  }
+}
+
+PayloadPtr DecodeNewOrderArgs(WireReader& r) {
+  auto a = std::make_shared<NewOrderArgs>();
+  a->w_id = r.I32();
+  a->d_id = r.I32();
+  a->c_id = r.I32();
+  const uint32_t num_lines = r.U32();
+  a->entry_d = r.I64();
+  r.Skip(8);  // reserved
+  if (num_lines > r.remaining() / 12) {
+    r.MarkCorrupt();
+    return nullptr;
+  }
+  a->lines.reserve(num_lines);
+  for (uint32_t i = 0; i < num_lines; ++i) {
+    NewOrderArgs::Line l;
+    l.i_id = r.I32();
+    l.supply_w_id = r.I32();
+    l.quantity = r.I32();
+    a->lines.push_back(l);
+  }
+  return r.ok() ? a : nullptr;
+}
+
+void PaymentArgs::SerializeTo(WireWriter& w) const {
+  w.I32(w_id);
+  w.I32(d_id);
+  w.I32(c_w_id);
+  w.I32(c_d_id);
+  w.I32(c_id);
+  w.F64(amount);
+  w.I64(date);
+  w.Str(c_last);
+  w.Pad(3);
+}
+
+PayloadPtr DecodePaymentArgs(WireReader& r) {
+  auto a = std::make_shared<PaymentArgs>();
+  a->w_id = r.I32();
+  a->d_id = r.I32();
+  a->c_w_id = r.I32();
+  a->c_d_id = r.I32();
+  a->c_id = r.I32();
+  a->amount = r.F64();
+  a->date = r.I64();
+  a->c_last = r.Str<16>();
+  r.Skip(3);
+  return r.ok() ? a : nullptr;
+}
+
+void OrderStatusArgs::SerializeTo(WireWriter& w) const {
+  w.I32(w_id);
+  w.I32(d_id);
+  w.I32(c_id);
+  w.Str(c_last);
+  w.Pad(3);
+  w.U64(0);  // reserved
+}
+
+PayloadPtr DecodeOrderStatusArgs(WireReader& r) {
+  auto a = std::make_shared<OrderStatusArgs>();
+  a->w_id = r.I32();
+  a->d_id = r.I32();
+  a->c_id = r.I32();
+  a->c_last = r.Str<16>();
+  r.Skip(3);
+  r.Skip(8);  // reserved
+  return r.ok() ? a : nullptr;
+}
+
+void DeliveryArgs::SerializeTo(WireWriter& w) const {
+  w.I32(w_id);
+  w.I32(carrier_id);
+  w.I64(date);
+  w.U64(0);  // reserved (future delivery-queue fields)
+  w.U64(0);
+}
+
+PayloadPtr DecodeDeliveryArgs(WireReader& r) {
+  auto a = std::make_shared<DeliveryArgs>();
+  a->w_id = r.I32();
+  a->carrier_id = r.I32();
+  a->date = r.I64();
+  r.Skip(16);  // reserved
+  return r.ok() ? a : nullptr;
+}
+
+void StockLevelArgs::SerializeTo(WireWriter& w) const {
+  w.I32(w_id);
+  w.I32(d_id);
+  w.I32(threshold);
+  w.U64(0);  // reserved
+  w.U64(0);
+}
+
+PayloadPtr DecodeStockLevelArgs(WireReader& r) {
+  auto a = std::make_shared<StockLevelArgs>();
+  a->w_id = r.I32();
+  a->d_id = r.I32();
+  a->threshold = r.I32();
+  r.Skip(16);  // reserved
+  return r.ok() ? a : nullptr;
+}
+
+void TpccResult::SerializeTo(WireWriter& w) const {
+  w.I32(id);
+  w.U32(0);  // reserved
+  w.F64(amount);
+}
+
+PayloadPtr DecodeTpccResult(WireReader& r) {
+  auto res = std::make_shared<TpccResult>();
+  res->id = r.I32();
+  r.Skip(4);
+  res->amount = r.F64();
+  return r.ok() ? res : nullptr;
+}
+
 EngineFactory MakeTpccEngineFactory(const TpccScale& scale, uint64_t seed) {
   return [scale, seed](PartitionId pid) -> std::unique_ptr<Engine> {
     return std::make_unique<TpccEngine>(scale, pid, seed);

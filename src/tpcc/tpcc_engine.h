@@ -10,11 +10,18 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "msg/wire.h"
 #include "tpcc/tpcc_db.h"
 
 namespace partdb {
 namespace tpcc {
 
+// The TpccArgs wire layouts (README "Wire protocol") keep the byte counts
+// the sim cost model has always charged: 32 + 12/line (NewOrder), 56
+// (Payment), 40 (OrderStatus), 32 (Delivery), 28 (StockLevel), 16 (result).
+// Reserved fields are encoded as zero and ignored on decode (versioning
+// room); the procedure kind never crosses the wire — it is implied by the
+// procedure id in the request frame, and each kind registers its own codec.
 struct TpccArgs : public Payload {
   enum class Kind : uint8_t { kNewOrder, kPayment, kOrderStatus, kDelivery, kStockLevel };
   Kind kind;
@@ -33,7 +40,8 @@ struct NewOrderArgs : public TpccArgs {
     int32_t quantity = 0;
   };
   std::vector<Line> lines;
-  size_t ByteSize() const override { return 32 + lines.size() * 12; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
 
 struct PaymentArgs : public TpccArgs {
@@ -46,7 +54,8 @@ struct PaymentArgs : public TpccArgs {
   Str16 c_last;
   double amount = 0;
   int64_t date = 0;
-  size_t ByteSize() const override { return 56; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
 
 struct OrderStatusArgs : public TpccArgs {
@@ -55,7 +64,8 @@ struct OrderStatusArgs : public TpccArgs {
   int32_t d_id = 0;
   int32_t c_id = 0;  // 0: select by last name
   Str16 c_last;
-  size_t ByteSize() const override { return 40; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
 
 struct DeliveryArgs : public TpccArgs {
@@ -63,7 +73,8 @@ struct DeliveryArgs : public TpccArgs {
   int32_t w_id = 0;
   int32_t carrier_id = 0;
   int64_t date = 0;
-  size_t ByteSize() const override { return 32; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
 
 struct StockLevelArgs : public TpccArgs {
@@ -71,15 +82,26 @@ struct StockLevelArgs : public TpccArgs {
   int32_t w_id = 0;
   int32_t d_id = 0;
   int32_t threshold = 0;
-  size_t ByteSize() const override { return 28; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
 
 /// Small result summary (order id / resolved customer / counts).
 struct TpccResult : public Payload {
   int32_t id = 0;
   double amount = 0;
-  size_t ByteSize() const override { return 16; }
+
+  void SerializeTo(WireWriter& w) const override;
 };
+
+// Per-kind argument decoders plus the shared result decoder (registered as
+// the procedures' wire codecs).
+PayloadPtr DecodeNewOrderArgs(WireReader& r);
+PayloadPtr DecodePaymentArgs(WireReader& r);
+PayloadPtr DecodeOrderStatusArgs(WireReader& r);
+PayloadPtr DecodeDeliveryArgs(WireReader& r);
+PayloadPtr DecodeStockLevelArgs(WireReader& r);
+PayloadPtr DecodeTpccResult(WireReader& r);
 
 class TpccEngine : public Engine {
  public:

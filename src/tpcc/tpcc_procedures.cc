@@ -170,6 +170,24 @@ std::vector<ProcedureDescriptor> TpccProcedures(const TpccScale& scale) {
       return RouteTpcc(scale, args);
     };
     // All five transactions are single-round; no coordinator continuation.
+    switch (kind) {
+      case TpccArgs::Kind::kNewOrder:
+        d.decode_args = DecodeNewOrderArgs;
+        break;
+      case TpccArgs::Kind::kPayment:
+        d.decode_args = DecodePaymentArgs;
+        break;
+      case TpccArgs::Kind::kOrderStatus:
+        d.decode_args = DecodeOrderStatusArgs;
+        break;
+      case TpccArgs::Kind::kDelivery:
+        d.decode_args = DecodeDeliveryArgs;
+        break;
+      case TpccArgs::Kind::kStockLevel:
+        d.decode_args = DecodeStockLevelArgs;
+        break;
+    }
+    d.decode_result = DecodeTpccResult;
     procs.push_back(std::move(d));
   }
   return procs;
@@ -197,7 +215,7 @@ TpccDraw DrawTpccTxn(const TpccWorkloadConfig& config, int client_index, Rng& rn
   return {TpccArgs::Kind::kStockLevel, DrawStockLevel(w, rng)};
 }
 
-InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, Database& db) {
+InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, DbHandle& db) {
   struct ProcIds {
     ProcId by_kind[5];
   };

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "db/closed_loop.h"
+#include "db/database.h"
 #include "db/procedure_registry.h"
 #include "tpcc/tpcc_engine.h"
 #include "tpcc/tpcc_workload.h"
@@ -55,8 +56,8 @@ TpccDraw DrawTpccTxn(const TpccWorkloadConfig& config, int client_index, Rng& rn
 
 /// Closed-loop generator over a database with TpccProcedures registered
 /// (resolves the five ProcIds up front; the returned generator is stateless
-/// beyond the client's rng).
-InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, Database& db);
+/// beyond the client's rng). Works on any handle — embedded or remote.
+InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, DbHandle& db);
 
 /// DbOptions preloaded for TPC-C: the engine factory, the five procedures,
 /// and the scale's partition count. Callers adjust mode/log_commits/etc.

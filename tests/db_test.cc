@@ -287,6 +287,92 @@ TEST(OpenLoopDriver, HitsTargetRateWithinTolerance) {
   ExpectReplayClean(*db, mb);
 }
 
+// --- session-side submission batching ---------------------------------------
+
+// Mailbox-level coalescing: a burst of foreign-thread submissions schedules
+// exactly ONE ingress wake — the deterministic simulator does not run until
+// Drain pumps it, so every later Submit must ride the first wake. All 50
+// then complete off that single mailbox drain.
+TEST(SessionBatching, BurstCoalescesIntoOneMailboxWake) {
+  const KvWorkloadOptions mb = SmallConfig(4, 0.0);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1));
+  auto session = db->CreateSession();
+  SessionActor& actor = static_cast<LocalSession&>(*session).actor();
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(session->Submit(proc, SpArgs(mb, 0, 0), [&](const TxnResult& r) {
+                          EXPECT_TRUE(r.committed);
+                          done++;
+                        }).accepted);
+  }
+  EXPECT_EQ(actor.ingress_wakes(), 1u);  // 49 submissions coalesced
+  EXPECT_EQ(session->outstanding(), 50u);
+
+  session->Drain();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(actor.ingress_wakes(), 1u);  // draining scheduled no extra wakes
+
+  // The batch was consumed: a fresh submission needs (exactly) a fresh wake.
+  EXPECT_TRUE(session->Submit(proc, SpArgs(mb, 0, 0), nullptr).accepted);
+  EXPECT_EQ(actor.ingress_wakes(), 2u);
+  session->Drain();
+
+  session.reset();
+  db->Close();
+}
+
+// --- admission control (backpressure) ---------------------------------------
+
+// Submissions beyond max_inflight_per_session are refused deterministically:
+// the simulator has not run, so nothing can complete between the submits.
+TEST(AdmissionControl, RejectsBeyondBoundAndRecoversAfterDrain) {
+  const KvWorkloadOptions mb = SmallConfig(4, 0.0);
+  DbOptions opts = SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1);
+  opts.max_inflight_per_session = 3;
+  auto db = Database::Open(std::move(opts));
+  auto session = db->CreateSession();
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+
+  int done = 0;
+  std::vector<bool> accepted;
+  for (int i = 0; i < 5; ++i) {
+    accepted.push_back(
+        session->Submit(proc, SpArgs(mb, 0, 0), [&](const TxnResult&) { done++; }).accepted);
+  }
+  EXPECT_EQ(accepted, (std::vector<bool>{true, true, true, false, false}));
+
+  session->Drain();
+  EXPECT_EQ(done, 3);  // rejected submissions never ran their callbacks
+
+  // Completions released their slots.
+  EXPECT_TRUE(session->Submit(proc, SpArgs(mb, 0, 0), nullptr).accepted);
+  session->Drain();
+  session.reset();
+  db->Close();
+}
+
+// A closed loop holds exactly one admission slot: the completion callback's
+// resubmission reuses the slot the completing transaction released, so the
+// tightest bound sustains the loop on both execution contexts.
+TEST(AdmissionControl, ClosedLoopSustainsUnderBoundOne) {
+  const KvWorkloadOptions mb = SmallConfig(6, 0.2);
+  for (RunMode mode : {RunMode::kSimulated, RunMode::kParallel}) {
+    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, mode, 99);
+    opts.max_inflight_per_session = 1;
+    auto db = Database::Open(std::move(opts));
+    ClosedLoopOptions loop;
+    loop.num_clients = mb.num_clients;
+    loop.next = KvInvocations(mb, *db);
+    loop.warmup = Micros(5000);
+    loop.measure = Micros(20000);
+    const Metrics m = RunClosedLoop(*db, loop);
+    EXPECT_GT(m.committed, 0u);
+    db->Close();
+  }
+}
+
 TEST(Database, SessionSlotsRecycle) {
   const KvWorkloadOptions mb = SmallConfig(2, 0.0);
   auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
