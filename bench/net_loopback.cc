@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   int64_t* clients =
       flags.AddInt64("clients", 16, "closed-loop logical clients (one TCP conn each)");
   int64_t* mp_pct = flags.AddInt64("mp_pct", 10, "multi-partition transaction percentage");
+  int64_t* num_loops = flags.AddInt64("loops", 1, "server event-loop threads");
+  int64_t* sessions_per_conn = flags.AddInt64(
+      "sessions_per_conn", 0, "client sessions per TCP connection (0 = all on one)");
   int64_t* max_inflight =
       flags.AddInt64("max_inflight", 0, "per-session admission bound (0 = unlimited)");
   int64_t* verify = flags.AddInt64("verify", 1, "replay commit logs on the server");
@@ -50,11 +53,14 @@ int main(int argc, char** argv) {
     opts.log_commits = *verify != 0;
     opts.max_inflight_per_session = static_cast<uint64_t>(*max_inflight);
     auto db = Database::Open(std::move(opts));
-    DbServer server(db.get());
+    DbServerOptions sopts;
+    sopts.num_loops = static_cast<int>(*num_loops);
+    DbServer server(db.get(), sopts);
 
     ConnectOptions copts;
     copts.procedures.push_back(KvReadUpdateProcedure(mb));
     copts.seed = seed;
+    copts.sessions_per_conn = static_cast<uint32_t>(*sessions_per_conn);
     auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
 
     // The identical driver call the embedded benches make — the transport is
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
     loop.measure = bench.measure();
     Metrics m = RunClosedLoop(*remote, loop);
 
+    const DbServerStats stats = server.Stats();
     remote.reset();
     server.Stop();
     db->Close();
@@ -79,6 +86,18 @@ int main(int argc, char** argv) {
     if (m.mp_latency.count() > 0) {
       std::printf("  mp latency: %s\n", m.mp_latency.Summary(1e-3).c_str());
     }
+    std::printf("  ingress: %llu conns, %llu frames in / %llu out, "
+                "%llu flush batches (%.1f frames/flush), %llu MB in / %llu MB out\n",
+                static_cast<unsigned long long>(stats.accepted_conns),
+                static_cast<unsigned long long>(stats.io.frames_in),
+                static_cast<unsigned long long>(stats.io.frames_out),
+                static_cast<unsigned long long>(stats.io.flush_batches),
+                stats.io.flush_batches == 0
+                    ? 0.0
+                    : static_cast<double>(stats.io.frames_out) /
+                          static_cast<double>(stats.io.flush_batches),
+                static_cast<unsigned long long>(stats.io.bytes_in >> 20),
+                static_cast<unsigned long long>(stats.io.bytes_out >> 20));
     if (m.committed == 0) {
       std::printf("ERROR: no transactions committed under %s\n", CcSchemeName(scheme));
       ok = false;

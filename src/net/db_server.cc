@@ -1,24 +1,39 @@
 #include "net/db_server.h"
 
+#include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace partdb {
 
+/// Per-connection server state. Owned by the handler closures; every field
+/// is touched only on the connection's loop thread.
+struct DbServer::ServerConn {
+  std::unordered_map<uint32_t, std::unique_ptr<Session>> sessions;
+};
+
 DbServer::DbServer(Database* db, DbServerOptions options) : db_(db) {
   PARTDB_CHECK(db_ != nullptr);
   // Simulated databases cannot be served: their clock only advances when a
   // session pumps it, and server threads must never own the pump.
   PARTDB_CHECK(db_->mode() == RunMode::kParallel);
+  PARTDB_CHECK(options.num_loops >= 1);
 
   HelloBody hello;
   hello.max_inflight = db_->options().max_inflight_per_session;
   hello.mode = 0;  // parallel
+  hello.max_sessions = static_cast<uint32_t>(db_->options().max_sessions);
   for (size_t i = 0; i < db_->registry().size(); ++i) {
     hello.proc_names.push_back(db_->registry().Get(static_cast<ProcId>(i)).name);
   }
   hello_ = EncodeHello(hello);
+
+  loops_.reserve(static_cast<size_t>(options.num_loops));
+  for (int i = 0; i < options.num_loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>("server-loop-" + std::to_string(i)));
+  }
 
   listener_ = TcpListener::Listen(options.host, options.port);
   port_ = listener_.port();
@@ -33,161 +48,198 @@ void DbServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
     }
-    ReapFinishedConns();
+    ReapDeadSessions();
     TcpConn sock = listener_.AcceptWithTimeout(/*timeout_ms=*/50);
     if (!sock.valid()) continue;
-    auto conn = std::make_unique<Conn>();
-    conn->sock = std::move(sock);
-    Conn* raw = conn.get();
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;  // raced with Stop: drop the connection
-    conns_.push_back(std::move(conn));
-    raw->reader = std::thread([this, raw] {
-      ServeConn(raw);
-      raw->done.store(true, std::memory_order_release);  // last touch of *raw
-    });
+    // The Hello goes out blocking, before the loop owns the socket: it is
+    // the only server frame with ordering relative to nothing.
+    if (!WriteFrame(sock, FrameType::kHello, hello_)) continue;
+    accepted_conns_.fetch_add(1, std::memory_order_relaxed);
+
+    auto sc = std::make_shared<ServerConn>();
+    LoopConnHandlers handlers;
+    handlers.on_frame = [this, sc](LoopConn& lc, const FrameView& fv) {
+      return OnFrame(sc, lc, fv);
+    };
+    handlers.on_close = [this, sc](LoopConn&) { OnClose(sc); };
+    EventLoop& loop = *loops_[next_loop_];
+    next_loop_ = (next_loop_ + 1) % loops_.size();
+    loop.AddConn(std::move(sock), std::move(handlers));
   }
 }
 
-void DbServer::ReapFinishedConns() {
-  std::vector<std::unique_ptr<Conn>> finished;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < conns_.size();) {
-      if (conns_[i]->done.load(std::memory_order_acquire)) {
-        finished.push_back(std::move(conns_[i]));
-        conns_[i] = std::move(conns_.back());
-        conns_.pop_back();
-      } else {
-        ++i;
+bool DbServer::OnFrame(const std::shared_ptr<ServerConn>& sc, LoopConn& lc, const FrameView& fv) {
+  switch (fv.type) {
+    case FrameType::kRequest: {
+      WireReader r(fv.body);
+      RequestHeader h;
+      if (!DecodeRequestHeader(r, &h)) break;
+      if (h.proc < 0 || static_cast<size_t>(h.proc) >= db_->registry().size()) break;
+      const ProcedureDescriptor& desc = db_->registry().Get(h.proc);
+      // Refuse procedures without a wire codec (embedded-only): the proc
+      // id is remote input, so this is a protocol violation, not a bug.
+      if (desc.decode_args == nullptr) break;
+      PayloadPtr args = desc.decode_args(r);
+      if (args == nullptr || !r.AtEnd()) break;  // malformed: drop the conn
+      // Wire-shape validity is not semantic validity: drop arguments whose
+      // derived routing leaves this database (a well-formed frame naming
+      // partition 1000 must not trip the runtime's CHECKs).
+      const TxnRouting route = desc.route(*args);
+      bool routable = !route.participants.empty() && route.rounds >= 1;
+      for (PartitionId p : route.participants) {
+        routable = routable && p >= 0 && p < db_->options().num_partitions;
       }
-    }
-  }
-  // Join outside the lock (the thread is past its last *Conn access).
-  for (auto& c : finished) {
-    if (c->reader.joinable()) c->reader.join();
-  }
-}
+      if (!routable) break;
 
-void DbServer::ServeConn(Conn* conn) {
-  if (!WriteFrame(conn->sock, FrameType::kHello, hello_)) return;
-  // One server-side session per connection, bound lazily on the first
-  // request: the remote peer's submissions share the embedded ingress path
-  // (admission control included), and request-free connections — a remote
-  // handle's measurement control channel — hold no session slot.
-  std::unique_ptr<Session> session;
-
-  Frame f;
-  while (ReadFrame(conn->sock, &f)) {
-    switch (f.type) {
-      case FrameType::kRequest: {
-        WireReader r(f.body);
-        RequestHeader h;
-        if (!DecodeRequestHeader(r, &h)) break;
-        if (h.proc < 0 || static_cast<size_t>(h.proc) >= db_->registry().size()) break;
-        const ProcedureDescriptor& desc = db_->registry().Get(h.proc);
-        // Refuse procedures without a wire codec (embedded-only): the proc
-        // id is remote input, so this is a protocol violation, not a bug.
-        if (desc.decode_args == nullptr) break;
-        PayloadPtr args = desc.decode_args(r);
-        if (args == nullptr || !r.AtEnd()) break;  // malformed: drop the conn
-        // Wire-shape validity is not semantic validity: drop arguments whose
-        // derived routing leaves this database (a well-formed frame naming
-        // partition 1000 must not trip the runtime's CHECKs).
-        const TxnRouting route = desc.route(*args);
-        bool routable = !route.participants.empty() && route.rounds >= 1;
-        for (PartitionId p : route.participants) {
-          routable = routable && p >= 0 && p < db_->options().num_partitions;
+      auto it = sc->sessions.find(h.session_id);
+      if (it == sc->sessions.end()) {
+        std::unique_ptr<Session> fresh = db_->TryCreateSession();
+        if (fresh == nullptr) {
+          // A just-retired session can hold its slot for the instant between
+          // its last response and the worker's post-callback outstanding()
+          // decrement. Reap (each dtor drains) and retry before rejecting, or
+          // rapid close/create cycles on a full database bounce off that
+          // window.
+          ReapDeadSessions();
+          fresh = db_->TryCreateSession();
         }
-        if (!routable) break;
-        if (session == nullptr) session = db_->TryCreateSession();
+        if (fresh != nullptr) {
+          sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+          it = sc->sessions.emplace(h.session_id, std::move(fresh)).first;
+        }
+      }
+      Session* session = it == sc->sessions.end() ? nullptr : it->second.get();
 
+      SubmitResult sr;
+      if (session != nullptr) {
+        const uint32_t session_id = h.session_id;
         const uint64_t seq = h.seq;
-        SubmitResult sr;
-        if (session != nullptr) {
-          sr = session->Submit(
-              h.proc, std::move(args), [this, conn, seq](const TxnResult& res) {
-                ResponseHeader rh;
-                rh.seq = seq;
-                rh.status = res.committed ? TxnStatus::kCommitted : TxnStatus::kUserAbort;
-                rh.attempts = res.attempts;
-                rh.has_result = res.payload != nullptr;
-                const std::string body = EncodeResponse(rh, res.payload.get());
-                std::lock_guard<std::mutex> lock(conn->write_mu);
-                // A peer that vanished mid-transaction is torn down by its
-                // reader loop; the failed write is not an error here.
-                WriteFrame(conn->sock, FrameType::kResponse, body);
+        LoopConnPtr lp = lc.shared_from_this();
+        sr = session->Submit(
+            h.proc, std::move(args),
+            [lp = std::move(lp), session_id, seq](const TxnResult& res) {
+              ResponseHeader rh;
+              rh.session_id = session_id;
+              rh.seq = seq;
+              rh.status = res.committed ? TxnStatus::kCommitted : TxnStatus::kUserAbort;
+              rh.attempts = res.attempts;
+              rh.has_result = res.payload != nullptr;
+              // A peer that vanished mid-transaction was torn down by its
+              // loop; the dropped send is not an error here.
+              lp->SendFrame(FrameType::kResponse, [&](WireWriter& w) {
+                AppendResponseBody(w, rh, res.payload.get());
               });
-        }
-        if (!sr.accepted) {
-          // Refused — by admission control (the client's own bound normally
-          // prevents this; the server enforces regardless), or because every
-          // session slot is already taken (more request-bearing connections
-          // than DbOptions::max_sessions). Tell the client rather than
-          // crashing the shared server.
-          ResponseHeader rh;
-          rh.seq = seq;
-          rh.status = TxnStatus::kRejected;
-          rh.attempts = 0;
-          const std::string body = EncodeResponse(rh, nullptr);
-          std::lock_guard<std::mutex> lock(conn->write_mu);
-          WriteFrame(conn->sock, FrameType::kResponse, body);
-        }
-        continue;
+            });
       }
-      case FrameType::kBeginMeasure: {
-        db_->BeginMeasurement();
-        std::lock_guard<std::mutex> lock(conn->write_mu);
-        WriteFrame(conn->sock, FrameType::kMeasureBegun, "");
-        continue;
+      if (!sr.accepted) {
+        // Refused — by admission control (the client's own bound normally
+        // prevents this; the server enforces regardless), or because every
+        // session slot is already taken (more logical sessions than
+        // DbOptions::max_sessions). Tell the client rather than crashing
+        // the shared server.
+        rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+        ResponseHeader rh;
+        rh.session_id = h.session_id;
+        rh.seq = h.seq;
+        rh.status = TxnStatus::kRejected;
+        rh.attempts = 0;
+        lc.SendFrame(FrameType::kResponse,
+                     [&](WireWriter& w) { AppendResponseBody(w, rh, nullptr); });
       }
-      case FrameType::kEndMeasure: {
-        const Metrics m = db_->EndMeasurement();
-        const std::string body = EncodeMetrics(m);
-        std::lock_guard<std::mutex> lock(conn->write_mu);
-        WriteFrame(conn->sock, FrameType::kMetrics, body);
-        continue;
-      }
-      default:
-        break;  // protocol violation: drop the conn
+      return true;
     }
-    break;
+    case FrameType::kCloseSession: {
+      WireReader r(fv.body);
+      const uint32_t session_id = r.U32();
+      if (!r.AtEnd()) break;
+      auto it = sc->sessions.find(session_id);
+      if (it == sc->sessions.end()) break;  // closing what was never opened
+      RetireSession(std::move(it->second));
+      sc->sessions.erase(it);
+      return true;
+    }
+    case FrameType::kBeginMeasure: {
+      db_->BeginMeasurement();
+      lc.SendFrame(FrameType::kMeasureBegun, [](WireWriter&) {});
+      return true;
+    }
+    case FrameType::kEndMeasure: {
+      const std::string body = EncodeMetrics(db_->EndMeasurement());
+      lc.SendFrame(FrameType::kMetrics,
+                   [&](WireWriter& w) { w.Raw(body.data(), body.size()); });
+      return true;
+    }
+    default:
+      break;  // protocol violation: drop the conn
   }
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
 
-  // Shut down first so completion callbacks already blocked in a send to a
-  // stalled peer fail fast instead of wedging their session worker, then
-  // drain: remaining in-flight completions still attempt their responses
-  // (failing harmlessly on a dead peer). The session returns its slot on
-  // destruction. The fd itself is released when the Conn is reaped/stopped —
-  // after this thread is joined — so no close races a concurrent Shutdown
-  // from Stop.
-  conn->sock.Shutdown();
-  if (session != nullptr) {
-    session->Drain();
-    session.reset();
+void DbServer::OnClose(const std::shared_ptr<ServerConn>& sc) {
+  for (auto& [id, session] : sc->sessions) {
+    RetireSession(std::move(session));
   }
+  sc->sessions.clear();
+  reaped_conns_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DbServer::RetireSession(std::unique_ptr<Session> session) {
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  // A well-behaved client drains before CloseSession, so the dtor is cheap —
+  // destroy inline and the slot recycles immediately. Sessions with work
+  // still in flight (a peer that vanished mid-transaction) would block the
+  // dtor's drain, so those park for the accept thread.
+  if (session->outstanding() == 0) {
+    session.reset();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(dead_mu_);
+  dead_sessions_.push_back(std::move(session));
+}
+
+void DbServer::ReapDeadSessions() {
+  std::vector<std::unique_ptr<Session>> dead;
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead.swap(dead_sessions_);
+  }
+  // Destroyed outside the lock: each dtor drains, and its in-flight
+  // completions still deliver their responses through the event loop first.
+  dead.clear();
+}
+
+DbServerStats DbServer::Stats() const {
+  DbServerStats s;
+  s.accepted_conns = accepted_conns_.load(std::memory_order_relaxed);
+  s.reaped_conns = reaped_conns_.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  s.rejected_requests = rejected_requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  for (const auto& loop : loops_) {
+    s.active_conns += loop->conn_count();
+    s.io += loop->stats();
+  }
+  return s;
 }
 
 void DbServer::Stop() {
-  std::vector<std::unique_ptr<Conn>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
     stopping_ = true;
-    conns.swap(conns_);
   }
   // The accept loop exits on its next stop-flag check (its poll wait is
   // bounded); only then is the listener closed — no thread still polls it.
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
-  // Deliberately NOT under write_mu: a completion callback may be holding
-  // write_mu while blocked in a send to a peer that stopped reading, and
-  // this very shutdown is what unblocks it. shutdown(2) is safe concurrent
-  // with send/recv, and the fd is not released until after the join below.
-  for (auto& c : conns) c->sock.Shutdown();
-  for (auto& c : conns) {
-    if (c->reader.joinable()) c->reader.join();
-  }
+  // Stopping the loops runs on_close for every live connection, parking
+  // their sessions; the final reap drains them. Completion callbacks of
+  // still-running transactions send into closed conns and drop — the same
+  // harmless outcome as a peer that vanished.
+  for (auto& loop : loops_) loop->Stop();
+  ReapDeadSessions();
 }
 
 }  // namespace partdb

@@ -1,11 +1,19 @@
-// DbServer: hosts an opened Database on a TCP listener — the first real
-// network tier (paper target deployment: clients invoke named stored
-// procedures with serialized parameters over a socket, H-Store style). Each
-// accepted connection gets its own server-side Session; decoded invocations
-// are pumped through Session::Submit exactly like embedded traffic, so the
-// whole concurrency-control machinery (routing, 2PC, admission control,
-// metrics) is shared with the in-process path. Responses are written from
-// the session workers' completion callbacks.
+// DbServer: hosts an opened Database on a TCP listener — the network tier's
+// server side (paper target deployment: clients invoke named stored
+// procedures with serialized parameters over a socket, H-Store style).
+//
+// Ingress is event-driven: a small fixed pool of epoll EventLoops (sharded
+// by accept order) multiplexes every connection, so total server threads are
+// `num_loops + 1 accept thread` regardless of how many clients connect. One
+// connection carries many logical sessions (protocol v2 session_id): the
+// server binds a server-side Session lazily per id and frees it on
+// CloseSession or disconnect. Decoded invocations are pumped through
+// Session::Submit exactly like embedded traffic, so the whole
+// concurrency-control machinery (routing, 2PC, admission control, metrics)
+// is shared with the in-process path. Completion callbacks on the session
+// workers never touch sockets — they encode the response into the owning
+// connection's outbox and wake its loop; responses for a burst of
+// completions leave in one coalesced flush syscall.
 #ifndef PARTDB_NET_DB_SERVER_H_
 #define PARTDB_NET_DB_SERVER_H_
 
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
 
@@ -26,6 +35,20 @@ struct DbServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; DbServer::port() reports the bound port.
   int port = 0;
+  /// Event-loop threads; connections are sharded across them round-robin.
+  int num_loops = 1;
+};
+
+/// Ingress counters, snapshotted by DbServer::Stats.
+struct DbServerStats {
+  uint64_t accepted_conns = 0;  // connections that completed the Hello
+  uint64_t reaped_conns = 0;    // connections torn down (EOF, error, Stop)
+  uint64_t active_conns = 0;    // currently registered with a loop
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t rejected_requests = 0;  // kRejected responses sent
+  uint64_t protocol_errors = 0;    // malformed frames (the conn is dropped)
+  EventLoopStats io;               // aggregated over every loop
 };
 
 /// Serves `db` (RunMode::kParallel; must outlive the server) until Stop.
@@ -39,35 +62,48 @@ class DbServer {
   DbServer& operator=(const DbServer&) = delete;
 
   int port() const { return port_; }
+  int num_loops() const { return static_cast<int>(loops_.size()); }
+
+  DbServerStats Stats() const;
 
   /// Stops accepting, severs every connection (in-flight transactions are
-  /// drained and their responses delivered first), joins all threads.
-  /// Idempotent.
+  /// drained; their responses are attempted and dropped on dead peers),
+  /// joins all threads. Idempotent.
   void Stop();
 
  private:
-  struct Conn {
-    TcpConn sock;
-    std::mutex write_mu;  // completions write from session workers
-    std::thread reader;
-    /// Set (last) by the reader on exit; the accept loop reaps done conns
-    /// so a long-lived server does not accumulate disconnected peers.
-    std::atomic<bool> done{false};
-  };
+  struct ServerConn;
 
   void AcceptLoop();
-  void ServeConn(Conn* conn);
-  void ReapFinishedConns();
+  bool OnFrame(const std::shared_ptr<ServerConn>& sc, LoopConn& lc, const FrameView& fv);
+  void OnClose(const std::shared_ptr<ServerConn>& sc);
+  void RetireSession(std::unique_ptr<Session> session);
+  void ReapDeadSessions();
 
   Database* db_;
   TcpListener listener_;
   int port_ = 0;
   std::string hello_;  // identical preamble for every connection
 
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  size_t next_loop_ = 0;  // accept-thread only
+
   std::thread accept_thread_;
   std::mutex mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
   bool stopping_ = false;
+
+  // Sessions leaving the loop threads (CloseSession / disconnect) park here;
+  // the accept thread destroys them (Session dtor drains, which must never
+  // run on a loop thread).
+  std::mutex dead_mu_;
+  std::vector<std::unique_ptr<Session>> dead_sessions_;
+
+  std::atomic<uint64_t> accepted_conns_{0};
+  std::atomic<uint64_t> reaped_conns_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> rejected_requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
 };
 
 }  // namespace partdb

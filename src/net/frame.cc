@@ -6,10 +6,41 @@
 
 namespace partdb {
 
+namespace {
+
+/// Header bytes before the body: u32 length + u8 version + u8 type.
+constexpr size_t kHeaderBytes = 6;
+
+}  // namespace
+
+FrameDecode TryDecodeFrame(std::string_view buf, FrameView* out, size_t* consumed) {
+  if (buf.size() < kHeaderBytes) {
+    // Reject impossible lengths as soon as the prefix is visible, not only
+    // once kHeaderBytes arrived: 4 bytes are enough to know.
+    if (buf.size() >= 4) {
+      WireReader pr(buf.data(), 4);
+      const uint32_t len = pr.U32();
+      if (len < 2 || len > kMaxFrameBytes) return FrameDecode::kError;
+    }
+    return FrameDecode::kNeedMore;
+  }
+  WireReader pr(buf.data(), kHeaderBytes);
+  const uint32_t len = pr.U32();
+  if (len < 2 || len > kMaxFrameBytes) return FrameDecode::kError;
+  if (pr.U8() != kWireVersion) return FrameDecode::kError;
+  const uint8_t type = pr.U8();
+  const size_t total = 4 + static_cast<size_t>(len);
+  if (buf.size() < total) return FrameDecode::kNeedMore;
+  out->type = static_cast<FrameType>(type);
+  out->body = buf.substr(kHeaderBytes, len - 2);
+  *consumed = total;
+  return FrameDecode::kFrame;
+}
+
 bool ReadFrame(TcpConn& conn, Frame* out) {
-  char prefix[6];  // u32 length + u8 version + u8 type
-  if (!conn.ReadFull(prefix, 6)) return false;
-  WireReader pr(prefix, 6);
+  char prefix[kHeaderBytes];
+  if (!conn.ReadFull(prefix, kHeaderBytes)) return false;
+  WireReader pr(prefix, kHeaderBytes);
   const uint32_t len = pr.U32();
   if (len < 2 || len > kMaxFrameBytes) return false;
   if (pr.U8() != kWireVersion) return false;
@@ -22,13 +53,32 @@ bool ReadFrame(TcpConn& conn, Frame* out) {
 
 bool WriteFrame(TcpConn& conn, FrameType type, std::string_view body) {
   std::string frame;
-  frame.reserve(4 + 2 + body.size());
-  WireWriter w(&frame);
-  w.U32(static_cast<uint32_t>(2 + body.size()));
+  frame.reserve(kHeaderBytes + body.size());
+  AppendFrame(&frame, type, body);
+  return conn.WriteAll(frame.data(), frame.size());
+}
+
+size_t BeginFrame(std::string* out, FrameType type) {
+  const size_t at = out->size();
+  WireWriter w(out);
+  w.U32(0);  // patched by EndFrame
   w.U8(kWireVersion);
   w.U8(static_cast<uint8_t>(type));
-  w.Raw(body.data(), body.size());
-  return conn.WriteAll(frame.data(), frame.size());
+  return at;
+}
+
+void EndFrame(std::string* out, size_t at) {
+  const size_t len = out->size() - at - 4;  // version + type + body
+  PARTDB_CHECK(len >= 2 && len <= kMaxFrameBytes);
+  for (size_t i = 0; i < 4; ++i) {
+    (*out)[at + i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view body) {
+  const size_t at = BeginFrame(out, type);
+  out->append(body.data(), body.size());
+  EndFrame(out, at);
 }
 
 std::string EncodeHello(const HelloBody& h) {
@@ -36,6 +86,7 @@ std::string EncodeHello(const HelloBody& h) {
   WireWriter w(&body);
   w.U64(h.max_inflight);
   w.U8(h.mode);
+  w.U32(h.max_sessions);
   w.U32(static_cast<uint32_t>(h.proc_names.size()));
   for (const std::string& name : h.proc_names) {
     w.U16(static_cast<uint16_t>(name.size()));
@@ -48,6 +99,7 @@ bool DecodeHello(std::string_view body, HelloBody* out) {
   WireReader r(body);
   out->max_inflight = r.U64();
   out->mode = r.U8();
+  out->max_sessions = r.U32();
   const uint32_t n = r.U32();
   out->proc_names.clear();
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
@@ -60,24 +112,29 @@ bool DecodeHello(std::string_view body, HelloBody* out) {
   return r.AtEnd();
 }
 
-std::string EncodeRequest(const RequestHeader& h, const Payload& args) {
-  std::string body;
-  WireWriter w(&body);
+void AppendRequestBody(WireWriter& w, const RequestHeader& h, const Payload& args) {
+  w.U32(h.session_id);
   w.U64(h.seq);
   w.U32(static_cast<uint32_t>(h.proc));
   args.SerializeTo(w);
-  return body;
+}
+
+void AppendRequest(std::string* out, const RequestHeader& h, const Payload& args) {
+  const size_t at = BeginFrame(out, FrameType::kRequest);
+  WireWriter w(out);
+  AppendRequestBody(w, h, args);
+  EndFrame(out, at);
 }
 
 bool DecodeRequestHeader(WireReader& r, RequestHeader* out) {
+  out->session_id = r.U32();
   out->seq = r.U64();
   out->proc = static_cast<ProcId>(r.U32());
   return r.ok();
 }
 
-std::string EncodeResponse(const ResponseHeader& h, const Payload* result) {
-  std::string body;
-  WireWriter w(&body);
+void AppendResponseBody(WireWriter& w, const ResponseHeader& h, const Payload* result) {
+  w.U32(h.session_id);
   w.U64(h.seq);
   w.U8(static_cast<uint8_t>(h.status));
   w.U32(h.attempts);
@@ -86,10 +143,17 @@ std::string EncodeResponse(const ResponseHeader& h, const Payload* result) {
     PARTDB_CHECK(result != nullptr);
     result->SerializeTo(w);
   }
-  return body;
+}
+
+void AppendResponse(std::string* out, const ResponseHeader& h, const Payload* result) {
+  const size_t at = BeginFrame(out, FrameType::kResponse);
+  WireWriter w(out);
+  AppendResponseBody(w, h, result);
+  EndFrame(out, at);
 }
 
 bool DecodeResponseHeader(WireReader& r, ResponseHeader* out) {
+  out->session_id = r.U32();
   out->seq = r.U64();
   const uint8_t status = r.U8();
   if (status > static_cast<uint8_t>(TxnStatus::kRejected)) return false;
@@ -97,6 +161,13 @@ bool DecodeResponseHeader(WireReader& r, ResponseHeader* out) {
   out->attempts = r.U32();
   out->has_result = r.U8() != 0;
   return r.ok();
+}
+
+void AppendCloseSession(std::string* out, uint32_t session_id) {
+  const size_t at = BeginFrame(out, FrameType::kCloseSession);
+  WireWriter w(out);
+  w.U32(session_id);
+  EndFrame(out, at);
 }
 
 namespace {

@@ -15,17 +15,39 @@ Time SteadyNowNs() {
 
 }  // namespace
 
+/// One shared TCP connection carrying many sessions. `sessions` maps live
+/// session ids to their owners for loop-thread response dispatch; a session
+/// registers before its first Submit and unregisters only after Drain (so no
+/// response can race its teardown).
+struct RemoteSession::MuxConn {
+  LoopConnPtr lc;
+
+  std::mutex mu;
+  std::unordered_map<uint32_t, RemoteSession*> sessions;
+  uint32_t next_session_id = 0;
+  uint32_t open_sessions = 0;  // ids handed out and not yet destroyed
+  bool closed = false;
+};
+
 // --- RemoteSession -----------------------------------------------------------
 
-RemoteSession::RemoteSession(const RemoteDatabase* db, TcpConn sock, uint64_t rng_seed)
-    : db_(db), sock_(std::move(sock)), rng_(rng_seed) {
-  reader_ = std::thread([this] { ReaderLoop(); });
-}
+RemoteSession::RemoteSession(const RemoteDatabase* db, std::shared_ptr<MuxConn> conn,
+                             uint32_t session_id, uint64_t rng_seed)
+    : db_(db), conn_(std::move(conn)), session_id_(session_id), rng_(rng_seed) {}
 
 RemoteSession::~RemoteSession() {
   Drain();
-  sock_.Shutdown();
-  if (reader_.joinable()) reader_.join();
+  // Drained: no response for this id can be in flight, so unregistering
+  // cannot race a dispatch holding our pointer.
+  {
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    conn_->sessions.erase(session_id_);
+    --conn_->open_sessions;
+  }
+  // Release the server-side slot. Best effort: a dead connection already
+  // freed every session it carried.
+  const uint32_t id = session_id_;
+  conn_->lc->SendFrame(FrameType::kCloseSession, [id](WireWriter& w) { w.U32(id); });
 }
 
 SubmitResult RemoteSession::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
@@ -48,15 +70,14 @@ SubmitResult RemoteSession::Submit(ProcId proc, PayloadPtr args, TxnCallback cb)
     pending_.emplace(seq, std::move(p));
   }
   RequestHeader h;
+  h.session_id = session_id_;
   h.seq = seq;
   h.proc = proc;
-  const std::string body = EncodeRequest(h, *args);
-  bool ok;
-  {
-    std::lock_guard<std::mutex> lock(write_mu_);
-    ok = WriteFrame(sock_, FrameType::kRequest, body);
-  }
-  PARTDB_CHECK(ok);  // a broken connection mid-run is fatal, like a lost node
+  // Encodes straight into the shared connection's outbox — pipelined with
+  // whatever the other sessions are submitting, no flush round trip.
+  const bool sent = conn_->lc->SendFrame(
+      FrameType::kRequest, [&](WireWriter& w) { AppendRequestBody(w, h, *args); });
+  PARTDB_CHECK(sent);  // a broken connection mid-run is fatal, like a lost node
   return {true, seq};
 }
 
@@ -77,53 +98,52 @@ uint64_t RemoteSession::outstanding() const {
 
 ProcId RemoteSession::proc(std::string_view name) const { return db_->proc(name); }
 
-void RemoteSession::ReaderLoop() {
-  Frame f;
-  while (ReadFrame(sock_, &f)) {
-    if (f.type != FrameType::kResponse) break;  // protocol violation
-    WireReader r(f.body);
-    ResponseHeader h;
-    if (!DecodeResponseHeader(r, &h)) break;
-    // The client-side admission bound makes inflight rejections unreachable;
-    // one arriving anyway means the peer ran out of session slots (more
-    // connections than the server's DbOptions::max_sessions — a deployment
-    // misconfiguration) or the two bounds disagree. The shared server stays
-    // up; this client fails loudly.
-    PARTDB_CHECK(h.status != TxnStatus::kRejected);
+void RemoteSession::OnResponse(const ResponseHeader& h, WireReader& r) {
+  // The client-side admission bound makes inflight rejections unreachable;
+  // one arriving anyway means the peer ran out of session slots (more
+  // logical sessions than the server's DbOptions::max_sessions — a
+  // deployment misconfiguration) or the two bounds disagree. The shared
+  // server stays up; this client fails loudly.
+  PARTDB_CHECK(h.status != TxnStatus::kRejected);
 
-    PendingTxn p;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = pending_.find(h.seq);
-      PARTDB_CHECK(it != pending_.end());
-      p = std::move(it->second);
-      pending_.erase(it);
-      // The admission slot frees before the callback runs — identical to the
-      // embedded session, so resubmit-from-callback closed loops hold one
-      // slot under either transport.
-      PARTDB_CHECK(admitted_ > 0);
-      --admitted_;
-    }
+  PendingTxn p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(h.seq);
+    PARTDB_CHECK(it != pending_.end());
+    p = std::move(it->second);
+    pending_.erase(it);
+    // The admission slot frees before the callback runs — identical to the
+    // embedded session, so resubmit-from-callback closed loops hold one
+    // slot under either transport.
+    PARTDB_CHECK(admitted_ > 0);
+    --admitted_;
+  }
 
-    TxnResult res;
-    res.committed = h.status == TxnStatus::kCommitted;
-    res.latency_ns = SteadyNowNs() - p.submit_ns;
-    res.attempts = h.attempts;
-    if (h.has_result) {
-      const PayloadDecoder* dec = db_->result_decoder(p.proc);
-      PARTDB_CHECK(dec != nullptr);  // pass the procedure list to Connect
-      res.payload = (*dec)(r);
-      PARTDB_CHECK(res.payload != nullptr && r.AtEnd());
-    }
+  TxnResult res;
+  res.committed = h.status == TxnStatus::kCommitted;
+  res.latency_ns = SteadyNowNs() - p.submit_ns;
+  res.attempts = h.attempts;
+  if (h.has_result) {
+    const PayloadDecoder* dec = db_->result_decoder(p.proc);
+    PARTDB_CHECK(dec != nullptr);  // pass the procedure list to Connect
+    res.payload = (*dec)(r);
+    PARTDB_CHECK(res.payload != nullptr && r.AtEnd());
+  }
 
-    if (p.cb) p.cb(res);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      PARTDB_CHECK(outstanding_ > 0);
-      --outstanding_;
-    }
+  if (p.cb) p.cb(res);
+  {
+    // notify under the lock: the waiter in Drain may destroy this session
+    // the instant it reacquires mu_, so nothing may touch *this after the
+    // unlock below.
+    std::lock_guard<std::mutex> lock(mu_);
+    PARTDB_CHECK(outstanding_ > 0);
+    --outstanding_;
     drained_cv_.notify_all();
   }
+}
+
+void RemoteSession::OnConnClosed() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
   // Fail loudly, not silently: a connection that died with transactions in
@@ -153,8 +173,7 @@ RemoteDatabase::RemoteDatabase(std::string host, int port, ConnectOptions option
     : host_(std::move(host)),
       port_(port),
       options_(std::move(options)),
-      hello_(std::move(hello)),
-      control_(std::move(control)) {
+      hello_(std::move(hello)) {
   result_decoders_.resize(hello_.proc_names.size());
   for (size_t i = 0; i < hello_.proc_names.size(); ++i) {
     by_name_.emplace(hello_.proc_names[i], static_cast<ProcId>(i));
@@ -162,17 +181,112 @@ RemoteDatabase::RemoteDatabase(std::string host, int port, ConnectOptions option
       if (d.name == hello_.proc_names[i]) result_decoders_[i] = d.decode_result;
     }
   }
+  // The first connection exists from birth: it carries the measurement
+  // control traffic and, by default, every multiplexed session.
+  AdoptConn(std::move(control));
+}
+
+RemoteDatabase::~RemoteDatabase() {
+  // Contract: every session is gone by now, so the maps are empty and Stop
+  // just tears the idle connections down.
+  loop_.Stop();
+}
+
+std::shared_ptr<RemoteDatabase::MuxConn> RemoteDatabase::AdoptConn(TcpConn sock) {
+  auto mc = std::make_shared<MuxConn>();
+  LoopConnHandlers handlers;
+  handlers.on_frame = [this, mc](LoopConn&, const FrameView& fv) { return OnFrame(mc, fv); };
+  handlers.on_close = [this, mc](LoopConn&) { OnClose(mc); };
+  mc->lc = loop_.AddConn(std::move(sock), std::move(handlers));
+  conns_.push_back(mc);
+  return mc;
+}
+
+bool RemoteDatabase::OnFrame(const std::shared_ptr<MuxConn>& mc, const FrameView& fv) {
+  switch (fv.type) {
+    case FrameType::kResponse: {
+      WireReader r(fv.body);
+      ResponseHeader h;
+      if (!DecodeResponseHeader(r, &h)) return false;
+      RemoteSession* s = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mc->mu);
+        auto it = mc->sessions.find(h.session_id);
+        if (it != mc->sessions.end()) s = it->second;
+      }
+      // A session unregisters only after draining, so every response finds
+      // its owner — and stays valid across this (lock-free) call.
+      PARTDB_CHECK(s != nullptr);
+      s->OnResponse(h, r);
+      return true;
+    }
+    case FrameType::kMeasureBegun:
+    case FrameType::kMetrics: {
+      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      ctrl_have_ = true;
+      ctrl_type_ = fv.type;
+      ctrl_body_.assign(fv.body.data(), fv.body.size());
+      ctrl_cv_.notify_all();
+      return true;
+    }
+    default:
+      return false;  // protocol violation
+  }
+}
+
+void RemoteDatabase::OnClose(const std::shared_ptr<MuxConn>& mc) {
+  std::vector<RemoteSession*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mc->mu);
+    mc->closed = true;
+    sessions.reserve(mc->sessions.size());
+    for (auto& [id, s] : mc->sessions) sessions.push_back(s);
+  }
+  for (RemoteSession* s : sessions) s->OnConnClosed();
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  ctrl_closed_ = true;
+  ctrl_cv_.notify_all();
 }
 
 std::unique_ptr<Session> RemoteDatabase::CreateSession() {
-  TcpConn sock = TcpConn::ConnectTo(host_, port_);
-  PARTDB_CHECK(sock.valid());
-  Frame f;
-  PARTDB_CHECK(ReadFrame(sock, &f));
-  PARTDB_CHECK(f.type == FrameType::kHello);  // preamble verified at Connect
-  const int slot = next_session_slot_.fetch_add(1);
-  return std::unique_ptr<Session>(new RemoteSession(
-      this, std::move(sock), ClientStreamSeed(options_.seed, slot)));
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  std::shared_ptr<MuxConn> target;
+  for (const auto& c : conns_) {
+    std::lock_guard<std::mutex> cl(c->mu);
+    if (c->closed) continue;
+    if (options_.sessions_per_conn == 0 || c->open_sessions < options_.sessions_per_conn) {
+      target = c;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    // Every existing connection is full: dial another one.
+    TcpConn sock = TcpConn::ConnectTo(host_, port_);
+    PARTDB_CHECK(sock.valid());
+    Frame f;
+    PARTDB_CHECK(ReadFrame(sock, &f));
+    PARTDB_CHECK(f.type == FrameType::kHello);  // preamble verified at Connect
+    target = AdoptConn(std::move(sock));
+  }
+  const int slot = next_session_slot_++;
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> cl(target->mu);
+    id = target->next_session_id++;
+    ++target->open_sessions;
+  }
+  auto session = std::unique_ptr<RemoteSession>(
+      new RemoteSession(this, target, id, ClientStreamSeed(options_.seed, slot)));
+  {
+    std::lock_guard<std::mutex> cl(target->mu);
+    target->sessions.emplace(id, session.get());
+  }
+  return session;
+}
+
+size_t RemoteDatabase::conn_count() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return conns_.size();
 }
 
 ProcId RemoteDatabase::proc(std::string_view name) const {
@@ -186,22 +300,34 @@ const PayloadDecoder* RemoteDatabase::result_decoder(ProcId proc) const {
   return result_decoders_[proc] == nullptr ? nullptr : &result_decoders_[proc];
 }
 
-void RemoteDatabase::BeginMeasurement() {
+std::string RemoteDatabase::ControlRoundTrip(FrameType send, FrameType expect) {
   std::lock_guard<std::mutex> lock(control_mu_);
-  PARTDB_CHECK(WriteFrame(control_, FrameType::kBeginMeasure, ""));
-  Frame f;
-  PARTDB_CHECK(ReadFrame(control_, &f));
-  PARTDB_CHECK(f.type == FrameType::kMeasureBegun);
+  std::shared_ptr<MuxConn> control;
+  {
+    std::lock_guard<std::mutex> cl(conn_mu_);
+    PARTDB_CHECK(!conns_.empty());
+    control = conns_.front();
+  }
+  {
+    std::lock_guard<std::mutex> cl(ctrl_mu_);
+    ctrl_have_ = false;
+  }
+  PARTDB_CHECK(control->lc->SendFrame(send, [](WireWriter&) {}));
+  std::unique_lock<std::mutex> cl(ctrl_mu_);
+  ctrl_cv_.wait(cl, [&] { return ctrl_have_ || ctrl_closed_; });
+  PARTDB_CHECK(ctrl_have_);  // connection died mid round trip
+  PARTDB_CHECK(ctrl_type_ == expect);
+  return std::move(ctrl_body_);
+}
+
+void RemoteDatabase::BeginMeasurement() {
+  ControlRoundTrip(FrameType::kBeginMeasure, FrameType::kMeasureBegun);
 }
 
 Metrics RemoteDatabase::EndMeasurement() {
-  std::lock_guard<std::mutex> lock(control_mu_);
-  PARTDB_CHECK(WriteFrame(control_, FrameType::kEndMeasure, ""));
-  Frame f;
-  PARTDB_CHECK(ReadFrame(control_, &f));
-  PARTDB_CHECK(f.type == FrameType::kMetrics);
+  const std::string body = ControlRoundTrip(FrameType::kEndMeasure, FrameType::kMetrics);
   Metrics m;
-  PARTDB_CHECK(DecodeMetrics(f.body, &m));
+  PARTDB_CHECK(DecodeMetrics(body, &m));
   return m;
 }
 

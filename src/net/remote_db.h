@@ -1,10 +1,16 @@
 // RemoteDatabase / RemoteSession: the client side of the network tier.
 // partdb::Connect(host, port) dials a DbServer and returns a DbHandle whose
 // sessions expose the same Submit/Execute/Drain surface as embedded ones —
-// closed-loop and open-loop drivers run unmodified over TCP. Each session is
-// its own connection (one server-side Session per connection); the handle
-// keeps a control connection for measurement windows. The server's admission
-// bound (DbOptions::max_inflight_per_session, shipped in the handshake) is
+// closed-loop and open-loop drivers run unmodified over TCP.
+//
+// Sessions are multiplexed (protocol v2): many RemoteSessions share one TCP
+// connection and one client-side event loop, each under its own
+// client-assigned session_id; requests pipeline freely and small writes from
+// concurrent submitters coalesce into single flush syscalls. By default
+// every session rides the first connection (which doubles as the handle's
+// measurement-control channel); ConnectOptions::sessions_per_conn spreads
+// sessions over additional connections. The server's admission bound
+// (DbOptions::max_inflight_per_session, shipped in the handshake) is
 // enforced client-side so Submit returns the same overload signal an
 // embedded session would, without a wasted round trip.
 #ifndef PARTDB_NET_REMOTE_DB_H_
@@ -15,13 +21,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
 #include "db/db_handle.h"
 #include "db/procedure_registry.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
 
@@ -36,12 +42,16 @@ struct ConnectOptions {
   /// Session random streams: session slot i draws from
   /// ClientStreamSeed(seed, i), mirroring the embedded slot streams.
   uint64_t seed = 12345;
+  /// Sessions multiplexed per TCP connection before a new one is dialed.
+  /// 0 = unlimited: every session shares the first connection.
+  uint32_t sessions_per_conn = 0;
 };
 
 class RemoteDatabase;
 
-/// A session over its own TCP connection. Thread-safe like LocalSession;
-/// completion callbacks run on the session's reader thread.
+/// A multiplexed session on a shared connection. Thread-safe like
+/// LocalSession; completion callbacks run on the handle's event-loop thread
+/// and must not block.
 class RemoteSession : public Session {
  public:
   ~RemoteSession() override;
@@ -57,9 +67,16 @@ class RemoteSession : public Session {
 
  private:
   friend class RemoteDatabase;
-  RemoteSession(const RemoteDatabase* db, TcpConn sock, uint64_t rng_seed);
+  struct MuxConn;
 
-  void ReaderLoop();
+  RemoteSession(const RemoteDatabase* db, std::shared_ptr<MuxConn> conn, uint32_t session_id,
+                uint64_t rng_seed);
+
+  /// Loop thread: one response for this session, reader positioned at the
+  /// result bytes.
+  void OnResponse(const ResponseHeader& h, WireReader& r);
+  /// Loop thread: the underlying connection died.
+  void OnConnClosed();
 
   struct PendingTxn {
     ProcId proc = kInvalidProc;
@@ -68,20 +85,17 @@ class RemoteSession : public Session {
   };
 
   const RemoteDatabase* db_;
-  TcpConn sock_;
+  std::shared_ptr<MuxConn> conn_;
+  const uint32_t session_id_;
   Rng rng_;
-
-  std::mutex write_mu_;  // frames are written whole, one submitter at a time
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
   std::unordered_map<uint64_t, PendingTxn> pending_;
-  uint64_t next_seq_ = 0;
+  uint64_t next_seq_ = 0;  // session-scoped
   uint64_t admitted_ = 0;
   uint64_t outstanding_ = 0;
-  bool closed_ = false;  // reader saw EOF / protocol error
-
-  std::thread reader_;
+  bool closed_ = false;  // connection saw EOF / protocol error
 };
 
 /// Client handle on a served database. Create via Connect; destroy after
@@ -94,7 +108,7 @@ class RemoteDatabase : public DbHandle {
   static std::unique_ptr<RemoteDatabase> Connect(const std::string& host, int port,
                                                  ConnectOptions options = {});
 
-  ~RemoteDatabase() override = default;
+  ~RemoteDatabase() override;
 
   std::unique_ptr<Session> CreateSession() override;
   ProcId proc(std::string_view name) const override;
@@ -105,13 +119,30 @@ class RemoteDatabase : public DbHandle {
 
   /// The server's per-session admission bound (0 = unlimited).
   uint64_t max_inflight() const { return hello_.max_inflight; }
+  /// The server's session-slot capacity from the handshake.
+  uint32_t max_sessions() const { return hello_.max_sessions; }
+  /// TCP connections currently dialed (1 = everything multiplexed).
+  size_t conn_count() const;
+  /// Client-side I/O counters (frames pipelined, flush batches, ...).
+  EventLoopStats IoStats() const { return loop_.stats(); }
 
  private:
   friend class RemoteSession;
+  using MuxConn = RemoteSession::MuxConn;
+
   RemoteDatabase(std::string host, int port, ConnectOptions options, TcpConn control,
                  HelloBody hello);
 
   const PayloadDecoder* result_decoder(ProcId proc) const;
+
+  /// Registers a dialed+greeted socket with the loop as a new MuxConn.
+  std::shared_ptr<MuxConn> AdoptConn(TcpConn sock);
+  /// Loop thread: routes a server frame to its session / control waiter.
+  bool OnFrame(const std::shared_ptr<MuxConn>& mc, const FrameView& fv);
+  void OnClose(const std::shared_ptr<MuxConn>& mc);
+
+  /// One measurement-control round trip over the first connection.
+  std::string ControlRoundTrip(FrameType send, FrameType expect);
 
   std::string host_;
   int port_;
@@ -120,10 +151,19 @@ class RemoteDatabase : public DbHandle {
   std::unordered_map<std::string, ProcId> by_name_;
   std::vector<PayloadDecoder> result_decoders_;  // indexed by ProcId; may be null
 
-  mutable std::mutex control_mu_;  // measurement round trips are serialized
-  TcpConn control_;
+  EventLoop loop_{"client-loop"};
 
-  std::atomic<int> next_session_slot_{0};
+  mutable std::mutex conn_mu_;  // guards conns_ and session-slot assignment
+  std::vector<std::shared_ptr<MuxConn>> conns_;
+  int next_session_slot_ = 0;
+
+  std::mutex control_mu_;  // measurement round trips are serialized
+  std::mutex ctrl_mu_;     // guards the reply rendezvous below
+  std::condition_variable ctrl_cv_;
+  bool ctrl_have_ = false;
+  bool ctrl_closed_ = false;
+  FrameType ctrl_type_ = FrameType::kHello;
+  std::string ctrl_body_;
 };
 
 /// Convenience alias for the common call shape: partdb::Connect("1.2.3.4", 5432).

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -51,6 +52,15 @@ TcpConn TcpConn::ConnectTo(const std::string& host, int port) {
   return TcpConn(fd);
 }
 
+void TcpConn::SetNonBlocking(bool nonblocking) {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  PARTDB_CHECK(flags >= 0);
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  PARTDB_CHECK(::fcntl(fd, F_SETFL, want) == 0);
+}
+
 bool TcpConn::ReadFull(void* buf, size_t n) {
   const int fd = fd_.load(std::memory_order_relaxed);
   char* p = static_cast<char*>(buf);
@@ -58,7 +68,14 @@ bool TcpConn::ReadFull(void* buf, size_t n) {
     const ssize_t r = ::recv(fd, p, n, 0);
     if (r == 0) return false;  // orderly EOF
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signal mid-read: retry the remainder
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking fd (handshake reads share TcpConn with event-loop
+        // conns): park in poll until readable rather than spinning.
+        pollfd pfd{fd, POLLIN, 0};
+        ::poll(&pfd, 1, /*timeout_ms=*/-1);
+        continue;
+      }
       return false;
     }
     p += r;
@@ -71,9 +88,16 @@ bool TcpConn::WriteAll(const void* buf, size_t n) {
   const int fd = fd_.load(std::memory_order_relaxed);
   const char* p = static_cast<const char*>(buf);
   while (n > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-frame surfaces as EPIPE (false)
+    // instead of a process-killing SIGPIPE.
     const ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signal mid-write: retry the remainder
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, /*timeout_ms=*/-1);
+        continue;
+      }
       return false;
     }
     p += r;

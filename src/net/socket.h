@@ -35,10 +35,23 @@ class TcpConn {
 
   bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
 
-  /// Reads exactly `n` bytes. False on EOF or error (the conn is then dead).
+  /// The raw descriptor (event loops register it with epoll). Ownership stays
+  /// with the TcpConn.
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+
+  /// Switches O_NONBLOCK on or off. ReadFull/WriteAll stay correct either
+  /// way (they poll through EAGAIN); recv/send on the raw fd return EAGAIN
+  /// when nonblocking.
+  void SetNonBlocking(bool nonblocking);
+
+  /// Reads exactly `n` bytes, riding out short reads, EINTR and (on a
+  /// nonblocking fd) EAGAIN. False on EOF or error (the conn is then dead).
   bool ReadFull(void* buf, size_t n);
 
-  /// Writes exactly `n` bytes. False on error (peer gone or shut down).
+  /// Writes exactly `n` bytes, riding out short writes, EINTR and EAGAIN.
+  /// Sends with MSG_NOSIGNAL, so a peer vanishing mid-frame yields `false`
+  /// here — never a process-killing SIGPIPE. False on error (peer gone or
+  /// shut down).
   bool WriteAll(const void* buf, size_t n);
 
   /// Shuts down both directions, waking any thread blocked in ReadFull or

@@ -1,0 +1,238 @@
+// Frame-boundary torture tests for the incremental wire decoder: a recorded
+// multi-frame stream is replayed through TryDecodeFrame with the bytes split
+// and coalesced at every possible offset (TCP guarantees order, not
+// boundaries), and must always decode to the identical frame sequence.
+// Truncated tails must report kNeedMore — never a spurious kError — and
+// corrupt prefixes must be rejected as soon as they are decidable. Plus the
+// blocking helpers' robustness contract: WriteFrame to a vanished peer fails
+// cleanly (MSG_NOSIGNAL, no process-killing SIGPIPE), and an over-limit
+// length prefix poisons the connection instead of driving an allocation.
+#include <sys/socket.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "msg/wire.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace partdb {
+namespace {
+
+struct RecordedFrame {
+  FrameType type;
+  std::string body;
+};
+
+/// A stream mixing every frame type the protocol knows, with body sizes from
+/// empty to multi-hundred bytes so header/body splits land everywhere.
+std::vector<RecordedFrame> TortureFrames() {
+  std::vector<RecordedFrame> frames;
+  HelloBody hello;
+  hello.max_inflight = 7;
+  hello.mode = 0;
+  hello.max_sessions = 16;
+  hello.proc_names = {"kv_read_update", "new_order", "payment"};
+  frames.push_back({FrameType::kHello, EncodeHello(hello)});
+  frames.push_back({FrameType::kBeginMeasure, ""});  // empty body
+  frames.push_back({FrameType::kMeasureBegun, ""});
+  frames.push_back({FrameType::kRequest, std::string(1, '\x42')});
+  frames.push_back({FrameType::kResponse, std::string(297, 'r')});
+  std::string close_body;
+  {
+    WireWriter w(&close_body);
+    w.U32(0xDEADBEEF);
+  }
+  frames.push_back({FrameType::kCloseSession, close_body});
+  frames.push_back({FrameType::kMetrics, std::string(64, '\x00')});
+  return frames;
+}
+
+std::string EncodeStream(const std::vector<RecordedFrame>& frames) {
+  std::string stream;
+  for (const RecordedFrame& f : frames) {
+    AppendFrame(&stream, f.type, f.body);
+  }
+  return stream;
+}
+
+/// Feeds `stream` into a receive buffer in the given chunks, draining every
+/// complete frame after each append — the event loop's exact consumption
+/// pattern. Fails the test on any decode error.
+std::vector<RecordedFrame> DecodeChunked(const std::string& stream,
+                                         const std::vector<size_t>& chunk_sizes) {
+  std::vector<RecordedFrame> got;
+  std::string buf;
+  size_t pos = 0, chunk_idx = 0;
+  while (pos < stream.size()) {
+    const size_t n = std::min(chunk_sizes[chunk_idx % chunk_sizes.size()],
+                              stream.size() - pos);
+    chunk_idx++;
+    buf.append(stream, pos, n);
+    pos += n;
+    size_t head = 0;
+    while (true) {
+      FrameView fv;
+      size_t consumed = 0;
+      const FrameDecode d =
+          TryDecodeFrame(std::string_view(buf).substr(head), &fv, &consumed);
+      if (d == FrameDecode::kNeedMore) break;
+      EXPECT_EQ(d, FrameDecode::kFrame);
+      if (d != FrameDecode::kFrame) return got;
+      got.push_back({fv.type, std::string(fv.body)});
+      head += consumed;
+    }
+    buf.erase(0, head);
+  }
+  EXPECT_TRUE(buf.empty()) << "undecoded tail of " << buf.size() << " bytes";
+  return got;
+}
+
+void ExpectSameFrames(const std::vector<RecordedFrame>& got,
+                      const std::vector<RecordedFrame>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].type, want[i].type) << "frame " << i;
+    EXPECT_EQ(got[i].body, want[i].body) << "frame " << i;
+  }
+}
+
+// Splitting the byte stream into two chunks at EVERY offset must decode to
+// the identical frame sequence: no hidden alignment assumptions.
+TEST(FrameTorture, EverySplitOffsetDecodesIdentically) {
+  const auto frames = TortureFrames();
+  const std::string stream = EncodeStream(frames);
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    ExpectSameFrames(DecodeChunked(stream, {split == 0 ? stream.size() : split,
+                                            stream.size()}),
+                     frames);
+    if (HasFatalFailure()) {
+      FAIL() << "at split offset " << split;
+    }
+  }
+}
+
+// Dribbling the stream in tiny fixed-size chunks (1..16 bytes — far smaller
+// than any frame) exercises every header/body boundary repeatedly.
+TEST(FrameTorture, TinyChunksDecodeIdentically) {
+  const auto frames = TortureFrames();
+  const std::string stream = EncodeStream(frames);
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{5}, size_t{7}, size_t{16}}) {
+    ExpectSameFrames(DecodeChunked(stream, {chunk}), frames);
+  }
+}
+
+// Every proper prefix of the stream must decode its complete frames and then
+// report kNeedMore for the truncated tail — never kError: a slow sender is
+// not a protocol violation.
+TEST(FrameTorture, TruncatedTailIsNeedMoreNeverError) {
+  const std::string stream = EncodeStream(TortureFrames());
+  for (size_t len = 0; len < stream.size(); ++len) {
+    std::string_view prefix(stream.data(), len);
+    while (true) {
+      FrameView fv;
+      size_t consumed = 0;
+      const FrameDecode d = TryDecodeFrame(prefix, &fv, &consumed);
+      ASSERT_NE(d, FrameDecode::kError) << "prefix length " << len;
+      if (d == FrameDecode::kNeedMore) break;
+      prefix.remove_prefix(consumed);
+    }
+  }
+}
+
+// Corrupt prefixes are rejected as soon as the corruption is decidable —
+// bad version with a full header, impossible length with only the 4-byte
+// prefix visible (no waiting for bytes that would justify the allocation).
+TEST(FrameTorture, CorruptPrefixesAreRejectedEarly) {
+  std::string good;
+  AppendFrame(&good, FrameType::kRequest, "abc");
+
+  FrameView fv;
+  size_t consumed = 0;
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(TryDecodeFrame(bad_version, &fv, &consumed), FrameDecode::kError);
+
+  std::string zero_len(4, '\0');  // length 0 cannot hold version + type
+  EXPECT_EQ(TryDecodeFrame(zero_len, &fv, &consumed), FrameDecode::kError);
+
+  std::string huge_len;
+  {
+    WireWriter w(&huge_len);
+    w.U32(kMaxFrameBytes + 1);
+  }
+  // Only the 4 length bytes are present — still immediately an error.
+  EXPECT_EQ(TryDecodeFrame(huge_len, &fv, &consumed), FrameDecode::kError);
+
+  // 3 bytes of anything is just "need more": the length is not decidable.
+  EXPECT_EQ(TryDecodeFrame(std::string_view(huge_len.data(), 3), &fv, &consumed),
+            FrameDecode::kNeedMore);
+}
+
+// A decoded view aliases the receive buffer without copying.
+TEST(FrameTorture, DecodedBodyAliasesTheBuffer) {
+  std::string stream;
+  AppendFrame(&stream, FrameType::kResponse, "zero-copy");
+  FrameView fv;
+  size_t consumed = 0;
+  ASSERT_EQ(TryDecodeFrame(stream, &fv, &consumed), FrameDecode::kFrame);
+  EXPECT_EQ(consumed, stream.size());
+  EXPECT_EQ(fv.body, "zero-copy");
+  EXPECT_EQ(fv.body.data(), stream.data() + 6);  // u32 len + u8 ver + u8 type
+}
+
+// --- blocking-helper robustness ----------------------------------------------
+
+std::pair<TcpConn, TcpConn> LocalPair() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {TcpConn(fds[0]), TcpConn(fds[1])};
+}
+
+// Writing a frame to a peer that already closed must return false — not kill
+// the process with SIGPIPE (the MSG_NOSIGNAL contract). The second write is
+// the one that gets the EPIPE; both must survive.
+TEST(FrameTorture, WriteToDeadPeerFailsWithoutSigpipe) {
+  auto [a, b] = LocalPair();
+  b.Close();
+  const std::string big(1 << 20, 'x');  // larger than any socket buffer
+  EXPECT_FALSE(WriteFrame(a, FrameType::kRequest, big));
+  EXPECT_FALSE(WriteFrame(a, FrameType::kRequest, "tail"));
+  // Reaching these expectations at all is the real assertion: no SIGPIPE.
+}
+
+// A frame bigger than the kernel socket buffer crosses in short writes and
+// short reads; both blocking helpers must ride them out.
+TEST(FrameTorture, LargeFrameSurvivesShortReadsAndWrites) {
+  auto [a, b] = LocalPair();
+  std::string big(3 << 20, '\0');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i * 31);
+  std::thread writer([&] { EXPECT_TRUE(WriteFrame(a, FrameType::kMetrics, big)); });
+  Frame f;
+  ASSERT_TRUE(ReadFrame(b, &f));
+  writer.join();
+  EXPECT_EQ(f.type, FrameType::kMetrics);
+  EXPECT_EQ(f.body, big);
+}
+
+// An over-limit length prefix poisons the read side before any allocation.
+TEST(FrameTorture, OversizedLengthPrefixRejectedOnRead) {
+  auto [a, b] = LocalPair();
+  std::string poison;
+  {
+    WireWriter w(&poison);
+    w.U32(kMaxFrameBytes + 1);
+    w.U8(kWireVersion);
+    w.U8(static_cast<uint8_t>(FrameType::kRequest));
+  }
+  ASSERT_TRUE(a.WriteAll(poison.data(), poison.size()));
+  Frame f;
+  EXPECT_FALSE(ReadFrame(b, &f));
+}
+
+}  // namespace
+}  // namespace partdb

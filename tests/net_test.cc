@@ -8,7 +8,9 @@
 // custom (non-KV, non-TPC-C) procedure served over TCP.
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -315,6 +317,186 @@ TEST(AdmissionControl, EmbeddedAndRemoteSessionsHonorTheSameBound) {
     EXPECT_EQ(AdmissionPattern(*session, remote->proc("slow")), want) << "remote";
   }
 
+  remote.reset();
+  server.Stop();
+  db->Close();
+}
+
+// --- multiplexed ingress -----------------------------------------------------
+
+int CountProcessThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::atoi(line.c_str() + 8);
+  }
+  ADD_FAILURE() << "no Threads: line in /proc/self/status";
+  return -1;
+}
+
+std::shared_ptr<KvArgs> OneKeyArgs(const KvWorkloadOptions& mb) {
+  auto a = std::make_shared<KvArgs>();
+  a->keys.resize(mb.num_partitions);
+  for (int i = 0; i < 4; ++i) a->keys[0].push_back(MicrobenchKey(0, 0, i));
+  return a;
+}
+
+// The tentpole property: server thread count is a function of num_loops, not
+// of how many clients connect. 128 concurrent connections (each carrying one
+// session that executes a transaction) must not add a single server thread
+// beyond the N event loops + 1 acceptor that already existed.
+TEST(NetMux, ManyConnectionsConstantServerThreads) {
+  KvWorkloadOptions mb = NetKvConfig();
+  mb.abort_prob = 0.0;
+  DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345);
+  opts.max_sessions = 140;
+  auto db = Database::Open(std::move(opts));
+  DbServerOptions sopts;
+  sopts.num_loops = 2;
+  DbServer server(db.get(), sopts);
+  EXPECT_EQ(server.num_loops(), 2);
+
+  ConnectOptions copts;
+  copts.procedures.push_back(KvReadUpdateProcedure(mb));
+  copts.sessions_per_conn = 1;  // force one TCP connection per session
+  auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
+
+  // Everything is warm (loops, acceptor, session workers, client loop) after
+  // the first session round-trips.
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.push_back(remote->CreateSession());
+  ASSERT_TRUE(sessions[0]->Execute(kKvReadUpdateProc, OneKeyArgs(mb)).committed);
+  const int threads_before = CountProcessThreads();
+
+  constexpr int kConns = 128;
+  for (int i = 1; i < kConns; ++i) sessions.push_back(remote->CreateSession());
+  for (auto& s : sessions) {
+    ASSERT_TRUE(s->Execute(kKvReadUpdateProc, OneKeyArgs(mb)).committed);
+  }
+  EXPECT_EQ(remote->conn_count(), static_cast<size_t>(kConns));
+  EXPECT_EQ(CountProcessThreads(), threads_before)
+      << kConns << " connections must not change the thread count";
+
+  const DbServerStats stats = server.Stats();
+  EXPECT_EQ(stats.accepted_conns, static_cast<uint64_t>(kConns));
+  EXPECT_EQ(stats.active_conns, static_cast<uint64_t>(kConns));
+  EXPECT_EQ(stats.sessions_opened, static_cast<uint64_t>(kConns));
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.rejected_requests, 0u);
+
+  sessions.clear();
+  remote.reset();
+  server.Stop();
+  const DbServerStats after = server.Stats();
+  EXPECT_EQ(after.active_conns, 0u);
+  EXPECT_EQ(after.reaped_conns, after.accepted_conns);
+  EXPECT_EQ(after.sessions_closed, after.sessions_opened);
+  db->Close();
+}
+
+// Many sessions multiplex over ONE TCP connection (protocol v2 session ids),
+// and a concurrent closed-loop run over them commits on every session.
+TEST(NetMux, ManySessionsShareOneConnection) {
+  KvWorkloadOptions mb = NetKvConfig();
+  mb.num_clients = 24;
+  DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345);
+  opts.max_sessions = 32;
+  opts.log_commits = true;
+  auto db = Database::Open(std::move(opts));
+  DbServer server(db.get());
+
+  ConnectOptions copts;
+  copts.procedures.push_back(KvReadUpdateProcedure(mb));
+  auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
+
+  ClosedLoopOptions loop;
+  loop.num_clients = mb.num_clients;
+  loop.next = KvInvocations(mb, *remote);
+  loop.warmup = 10 * kMillisecond;
+  loop.measure = 100 * kMillisecond;
+  const Metrics m = RunClosedLoop(*remote, loop);
+  EXPECT_GT(m.committed, 0u);
+  EXPECT_EQ(remote->conn_count(), 1u) << "sessions_per_conn=0 must share one connection";
+  EXPECT_EQ(server.Stats().accepted_conns, 1u);
+
+  remote.reset();
+  server.Stop();
+  db->Close();
+  ExpectKvReplayClean(*db, mb);
+}
+
+// CloseSession releases the server-side slot in order with the same
+// connection's traffic: with max_sessions=1, serial create/use/destroy
+// cycles never collide with their predecessor's slot.
+TEST(NetMux, SessionSlotsRecycleViaCloseSession) {
+  KvWorkloadOptions mb = NetKvConfig();
+  mb.abort_prob = 0.0;
+  DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345);
+  opts.max_sessions = 1;
+  auto db = Database::Open(std::move(opts));
+  DbServer server(db.get());
+  ConnectOptions copts;
+  copts.procedures.push_back(KvReadUpdateProcedure(mb));
+  auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
+
+  for (int i = 0; i < 6; ++i) {
+    auto session = remote->CreateSession();
+    ASSERT_TRUE(session->Execute(kKvReadUpdateProc, OneKeyArgs(mb)).committed) << "cycle " << i;
+  }
+  remote.reset();
+  server.Stop();
+  // Counted after Stop: the last CloseSession races the snapshot otherwise.
+  const DbServerStats stats = server.Stats();
+  EXPECT_EQ(stats.sessions_opened, 6u);
+  EXPECT_EQ(stats.sessions_closed, 6u);
+  EXPECT_EQ(stats.rejected_requests, 0u);
+  db->Close();
+}
+
+// Pipelining: a burst of submissions outstanding at once all complete, and
+// the ingress counters account for them. More frames than flush syscalls on
+// the client proves small writes actually coalesce.
+TEST(NetMux, PipelinedSubmissionsCoalesceWrites) {
+  KvWorkloadOptions mb = NetKvConfig();
+  mb.abort_prob = 0.0;
+  auto db = Database::Open(KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+                                       12345));
+  DbServer server(db.get());
+  ConnectOptions copts;
+  copts.procedures.push_back(KvReadUpdateProcedure(mb));
+  auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
+  auto session = remote->CreateSession();
+
+  constexpr int kThreads = 8, kPerThread = 50;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const SubmitResult sr = session->Submit(kKvReadUpdateProc, OneKeyArgs(mb),
+                                                [&](const TxnResult&) { completed++; });
+        ASSERT_TRUE(sr.accepted);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  session->Drain();
+  EXPECT_EQ(completed.load(), kThreads * kPerThread);
+
+  const EventLoopStats io = remote->IoStats();
+  EXPECT_GE(io.frames_out, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(io.frames_in, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_LT(io.flush_batches, io.frames_out)
+      << "a burst of concurrent submits must coalesce into fewer flushes";
+  EXPECT_GT(io.bytes_in, 0u);
+  EXPECT_GT(io.bytes_out, 0u);
+
+  const DbServerStats stats = server.Stats();
+  EXPECT_GE(stats.io.frames_in, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(stats.io.frames_out, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(stats.io.flush_batches, 0u);
+
+  session.reset();
   remote.reset();
   server.Stop();
   db->Close();
