@@ -97,10 +97,12 @@ bool DbServer::OnFrame(const std::shared_ptr<ServerConn>& sc, LoopConn& lc, cons
         if (fresh == nullptr) {
           // A just-retired session can hold its slot for the instant between
           // its last response and the worker's post-callback outstanding()
-          // decrement. Reap (each dtor drains) and retry before rejecting, or
-          // rapid close/create cycles on a full database bounce off that
-          // window.
-          ReapDeadSessions();
+          // decrement. Reap what is safely reapable and retry before
+          // rejecting, or rapid close/create cycles on a full database
+          // bounce off that window. Only drained sessions qualify here: a
+          // dtor with work still in flight blocks, and this runs on a loop
+          // thread, which must never block.
+          ReapIdleDeadSessions();
           fresh = db_->TryCreateSession();
         }
         if (fresh != nullptr) {
@@ -153,9 +155,15 @@ bool DbServer::OnFrame(const std::shared_ptr<ServerConn>& sc, LoopConn& lc, cons
       const uint32_t session_id = r.U32();
       if (!r.AtEnd()) break;
       auto it = sc->sessions.find(session_id);
-      if (it == sc->sessions.end()) break;  // closing what was never opened
-      RetireSession(std::move(it->second));
-      sc->sessions.erase(it);
+      if (it != sc->sessions.end()) {
+        RetireSession(std::move(it->second));
+        sc->sessions.erase(it);
+      }
+      // Unknown id: benign. Server sessions bind lazily on the first
+      // kRequest, so a client session destroyed without ever submitting
+      // sends CloseSession for an id this side never opened — dropping the
+      // shared multiplexed connection over that would take every other
+      // session on it down too.
       return true;
     }
     case FrameType::kBeginMeasure: {
@@ -207,6 +215,22 @@ void DbServer::ReapDeadSessions() {
   // Destroyed outside the lock: each dtor drains, and its in-flight
   // completions still deliver their responses through the event loop first.
   dead.clear();
+}
+
+void DbServer::ReapIdleDeadSessions() {
+  // The loop-thread-safe subset of ReapDeadSessions: destroy only sessions
+  // already drained, whose dtors therefore cannot block. The rest stay
+  // parked for the accept thread.
+  std::vector<std::unique_ptr<Session>> idle;
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    auto busy_end =
+        std::partition(dead_sessions_.begin(), dead_sessions_.end(),
+                       [](const std::unique_ptr<Session>& s) { return s->outstanding() > 0; });
+    idle.assign(std::make_move_iterator(busy_end), std::make_move_iterator(dead_sessions_.end()));
+    dead_sessions_.erase(busy_end, dead_sessions_.end());
+  }
+  idle.clear();
 }
 
 DbServerStats DbServer::Stats() const {

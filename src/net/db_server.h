@@ -78,7 +78,8 @@ class DbServer {
   bool OnFrame(const std::shared_ptr<ServerConn>& sc, LoopConn& lc, const FrameView& fv);
   void OnClose(const std::shared_ptr<ServerConn>& sc);
   void RetireSession(std::unique_ptr<Session> session);
-  void ReapDeadSessions();
+  void ReapDeadSessions();      // blocking (dtors drain) — accept thread / Stop only
+  void ReapIdleDeadSessions();  // non-blocking subset, safe on loop threads
 
   Database* db_;
   TcpListener listener_;

@@ -164,8 +164,12 @@ void EventLoop::Run() {
       if ((events[i].events & EPOLLIN) != 0) HandleReadable(c);
       if (c->in_loop_ && (events[i].events & EPOLLOUT) != 0) HandleWritable(c);
     }
-    if (!ProcessCommands()) break;
+    const bool keep_running = ProcessCommands();
+    // Flushed even on the stop iteration: responses produced just before
+    // Stop() are attempted while the peers are still alive and writable,
+    // not silently dropped by the teardown below.
     ProcessFlushes();
+    if (!keep_running) break;
   }
 
   // Teardown: every remaining connection closes through the same path a

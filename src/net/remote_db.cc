@@ -21,6 +21,9 @@ Time SteadyNowNs() {
 /// response can race its teardown).
 struct RemoteSession::MuxConn {
   LoopConnPtr lc;
+  /// True only for the first connection, which carries the measurement
+  /// control traffic. Set before the loop sees the conn, immutable after.
+  bool is_control = false;
 
   std::mutex mu;
   std::unordered_map<uint32_t, RemoteSession*> sessions;
@@ -194,6 +197,7 @@ RemoteDatabase::~RemoteDatabase() {
 
 std::shared_ptr<RemoteDatabase::MuxConn> RemoteDatabase::AdoptConn(TcpConn sock) {
   auto mc = std::make_shared<MuxConn>();
+  mc->is_control = conns_.empty();
   LoopConnHandlers handlers;
   handlers.on_frame = [this, mc](LoopConn&, const FrameView& fv) { return OnFrame(mc, fv); };
   handlers.on_close = [this, mc](LoopConn&) { OnClose(mc); };
@@ -243,9 +247,14 @@ void RemoteDatabase::OnClose(const std::shared_ptr<MuxConn>& mc) {
     for (auto& [id, s] : mc->sessions) sessions.push_back(s);
   }
   for (RemoteSession* s : sessions) s->OnConnClosed();
-  std::lock_guard<std::mutex> lock(ctrl_mu_);
-  ctrl_closed_ = true;
-  ctrl_cv_.notify_all();
+  // Only the control connection's death fails a control round trip; a
+  // secondary connection dying must not wake a ControlRoundTrip waiter into
+  // a spurious abort while the control channel is healthy.
+  if (mc->is_control) {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    ctrl_closed_ = true;
+    ctrl_cv_.notify_all();
+  }
 }
 
 std::unique_ptr<Session> RemoteDatabase::CreateSession() {

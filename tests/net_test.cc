@@ -453,6 +453,40 @@ TEST(NetMux, SessionSlotsRecycleViaCloseSession) {
   db->Close();
 }
 
+// Destroying a session that never submitted sends CloseSession for an id the
+// server never bound (server sessions bind lazily on the first request). The
+// server must treat that as a no-op, not a protocol error that drops the
+// shared connection — the active session multiplexed on it keeps working.
+TEST(NetMux, IdleSessionCloseKeepsSharedConnectionAlive) {
+  KvWorkloadOptions mb = NetKvConfig();
+  mb.abort_prob = 0.0;
+  auto db = Database::Open(KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+                                       12345));
+  DbServer server(db.get());
+  ConnectOptions copts;
+  copts.procedures.push_back(KvReadUpdateProcedure(mb));
+  auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
+
+  auto active = remote->CreateSession();
+  ASSERT_TRUE(active->Execute(kKvReadUpdateProc, OneKeyArgs(mb)).committed);
+  {
+    auto idle = remote->CreateSession();  // never submits; dtor sends CloseSession
+  }
+  // The connection both sessions share must have survived the unbound close.
+  ASSERT_TRUE(active->Execute(kKvReadUpdateProc, OneKeyArgs(mb)).committed);
+  EXPECT_EQ(remote->conn_count(), 1u);
+
+  const DbServerStats stats = server.Stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.active_conns, 1u);
+  EXPECT_EQ(stats.sessions_opened, 1u) << "the idle session must never bind server-side";
+
+  active.reset();
+  remote.reset();
+  server.Stop();
+  db->Close();
+}
+
 // Pipelining: a burst of submissions outstanding at once all complete, and
 // the ingress counters account for them. More frames than flush syscalls on
 // the client proves small writes actually coalesce.
