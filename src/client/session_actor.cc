@@ -37,7 +37,7 @@ SubmitResult SessionActor::Enqueue(PendingSubmit p) {
     p.submit_time = ctx.now();
     TxnId id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (max_inflight_ != 0 && admitted_ >= max_inflight_) return {false, kInvalidTxn};
       ++admitted_;
       id = MakeTxnId(node_id(), next_seq_++);
@@ -55,7 +55,7 @@ SubmitResult SessionActor::Enqueue(PendingSubmit p) {
   TxnId id;
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (max_inflight_ != 0 && admitted_ >= max_inflight_) return {false, kInvalidTxn};
     ++admitted_;
     id = MakeTxnId(node_id(), next_seq_++);
@@ -76,8 +76,12 @@ SubmitResult SessionActor::Enqueue(PendingSubmit p) {
 }
 
 bool SessionActor::WaitDrained(std::chrono::steady_clock::duration timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return drained_cv_.wait_for(lock, timeout, [&] { return outstanding_ == 0; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) {
+    if (!drained_cv_.WaitUntil(mu_, deadline) && outstanding_ != 0) return false;
+  }
+  return true;
 }
 
 void SessionActor::OnMessage(Message& msg, ActorContext& ctx) {
@@ -122,7 +126,7 @@ void SessionActor::OnMessage(Message& msg, ActorContext& ctx) {
 void SessionActor::DrainSubmissions(ActorContext& ctx) {
   std::deque<PendingSubmit> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch.swap(pending_);
     // Submissions arriving from here on need a fresh wake.
     wake_pending_ = false;
@@ -317,7 +321,7 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
   // resubmit-from-callback reuses the slot this transaction held, so
   // max_inflight = 1 sustains a closed loop.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PARTDB_CHECK(admitted_ > 0);
     --admitted_;
   }
@@ -327,11 +331,11 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
   // closed-loop drivers — which keeps the session non-drained, correctly).
   if (t.cb) t.cb(r);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PARTDB_CHECK(outstanding_ > 0);
     --outstanding_;
   }
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 }  // namespace partdb

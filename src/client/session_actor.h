@@ -25,15 +25,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cc/cc_scheme.h"
+#include "common/mutex.h"
 #include "client/proc_metrics.h"
 #include "client/routing.h"
 #include "common/rng.h"
@@ -117,14 +116,14 @@ class SessionActor : public Actor {
 
   /// Queued + in-flight transactions. Thread-safe.
   uint64_t outstanding() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return outstanding_;
   }
 
   /// Ingress wake-ups scheduled so far (coalesced mailbox wakes: a burst of
   /// foreign-thread submissions costs one). Thread-safe; test observability.
   uint64_t ingress_wakes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return ingress_wakes_;
   }
 
@@ -187,19 +186,19 @@ class SessionActor : public Actor {
   uint64_t max_inflight_ = 0;  // 0 = unlimited; set before traffic
 
   // Shared with submitting threads.
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::deque<PendingSubmit> pending_;
-  uint64_t outstanding_ = 0;
+  mutable Mutex mu_;
+  CondVar drained_cv_;
+  std::deque<PendingSubmit> pending_ PARTDB_GUARDED_BY(mu_);
+  uint64_t outstanding_ PARTDB_GUARDED_BY(mu_) = 0;
   /// Admitted-and-uncompleted transactions (the admission-control counter).
   /// Unlike outstanding_, this drops *before* the completion callback runs,
   /// so a closed loop's resubmit-from-callback reuses the slot it held.
-  uint64_t admitted_ = 0;
+  uint64_t admitted_ PARTDB_GUARDED_BY(mu_) = 0;
   /// True while an ingress wake is scheduled but not yet drained: further
   /// submissions coalesce into the pending wake instead of scheduling more.
-  bool wake_pending_ = false;
-  uint64_t ingress_wakes_ = 0;
-  uint32_t next_seq_ = 0;
+  bool wake_pending_ PARTDB_GUARDED_BY(mu_) = false;
+  uint64_t ingress_wakes_ PARTDB_GUARDED_BY(mu_) = 0;
+  uint32_t next_seq_ PARTDB_GUARDED_BY(mu_) = 0;
 
   // Owned by the actor's worker (or the sim pump).
   std::unordered_map<TxnId, Txn> txns_;

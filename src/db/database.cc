@@ -68,7 +68,7 @@ std::unique_ptr<Session> Database::CreateSession() {
 }
 
 std::unique_ptr<Session> Database::TryCreateSession() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PARTDB_CHECK(!closed_);
   if (free_slots_.empty()) return nullptr;
   const int slot = free_slots_.back();
@@ -77,7 +77,7 @@ std::unique_ptr<Session> Database::TryCreateSession() {
 }
 
 void Database::ReleaseSession(SessionActor* actor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < session_actors_.size(); ++i) {
     if (session_actors_[i].get() == actor) {
       free_slots_.push_back(static_cast<int>(i));
@@ -132,7 +132,7 @@ void Database::PumpSimUntil(const std::function<bool()>& done) {
 
 void Database::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;
     closed_ = true;
   }

@@ -13,10 +13,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "db/db_handle.h"
 #include "db/procedure_registry.h"
 #include "db/session.h"
@@ -126,9 +126,9 @@ class Database : public DbHandle {
   std::unique_ptr<Cluster> cluster_;
   std::vector<std::unique_ptr<SessionActor>> session_actors_;
 
-  std::mutex mu_;
-  std::vector<int> free_slots_;
-  bool closed_ = false;
+  Mutex mu_;
+  std::vector<int> free_slots_ PARTDB_GUARDED_BY(mu_);
+  bool closed_ PARTDB_GUARDED_BY(mu_) = false;
 
   Time sim_window_start_ = 0;  // simulated-mode measurement window
 };

@@ -2,11 +2,11 @@
 
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace partdb {
 
@@ -18,11 +18,11 @@ using std::chrono::steady_clock;
 /// worker threads, so the counters are mutex-protected (uncontended: one
 /// driver thread + one worker).
 struct ThreadStats {
-  std::mutex mu;
-  uint64_t completed = 0;
-  uint64_t committed = 0;
-  uint64_t user_aborts = 0;
-  Histogram latency;
+  Mutex mu;
+  uint64_t completed PARTDB_GUARDED_BY(mu) = 0;
+  uint64_t committed PARTDB_GUARDED_BY(mu) = 0;
+  uint64_t user_aborts PARTDB_GUARDED_BY(mu) = 0;
+  Histogram latency PARTDB_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -58,7 +58,7 @@ LoadDriverReport RunOpenLoop(DbHandle& db, const LoadDriverOptions& options) {
         PayloadPtr args = options.next_args(t, rng);
         const SubmitResult sr =
             session->Submit(options.proc, std::move(args), [st](const TxnResult& r) {
-              std::lock_guard<std::mutex> lock(st->mu);
+              MutexLock lock(st->mu);
               st->completed++;
               if (r.committed) {
                 st->committed++;
@@ -88,7 +88,7 @@ LoadDriverReport RunOpenLoop(DbHandle& db, const LoadDriverOptions& options) {
   report.elapsed_ns = elapsed;
   for (int t = 0; t < options.threads; ++t) {
     ThreadStats* st = stats[t].get();
-    std::lock_guard<std::mutex> lock(st->mu);
+    MutexLock lock(st->mu);
     report.submitted += submitted[t];
     report.rejected += rejected[t];
     report.completed += st->completed;

@@ -40,7 +40,7 @@ void ProcedureRegistry::RecordProcOutcome(ProcId proc, bool committed, Duration 
   } else {
     s.user_aborts.fetch_add(1, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.latency.Add(latency_ns);
 }
 
@@ -53,7 +53,7 @@ std::vector<ProcMetricsSnapshot> ProcedureRegistry::ProcMetrics() const {
     snap.committed = stats_[i]->committed.load(std::memory_order_relaxed);
     snap.user_aborts = stats_[i]->user_aborts.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(stats_[i]->mu);
+      MutexLock lock(stats_[i]->mu);
       snap.latency = stats_[i]->latency;
     }
     out.push_back(std::move(snap));
@@ -65,7 +65,7 @@ void ProcedureRegistry::ResetProcMetrics() {
   for (auto& s : stats_) {
     s->committed.store(0, std::memory_order_relaxed);
     s->user_aborts.store(0, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(s->mu);
+    MutexLock lock(s->mu);
     s->latency.Clear();
   }
 }

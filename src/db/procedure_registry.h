@@ -13,7 +13,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,6 +20,7 @@
 #include <vector>
 
 #include "client/proc_metrics.h"
+#include "common/mutex.h"
 #include "client/routing.h"
 #include "common/histogram.h"
 #include "common/types.h"
@@ -105,8 +105,8 @@ class ProcedureRegistry : public TxnContinuations, public ProcMetricsSink {
   struct ProcStats {
     std::atomic<uint64_t> committed{0};
     std::atomic<uint64_t> user_aborts{0};
-    mutable std::mutex mu;
-    Histogram latency;
+    mutable Mutex mu;
+    Histogram latency PARTDB_GUARDED_BY(mu);
   };
 
   std::vector<ProcedureDescriptor> procs_;

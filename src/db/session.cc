@@ -1,33 +1,32 @@
 #include "db/session.h"
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "db/database.h"
 
 namespace partdb {
 
 TxnResult Session::SubmitAndWait(ProcId proc, PayloadPtr args) {
   struct Sync {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
-    TxnResult r;
+    Mutex m;
+    CondVar cv;
+    bool done PARTDB_GUARDED_BY(m) = false;
+    TxnResult r PARTDB_GUARDED_BY(m);
   };
   auto s = std::make_shared<Sync>();
   const SubmitResult sr = Submit(proc, std::move(args), [s](const TxnResult& r) {
     {
-      std::lock_guard<std::mutex> lock(s->m);
+      MutexLock lock(s->m);
       s->r = r;
       s->done = true;
     }
-    s->cv.notify_one();
+    s->cv.NotifyOne();
   });
   PARTDB_CHECK(sr.accepted);  // Execute callers hold an admission slot
-  std::unique_lock<std::mutex> lock(s->m);
-  s->cv.wait(lock, [&] { return s->done; });
+  MutexLock lock(s->m);
+  while (!s->done) s->cv.Wait(s->m);
   return s->r;
 }
 

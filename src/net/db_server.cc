@@ -45,7 +45,7 @@ DbServer::~DbServer() { Stop(); }
 void DbServer::AcceptLoop() {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
     }
     ReapDeadSessions();
@@ -202,14 +202,14 @@ void DbServer::RetireSession(std::unique_ptr<Session> session) {
     session.reset();
     return;
   }
-  std::lock_guard<std::mutex> lock(dead_mu_);
+  MutexLock lock(dead_mu_);
   dead_sessions_.push_back(std::move(session));
 }
 
 void DbServer::ReapDeadSessions() {
   std::vector<std::unique_ptr<Session>> dead;
   {
-    std::lock_guard<std::mutex> lock(dead_mu_);
+    MutexLock lock(dead_mu_);
     dead.swap(dead_sessions_);
   }
   // Destroyed outside the lock: each dtor drains, and its in-flight
@@ -223,7 +223,7 @@ void DbServer::ReapIdleDeadSessions() {
   // parked for the accept thread.
   std::vector<std::unique_ptr<Session>> idle;
   {
-    std::lock_guard<std::mutex> lock(dead_mu_);
+    MutexLock lock(dead_mu_);
     auto busy_end =
         std::partition(dead_sessions_.begin(), dead_sessions_.end(),
                        [](const std::unique_ptr<Session>& s) { return s->outstanding() > 0; });
@@ -250,7 +250,7 @@ DbServerStats DbServer::Stats() const {
 
 void DbServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }

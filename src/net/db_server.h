@@ -19,11 +19,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "db/database.h"
 #include "net/event_loop.h"
 #include "net/frame.h"
@@ -90,14 +90,14 @@ class DbServer {
   size_t next_loop_ = 0;  // accept-thread only
 
   std::thread accept_thread_;
-  std::mutex mu_;
-  bool stopping_ = false;
+  Mutex mu_;
+  bool stopping_ PARTDB_GUARDED_BY(mu_) = false;
 
   // Sessions leaving the loop threads (CloseSession / disconnect) park here;
   // the accept thread destroys them (Session dtor drains, which must never
   // run on a loop thread).
-  std::mutex dead_mu_;
-  std::vector<std::unique_ptr<Session>> dead_sessions_;
+  Mutex dead_mu_;
+  std::vector<std::unique_ptr<Session>> dead_sessions_ PARTDB_GUARDED_BY(dead_mu_);
 
   std::atomic<uint64_t> accepted_conns_{0};
   std::atomic<uint64_t> reaped_conns_{0};

@@ -31,7 +31,7 @@ constexpr int kMaxEvents = 128;
 
 void LoopConn::Close() {
   {
-    std::lock_guard<std::mutex> lock(out_mu_);
+    MutexLock lock(out_mu_);
     if (closed_) return;
   }
   loop_->QueueCloseCommand(shared_from_this());
@@ -71,7 +71,7 @@ LoopConnPtr EventLoop::AddConn(TcpConn sock, LoopConnHandlers handlers) {
   LoopConnPtr conn(new LoopConn(this, std::move(sock)));
   conn->handlers_ = std::move(handlers);
   {
-    std::lock_guard<std::mutex> lock(cmd_mu_);
+    MutexLock lock(cmd_mu_);
     commands_.push_back({Command::Kind::kAdd, conn});
   }
   Wake();
@@ -80,7 +80,7 @@ LoopConnPtr EventLoop::AddConn(TcpConn sock, LoopConnHandlers handlers) {
 
 void EventLoop::Stop() {
   {
-    std::lock_guard<std::mutex> lock(cmd_mu_);
+    MutexLock lock(cmd_mu_);
     if (stop_queued_) return;
     stop_queued_ = true;
     commands_.push_back({Command::Kind::kStop, nullptr});
@@ -101,7 +101,7 @@ EventLoopStats EventLoop::stats() const {
 }
 
 size_t EventLoop::conn_count() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   return conns_.size();
 }
 
@@ -113,7 +113,7 @@ void EventLoop::Wake() {
 
 void EventLoop::QueueFlush(LoopConnPtr c) {
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     flush_queue_.push_back(std::move(c));
   }
   // The loop thread flushes its queue at the end of every iteration; only
@@ -123,7 +123,7 @@ void EventLoop::QueueFlush(LoopConnPtr c) {
 
 void EventLoop::QueueCloseCommand(LoopConnPtr c) {
   {
-    std::lock_guard<std::mutex> lock(cmd_mu_);
+    MutexLock lock(cmd_mu_);
     commands_.push_back({Command::Kind::kClose, std::move(c)});
   }
   Wake();
@@ -151,7 +151,7 @@ void EventLoop::Run() {
       // close must not free it out from under the checks below.
       LoopConnPtr guard;
       {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        MutexLock lock(conns_mu_);
         auto it = conns_.find(c);
         if (it == conns_.end()) continue;  // closed earlier in this ready set
         guard = it->second;
@@ -176,7 +176,7 @@ void EventLoop::Run() {
   // peer disconnect takes, so owners observe a single on_close either way.
   std::vector<LoopConnPtr> remaining;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     remaining.reserve(conns_.size());
     for (auto& [ptr, ref] : conns_) remaining.push_back(ref);
   }
@@ -186,7 +186,7 @@ void EventLoop::Run() {
 bool EventLoop::ProcessCommands() {
   std::vector<Command> cmds;
   {
-    std::lock_guard<std::mutex> lock(cmd_mu_);
+    MutexLock lock(cmd_mu_);
     cmds.swap(commands_);
   }
   bool keep_running = true;
@@ -195,7 +195,7 @@ bool EventLoop::ProcessCommands() {
       case Command::Kind::kAdd: {
         LoopConn* c = cmd.conn.get();
         {
-          std::lock_guard<std::mutex> lock(conns_mu_);
+          MutexLock lock(conns_mu_);
           conns_.emplace(c, cmd.conn);
         }
         c->in_loop_ = true;
@@ -219,7 +219,7 @@ bool EventLoop::ProcessCommands() {
 void EventLoop::ProcessFlushes() {
   std::vector<LoopConnPtr> queue;
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     queue.swap(flush_queue_);
   }
   for (const LoopConnPtr& c : queue) {
@@ -285,7 +285,7 @@ void EventLoop::FlushConn(LoopConn* c) {
   // buffer; clearing flush_queued_ here means frames arriving from now on
   // schedule the next flush themselves.
   {
-    std::lock_guard<std::mutex> lock(c->out_mu_);
+    MutexLock lock(c->out_mu_);
     std::swap(c->outbox_, c->scratch_);
     c->flush_queued_ = false;
   }
@@ -359,14 +359,14 @@ void EventLoop::CloseNow(LoopConn* c) {
   ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c->sock_.fd(), nullptr);
   LoopConnPtr ref;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     auto it = conns_.find(c);
     PARTDB_CHECK(it != conns_.end());
     ref = std::move(it->second);  // keep alive through on_close
     conns_.erase(it);
   }
   {
-    std::lock_guard<std::mutex> lock(c->out_mu_);
+    MutexLock lock(c->out_mu_);
     c->closed_ = true;  // producers drop frames from here on
   }
   if (c->handlers_.on_close) c->handlers_.on_close(*c);

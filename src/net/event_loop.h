@@ -24,13 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "msg/wire.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -86,7 +86,7 @@ class LoopConn : public std::enable_shared_from_this<LoopConn> {
   bool SendFrame(FrameType type, BodyFn&& body) {
     bool queue_flush = false;
     {
-      std::lock_guard<std::mutex> lock(out_mu_);
+      MutexLock lock(out_mu_);
       if (closed_) return false;
       const size_t at = BeginFrame(&outbox_, type);
       WireWriter w(&outbox_);
@@ -106,7 +106,7 @@ class LoopConn : public std::enable_shared_from_this<LoopConn> {
 
   /// True once the loop detached the connection; subsequent SendFrames drop.
   bool closed() const {
-    std::lock_guard<std::mutex> lock(out_mu_);
+    MutexLock lock(out_mu_);
     return closed_;
   }
 
@@ -122,10 +122,12 @@ class LoopConn : public std::enable_shared_from_this<LoopConn> {
   LoopConnHandlers handlers_;
 
   // --- producer side (any thread) --------------------------------------------
-  mutable std::mutex out_mu_;
-  std::string outbox_;         // frames appended since the last flush swap
-  bool flush_queued_ = false;  // already on the loop's flush list
-  bool closed_ = false;
+  mutable Mutex out_mu_;
+  /// Frames appended since the last flush swap.
+  std::string outbox_ PARTDB_GUARDED_BY(out_mu_);
+  /// Already on the loop's flush list.
+  bool flush_queued_ PARTDB_GUARDED_BY(out_mu_) = false;
+  bool closed_ PARTDB_GUARDED_BY(out_mu_) = false;
 
   // --- loop-thread-owned state ------------------------------------------------
   std::string rbuf_;      // receive buffer; frames decode in place
@@ -183,16 +185,17 @@ class EventLoop {
   int wakefd_ = -1;
   std::atomic<bool> wake_armed_{false};
 
-  std::mutex cmd_mu_;
-  std::vector<Command> commands_;
-  bool stop_queued_ = false;  // guarded by cmd_mu_; makes Stop idempotent
+  Mutex cmd_mu_;
+  std::vector<Command> commands_ PARTDB_GUARDED_BY(cmd_mu_);
+  /// Makes Stop idempotent.
+  bool stop_queued_ PARTDB_GUARDED_BY(cmd_mu_) = false;
 
-  std::mutex flush_mu_;
-  std::vector<LoopConnPtr> flush_queue_;
+  Mutex flush_mu_;
+  std::vector<LoopConnPtr> flush_queue_ PARTDB_GUARDED_BY(flush_mu_);
 
   // Loop-thread owned except for conn_count(); guarded for that one reader.
-  mutable std::mutex conns_mu_;
-  std::unordered_map<LoopConn*, LoopConnPtr> conns_;
+  mutable Mutex conns_mu_;
+  std::unordered_map<LoopConn*, LoopConnPtr> conns_ PARTDB_GUARDED_BY(conns_mu_);
 
   struct StatCells {
     std::atomic<uint64_t> frames_in{0}, frames_out{0};

@@ -25,11 +25,12 @@ struct RemoteSession::MuxConn {
   /// control traffic. Set before the loop sees the conn, immutable after.
   bool is_control = false;
 
-  std::mutex mu;
-  std::unordered_map<uint32_t, RemoteSession*> sessions;
-  uint32_t next_session_id = 0;
-  uint32_t open_sessions = 0;  // ids handed out and not yet destroyed
-  bool closed = false;
+  Mutex mu;
+  std::unordered_map<uint32_t, RemoteSession*> sessions PARTDB_GUARDED_BY(mu);
+  uint32_t next_session_id PARTDB_GUARDED_BY(mu) = 0;
+  /// Ids handed out and not yet destroyed.
+  uint32_t open_sessions PARTDB_GUARDED_BY(mu) = 0;
+  bool closed PARTDB_GUARDED_BY(mu) = false;
 };
 
 // --- RemoteSession -----------------------------------------------------------
@@ -43,7 +44,7 @@ RemoteSession::~RemoteSession() {
   // Drained: no response for this id can be in flight, so unregistering
   // cannot race a dispatch holding our pointer.
   {
-    std::lock_guard<std::mutex> lock(conn_->mu);
+    MutexLock lock(conn_->mu);
     conn_->sessions.erase(session_id_);
     --conn_->open_sessions;
   }
@@ -58,7 +59,7 @@ SubmitResult RemoteSession::Submit(ProcId proc, PayloadPtr args, TxnCallback cb)
   const uint64_t max = db_->max_inflight();
   uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PARTDB_CHECK(!closed_);  // server gone or protocol error
     if (max != 0 && admitted_ >= max) return {false, kInvalidTxn};
     ++admitted_;
@@ -89,13 +90,13 @@ TxnResult RemoteSession::Execute(ProcId proc, PayloadPtr args) {
 }
 
 void RemoteSession::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [&] { return outstanding_ == 0 || closed_; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0 && !closed_) drained_cv_.Wait(mu_);
   PARTDB_CHECK(outstanding_ == 0);  // closed with txns in flight: server died
 }
 
 uint64_t RemoteSession::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return outstanding_;
 }
 
@@ -111,7 +112,7 @@ void RemoteSession::OnResponse(const ResponseHeader& h, WireReader& r) {
 
   PendingTxn p;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = pending_.find(h.seq);
     PARTDB_CHECK(it != pending_.end());
     p = std::move(it->second);
@@ -139,20 +140,20 @@ void RemoteSession::OnResponse(const ResponseHeader& h, WireReader& r) {
     // notify under the lock: the waiter in Drain may destroy this session
     // the instant it reacquires mu_, so nothing may touch *this after the
     // unlock below.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PARTDB_CHECK(outstanding_ > 0);
     --outstanding_;
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 
 void RemoteSession::OnConnClosed() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   // Fail loudly, not silently: a connection that died with transactions in
   // flight would otherwise leave Execute/Drain callers blocked forever.
   PARTDB_CHECK(pending_.empty());
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 // --- RemoteDatabase ----------------------------------------------------------
@@ -186,6 +187,7 @@ RemoteDatabase::RemoteDatabase(std::string host, int port, ConnectOptions option
   }
   // The first connection exists from birth: it carries the measurement
   // control traffic and, by default, every multiplexed session.
+  MutexLock lock(conn_mu_);
   AdoptConn(std::move(control));
 }
 
@@ -214,7 +216,7 @@ bool RemoteDatabase::OnFrame(const std::shared_ptr<MuxConn>& mc, const FrameView
       if (!DecodeResponseHeader(r, &h)) return false;
       RemoteSession* s = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mc->mu);
+        MutexLock lock(mc->mu);
         auto it = mc->sessions.find(h.session_id);
         if (it != mc->sessions.end()) s = it->second;
       }
@@ -226,11 +228,11 @@ bool RemoteDatabase::OnFrame(const std::shared_ptr<MuxConn>& mc, const FrameView
     }
     case FrameType::kMeasureBegun:
     case FrameType::kMetrics: {
-      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      MutexLock lock(ctrl_mu_);
       ctrl_have_ = true;
       ctrl_type_ = fv.type;
       ctrl_body_.assign(fv.body.data(), fv.body.size());
-      ctrl_cv_.notify_all();
+      ctrl_cv_.NotifyAll();
       return true;
     }
     default:
@@ -241,7 +243,7 @@ bool RemoteDatabase::OnFrame(const std::shared_ptr<MuxConn>& mc, const FrameView
 void RemoteDatabase::OnClose(const std::shared_ptr<MuxConn>& mc) {
   std::vector<RemoteSession*> sessions;
   {
-    std::lock_guard<std::mutex> lock(mc->mu);
+    MutexLock lock(mc->mu);
     mc->closed = true;
     sessions.reserve(mc->sessions.size());
     for (auto& [id, s] : mc->sessions) sessions.push_back(s);
@@ -251,17 +253,17 @@ void RemoteDatabase::OnClose(const std::shared_ptr<MuxConn>& mc) {
   // secondary connection dying must not wake a ControlRoundTrip waiter into
   // a spurious abort while the control channel is healthy.
   if (mc->is_control) {
-    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    MutexLock lock(ctrl_mu_);
     ctrl_closed_ = true;
-    ctrl_cv_.notify_all();
+    ctrl_cv_.NotifyAll();
   }
 }
 
 std::unique_ptr<Session> RemoteDatabase::CreateSession() {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   std::shared_ptr<MuxConn> target;
   for (const auto& c : conns_) {
-    std::lock_guard<std::mutex> cl(c->mu);
+    MutexLock cl(c->mu);
     if (c->closed) continue;
     if (options_.sessions_per_conn == 0 || c->open_sessions < options_.sessions_per_conn) {
       target = c;
@@ -280,21 +282,21 @@ std::unique_ptr<Session> RemoteDatabase::CreateSession() {
   const int slot = next_session_slot_++;
   uint32_t id;
   {
-    std::lock_guard<std::mutex> cl(target->mu);
+    MutexLock cl(target->mu);
     id = target->next_session_id++;
     ++target->open_sessions;
   }
   auto session = std::unique_ptr<RemoteSession>(
       new RemoteSession(this, target, id, ClientStreamSeed(options_.seed, slot)));
   {
-    std::lock_guard<std::mutex> cl(target->mu);
+    MutexLock cl(target->mu);
     target->sessions.emplace(id, session.get());
   }
   return session;
 }
 
 size_t RemoteDatabase::conn_count() const {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   return conns_.size();
 }
 
@@ -310,20 +312,20 @@ const PayloadDecoder* RemoteDatabase::result_decoder(ProcId proc) const {
 }
 
 std::string RemoteDatabase::ControlRoundTrip(FrameType send, FrameType expect) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   std::shared_ptr<MuxConn> control;
   {
-    std::lock_guard<std::mutex> cl(conn_mu_);
+    MutexLock cl(conn_mu_);
     PARTDB_CHECK(!conns_.empty());
     control = conns_.front();
   }
   {
-    std::lock_guard<std::mutex> cl(ctrl_mu_);
+    MutexLock cl(ctrl_mu_);
     ctrl_have_ = false;
   }
   PARTDB_CHECK(control->lc->SendFrame(send, [](WireWriter&) {}));
-  std::unique_lock<std::mutex> cl(ctrl_mu_);
-  ctrl_cv_.wait(cl, [&] { return ctrl_have_ || ctrl_closed_; });
+  MutexLock cl(ctrl_mu_);
+  while (!ctrl_have_ && !ctrl_closed_) ctrl_cv_.Wait(ctrl_mu_);
   PARTDB_CHECK(ctrl_have_);  // connection died mid round trip
   PARTDB_CHECK(ctrl_type_ == expect);
   return std::move(ctrl_body_);

@@ -17,14 +17,13 @@
 #define PARTDB_NET_REMOTE_DB_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "db/db_handle.h"
 #include "db/procedure_registry.h"
 #include "net/event_loop.h"
@@ -89,13 +88,14 @@ class RemoteSession : public Session {
   const uint32_t session_id_;
   Rng rng_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::unordered_map<uint64_t, PendingTxn> pending_;
-  uint64_t next_seq_ = 0;  // session-scoped
-  uint64_t admitted_ = 0;
-  uint64_t outstanding_ = 0;
-  bool closed_ = false;  // connection saw EOF / protocol error
+  mutable Mutex mu_;
+  CondVar drained_cv_;
+  std::unordered_map<uint64_t, PendingTxn> pending_ PARTDB_GUARDED_BY(mu_);
+  uint64_t next_seq_ PARTDB_GUARDED_BY(mu_) = 0;  // session-scoped
+  uint64_t admitted_ PARTDB_GUARDED_BY(mu_) = 0;
+  uint64_t outstanding_ PARTDB_GUARDED_BY(mu_) = 0;
+  /// Connection saw EOF / protocol error.
+  bool closed_ PARTDB_GUARDED_BY(mu_) = false;
 };
 
 /// Client handle on a served database. Create via Connect; destroy after
@@ -136,7 +136,9 @@ class RemoteDatabase : public DbHandle {
   const PayloadDecoder* result_decoder(ProcId proc) const;
 
   /// Registers a dialed+greeted socket with the loop as a new MuxConn.
-  std::shared_ptr<MuxConn> AdoptConn(TcpConn sock);
+  /// Appends to conns_, so the caller holds conn_mu_ (the constructor takes
+  /// it purely for this; no concurrent access exists there yet).
+  std::shared_ptr<MuxConn> AdoptConn(TcpConn sock) PARTDB_REQUIRES(conn_mu_);
   /// Loop thread: routes a server frame to its session / control waiter.
   bool OnFrame(const std::shared_ptr<MuxConn>& mc, const FrameView& fv);
   void OnClose(const std::shared_ptr<MuxConn>& mc);
@@ -153,17 +155,18 @@ class RemoteDatabase : public DbHandle {
 
   EventLoop loop_{"client-loop"};
 
-  mutable std::mutex conn_mu_;  // guards conns_ and session-slot assignment
-  std::vector<std::shared_ptr<MuxConn>> conns_;
-  int next_session_slot_ = 0;
+  /// Guards conns_ and session-slot assignment.
+  mutable Mutex conn_mu_;
+  std::vector<std::shared_ptr<MuxConn>> conns_ PARTDB_GUARDED_BY(conn_mu_);
+  int next_session_slot_ PARTDB_GUARDED_BY(conn_mu_) = 0;
 
-  std::mutex control_mu_;  // measurement round trips are serialized
-  std::mutex ctrl_mu_;     // guards the reply rendezvous below
-  std::condition_variable ctrl_cv_;
-  bool ctrl_have_ = false;
-  bool ctrl_closed_ = false;
-  FrameType ctrl_type_ = FrameType::kHello;
-  std::string ctrl_body_;
+  Mutex control_mu_;  // measurement round trips are serialized
+  Mutex ctrl_mu_;     // guards the reply rendezvous below
+  CondVar ctrl_cv_;
+  bool ctrl_have_ PARTDB_GUARDED_BY(ctrl_mu_) = false;
+  bool ctrl_closed_ PARTDB_GUARDED_BY(ctrl_mu_) = false;
+  FrameType ctrl_type_ PARTDB_GUARDED_BY(ctrl_mu_) = FrameType::kHello;
+  std::string ctrl_body_ PARTDB_GUARDED_BY(ctrl_mu_);
 };
 
 /// Convenience alias for the common call shape: partdb::Connect("1.2.3.4", 5432).

@@ -7,12 +7,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "msg/message.h"
 
 namespace partdb {
@@ -29,21 +28,23 @@ class Mailbox {
  public:
   void Push(WorkItem item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(item));
       ++pushed_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Pops one item, blocking until one is available or `deadline` passes.
   /// Returns false on timeout. Single consumer only.
   bool PopUntil(std::chrono::steady_clock::time_point deadline, WorkItem* out) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     waiting_.store(true, std::memory_order_release);
-    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty(); })) {
-      waiting_.store(false, std::memory_order_release);
-      return false;
+    while (queue_.empty()) {
+      if (!cv_.WaitUntil(mu_, deadline) && queue_.empty()) {
+        waiting_.store(false, std::memory_order_release);
+        return false;
+      }
     }
     *out = std::move(queue_.front());
     queue_.pop_front();
@@ -63,11 +64,13 @@ class Mailbox {
   /// Single consumer only; push-order FIFO is preserved.
   bool DrainUntil(std::chrono::steady_clock::time_point deadline, std::deque<WorkItem>* out) {
     out->clear();
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     waiting_.store(true, std::memory_order_release);
-    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty(); })) {
-      waiting_.store(false, std::memory_order_release);
-      return false;
+    while (queue_.empty()) {
+      if (!cv_.WaitUntil(mu_, deadline) && queue_.empty()) {
+        waiting_.store(false, std::memory_order_release);
+        return false;
+      }
     }
     // waiting_ clears before the queue empties (both under the lock): an
     // observer never sees waiting==true with an empty queue while the
@@ -83,25 +86,25 @@ class Mailbox {
 
   /// Total items ever pushed / popped (for quiescence detection).
   uint64_t pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pushed_;
   }
   uint64_t popped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return popped_;
   }
   bool Empty() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.empty();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<WorkItem> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<WorkItem> queue_ PARTDB_GUARDED_BY(mu_);
   std::atomic<bool> waiting_{false};
-  uint64_t pushed_ = 0;
-  uint64_t popped_ = 0;
+  uint64_t pushed_ PARTDB_GUARDED_BY(mu_) = 0;
+  uint64_t popped_ PARTDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace partdb

@@ -1,8 +1,7 @@
 #include "runtime/parallel_runtime.h"
 
-#include <future>
-
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "runtime/actor.h"
 
 namespace partdb {
@@ -103,15 +102,23 @@ void ParallelRuntime::Stop() {
 }
 
 void ParallelRuntime::RunOn(int worker, std::function<void()> fn) {
-  std::promise<void> done;
-  std::future<void> fut = done.get_future();
+  struct Rendezvous {
+    Mutex mu;
+    CondVar cv;
+    bool done PARTDB_GUARDED_BY(mu) = false;
+  } sync;
   WorkItem item;
-  item.control = [&fn, &done]() {
+  item.control = [&fn, &sync]() {
     fn();
-    done.set_value();
+    {
+      MutexLock lock(sync.mu);
+      sync.done = true;
+    }
+    sync.cv.NotifyOne();
   };
   workers_[worker]->mailbox.Push(std::move(item));
-  fut.wait();
+  MutexLock lock(sync.mu);
+  while (!sync.done) sync.cv.Wait(sync.mu);
 }
 
 void ParallelRuntime::FireDueTimers(Worker* w) {

@@ -386,5 +386,31 @@ TEST(Database, SessionSlotsRecycle) {
   db->Close();
 }
 
+// Session teardown hammered against its own completion callbacks: repeated
+// create/burst/destroy cycles where the dtor's drain runs while the workers
+// are still delivering completions. The callbacks touch the session's
+// guarded state, so the drain waiter may free the session the instant the
+// last completion drops outstanding to zero — nothing on the worker side may
+// touch it after that notify. Run under TSan to check the discipline.
+TEST(ParallelSession, TeardownRacesCompletionCallbacks) {
+  const KvWorkloadOptions mb = SmallConfig(4, 0.25);
+  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 4));
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    auto session = db->CreateSession();
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 16; ++i) {
+      const SubmitResult sr =
+          session->Submit(proc, i % 4 == 0 ? MpArgs(mb, cycle % 4) : SpArgs(mb, cycle % 4, i % 2),
+                          [&](const TxnResult&) { completed++; });
+      ASSERT_TRUE(sr.accepted);
+    }
+    // No explicit Drain: destruction itself races the in-flight completions.
+    session.reset();
+    EXPECT_EQ(completed.load(), 16) << "cycle " << cycle;
+  }
+  db->Close();
+}
+
 }  // namespace
 }  // namespace partdb

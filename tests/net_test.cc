@@ -536,5 +536,46 @@ TEST(NetMux, PipelinedSubmissionsCoalesceWrites) {
   db->Close();
 }
 
+// Teardown with responses still in flight on the loop thread: a pipelined
+// burst is followed immediately by session destruction — whose drain waits
+// out completions the loop thread is dispatching concurrently — and then by
+// RemoteDatabase destruction, which stops the loop. Exercises the
+// notify-under-lock teardown protocol (the loop thread's final notify must
+// not touch the session after the drain waiter wakes and frees it); run it
+// under TSan to check the discipline, not just the outcome.
+TEST(NetMux, TeardownWithResponsesInFlight) {
+  KvWorkloadOptions mb = NetKvConfig();
+  mb.abort_prob = 0.0;
+  auto db = Database::Open(
+      KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345));
+  DbServer server(db.get());
+
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    ConnectOptions copts;
+    copts.procedures.push_back(KvReadUpdateProcedure(mb));
+    auto remote = Connect("127.0.0.1", server.port(), std::move(copts));
+    auto session = remote->CreateSession();
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 32; ++i) {
+      const SubmitResult sr =
+          session->Submit(kKvReadUpdateProc, OneKeyArgs(mb), [&](const TxnResult& r) {
+            EXPECT_TRUE(r.committed);
+            completed++;
+          });
+      ASSERT_TRUE(sr.accepted);
+    }
+    // No explicit Drain: the dtor's drain races the response dispatch, and
+    // the whole handle goes down right behind it.
+    session.reset();
+    EXPECT_EQ(completed.load(), 32) << "cycle " << cycle;
+    remote.reset();
+  }
+
+  const DbServerStats stats = server.Stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  server.Stop();
+  db->Close();
+}
+
 }  // namespace
 }  // namespace partdb

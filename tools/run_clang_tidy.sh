@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every src/
+# translation unit, using the compile database of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# The build tree must be configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+# CI invokes this with -warnings-as-errors='*' so findings fail the job.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "error: $build/compile_commands.json not found" >&2
+  echo "configure with: cmake -B $build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+tidy=${CLANG_TIDY:-clang-tidy}
+find "$repo/src" -name '*.cc' -print | sort | xargs "$tidy" -p "$build" "$@"
