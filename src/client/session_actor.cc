@@ -331,11 +331,15 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
   // closed-loop drivers — which keeps the session non-drained, correctly).
   if (t.cb) t.cb(r);
   {
+    // Notify under the lock, same teardown protocol as
+    // RemoteSession::OnResponse: actors are pooled in Database and outlive
+    // session handles today, but that invariant lives far from here — don't
+    // let this path depend on it.
     MutexLock lock(mu_);
     PARTDB_CHECK(outstanding_ > 0);
     --outstanding_;
+    drained_cv_.NotifyAll();
   }
-  drained_cv_.NotifyAll();
 }
 
 }  // namespace partdb

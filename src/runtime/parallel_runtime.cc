@@ -110,10 +110,11 @@ void ParallelRuntime::RunOn(int worker, std::function<void()> fn) {
   WorkItem item;
   item.control = [&fn, &sync]() {
     fn();
-    {
-      MutexLock lock(sync.mu);
-      sync.done = true;
-    }
+    // Notify under the lock: `sync` lives on the caller's stack, and the
+    // waiter may observe done==true and return (destroying sync) the instant
+    // it holds mu — so nothing may touch sync after the unlock.
+    MutexLock lock(sync.mu);
+    sync.done = true;
     sync.cv.NotifyOne();
   };
   workers_[worker]->mailbox.Push(std::move(item));

@@ -78,12 +78,13 @@ def run_gate(baseline, fresh, max_regression, warn_only, out=sys.stdout,
         return 2
 
     failed = []
+    missing = []
     for name, b in sorted(base.items()):
         f = fresh_schemes.get(name)
         if f is None:
             print(f"check_bench: scheme '{name}' missing from fresh results "
                   f"({fresh})", file=err)
-            failed.append(name)
+            missing.append(name)
             continue
         b_tps, f_tps = b["txn_per_sec"], f["txn_per_sec"]
         if b_tps <= 0:
@@ -98,10 +99,16 @@ def run_gate(baseline, fresh, max_regression, warn_only, out=sys.stdout,
         print(f"{base_doc['bench']:>22} {name:<12} baseline={b_tps:>10.0f} "
               f"fresh={f_tps:>10.0f} delta={delta:+7.1%}  {status}", file=out)
 
-    if failed:
+    if failed or missing:
         kind = "warning" if warn_only else "FAIL"
-        print(f"check_bench: {kind}: txn_per_sec regressed >"
-              f"{max_regression:.0%} for scheme(s): {', '.join(failed)}", file=err)
+        reasons = []
+        if failed:
+            reasons.append(f"txn_per_sec regressed >{max_regression:.0%} "
+                           f"for scheme(s): {', '.join(failed)}")
+        if missing:
+            reasons.append(
+                f"scheme(s) missing from fresh results: {', '.join(missing)}")
+        print(f"check_bench: {kind}: {'; '.join(reasons)}", file=err)
         return 0 if warn_only else 1
     print(f"check_bench: all schemes within {max_regression:.0%} of baseline",
           file=out)
@@ -125,7 +132,10 @@ def self_test():
         ("regression fails", doc(a=100, b=200), doc(a=100, b=100), False, 1,
          "scheme(s): b"),
         ("warn-only passes", doc(a=100), doc(a=10), True, 0, "warning"),
-        ("missing scheme", doc(a=100, b=200), doc(a=100), False, 1, "scheme 'b' missing"),
+        ("missing scheme", doc(a=100, b=200), doc(a=100), False, 1,
+         "scheme(s) missing from fresh results: b"),
+        ("missing is not a regression", doc(a=100, b=200), doc(a=100), False, 1,
+         "FAIL: scheme(s) missing"),
         ("bad metric", doc(a=100), {"bench": "kv", "schemes": [{"scheme": "a"}]},
          False, 2, "missing metric 'txn_per_sec'"),
         ("non-numeric metric", doc(a=100),
