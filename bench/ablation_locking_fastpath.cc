@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   TableWriter table({"mp_pct", "locking_fastpath", "locking_forced", "blocking"});
 
   for (int pct : {0, 2, 4, 6, 8, 10, 16, 25, 50}) {
-    auto run = [&](CcSchemeKind scheme, bool force) {
+    auto run = [&](const std::string& scheme, bool force) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
       return RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure())
           .Throughput();
     };
-    table.AddRow({std::to_string(pct), FmtInt(run(CcSchemeKind::kLocking, false)),
-                  FmtInt(run(CcSchemeKind::kLocking, true)),
-                  FmtInt(run(CcSchemeKind::kBlocking, false))});
+    table.AddRow({std::to_string(pct), FmtInt(run("locking", false)),
+                  FmtInt(run("locking", true)),
+                  FmtInt(run("blocking", false))});
   }
   table.PrintAligned();
   table.WriteCsvFile(*bench.csv);

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   double* mp = flags.AddDouble("mp_fraction", 0.2, "multi-partition fraction");
   if (!flags.Parse(argc, argv)) return 0;
 
-  auto run = [&](CcSchemeKind scheme, double mp_fraction, Duration latency,
+  auto run = [&](const std::string& scheme, double mp_fraction, Duration latency,
                  double coord_scale) {
     KvWorkloadOptions mb;
     mb.num_partitions = 2;
@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
   std::printf("Ablation: network latency (txns/sec, %.0f%% multi-partition)\n", *mp * 100);
   TableWriter lat_table({"one_way_us", "speculation", "blocking", "locking", "spec_vs_block"});
   for (int us : {5, 10, 20, 40, 80, 160}) {
-    const double s = run(CcSchemeKind::kSpeculative, *mp, Micros(us), 1.0);
-    const double b = run(CcSchemeKind::kBlocking, *mp, Micros(us), 1.0);
-    const double l = run(CcSchemeKind::kLocking, *mp, Micros(us), 1.0);
+    const double s = run("speculation", *mp, Micros(us), 1.0);
+    const double b = run("blocking", *mp, Micros(us), 1.0);
+    const double l = run("locking", *mp, Micros(us), 1.0);
     lat_table.AddRow({std::to_string(us), FmtInt(s), FmtInt(b), FmtInt(l),
                       StrFormat("%.2fx", s / b)});
   }
@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
   std::printf("\nAblation: coordinator CPU cost scale (speculation only)\n");
   TableWriter coord_table({"coord_scale", "speculation_20mp", "speculation_60mp"});
   for (double scale : {0.5, 1.0, 2.0, 4.0}) {
-    const double t20 = run(CcSchemeKind::kSpeculative, *mp, Micros(40), scale);
-    const double t60 = run(CcSchemeKind::kSpeculative, 0.6, Micros(40), scale);
+    const double t20 = run("speculation", *mp, Micros(40), scale);
+    const double t60 = run("speculation", 0.6, Micros(40), scale);
     coord_table.AddRow({StrFormat("%.1f", scale), FmtInt(t20), FmtInt(t60)});
   }
   coord_table.PrintAligned();

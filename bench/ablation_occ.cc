@@ -25,8 +25,7 @@ int main(int argc, char** argv) {
     for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
       std::vector<std::string> row{std::to_string(pct), FmtInt(abort_prob * 100)};
       uint64_t occ_survivors = 0, spec_cascades = 0, occ_cascades = 0;
-      for (CcSchemeKind scheme : {CcSchemeKind::kOcc, CcSchemeKind::kSpeculative,
-                                  CcSchemeKind::kLocking, CcSchemeKind::kBlocking}) {
+      for (const std::string scheme : {"occ", "speculation", "locking", "blocking"}) {
         KvWorkloadOptions mb;
         mb.num_partitions = 2;
         mb.num_clients = static_cast<int>(*clients);
@@ -36,11 +35,11 @@ int main(int argc, char** argv) {
             KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed)),
             mb, bench.warmup(), bench.measure());
         row.push_back(FmtInt(m.Throughput()));
-        if (scheme == CcSchemeKind::kOcc) {
+        if (scheme == "occ") {
           occ_survivors = m.occ_survivors;
           occ_cascades = m.cascading_reexecs;
         }
-        if (scheme == CcSchemeKind::kSpeculative) spec_cascades = m.cascading_reexecs;
+        if (scheme == "speculation") spec_cascades = m.cascading_reexecs;
       }
       row.push_back(std::to_string(occ_survivors));
       row.push_back(std::to_string(spec_cascades));

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   for (int k : {1, 2, 3}) {
     std::vector<std::string> row{std::to_string(k)};
     double p50 = 0;
-    for (CcSchemeKind scheme :
-         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+    for (const std::string scheme :
+         {"speculation", "blocking", "locking"}) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       opts.replication = k;
       Metrics m = RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure());
       row.push_back(FmtInt(m.Throughput()));
-      if (scheme == CcSchemeKind::kSpeculative) p50 = m.sp_latency.Percentile(50) / 1000.0;
+      if (scheme == "speculation") p50 = m.sp_latency.Percentile(50) / 1000.0;
     }
     row.push_back(StrFormat("%.0f", p50));
     table.AddRow(row);

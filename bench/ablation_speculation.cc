@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   TableWriter table({"mp_pct", "full_speculation", "local_only", "blocking", "spec_gain"});
 
   for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
-    auto run = [&](bool local_only, CcSchemeKind scheme) {
+    auto run = [&](bool local_only, const std::string& scheme) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
       return RunKvClosedLoop(std::move(opts), mb, bench.warmup(), bench.measure())
           .Throughput();
     };
-    const double full = run(false, CcSchemeKind::kSpeculative);
-    const double local = run(true, CcSchemeKind::kSpeculative);
-    const double blocking = run(false, CcSchemeKind::kBlocking);
+    const double full = run(false, "speculation");
+    const double local = run(true, "speculation");
+    const double blocking = run(false, "blocking");
     table.AddRow({std::to_string(pct), FmtInt(full), FmtInt(local), FmtInt(blocking),
                   StrFormat("%.2fx", local > 0 ? full / local : 0)});
   }

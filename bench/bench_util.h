@@ -41,9 +41,10 @@ inline std::string FmtInt(double v) { return StrFormat("%.0f", v); }
 inline std::string FmtPct(double v) { return StrFormat("%.1f%%", v * 100.0); }
 inline std::string Fmt2(double v) { return StrFormat("%.2f", v); }
 
-/// Per-scheme result of a self-verifying bench run.
+/// Per-scheme result of a self-verifying bench run. `scheme` is the
+/// registry name ("blocking", "speculation", "locking", "occ", "mvcc", …).
 struct SchemeResult {
-  CcSchemeKind scheme;
+  std::string scheme;
   Metrics m;
 };
 
@@ -71,7 +72,7 @@ inline bool WriteSchemeJson(const std::string& path, const char* bench_name,
                  "\"committed\": %llu, "
                  "\"sp_p50_us\": %.1f, \"sp_p99_us\": %.1f, "
                  "\"mp_p50_us\": %.1f, \"mp_p99_us\": %.1f}%s\n",
-                 CcSchemeName(results[i].scheme), m.Throughput(),
+                 results[i].scheme.c_str(), m.Throughput(),
                  static_cast<unsigned long long>(m.committed),
                  m.sp_latency.Percentile(50) / 1000.0, m.sp_latency.Percentile(99) / 1000.0,
                  m.mp_latency.Percentile(50) / 1000.0, m.mp_latency.Percentile(99) / 1000.0,

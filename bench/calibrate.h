@@ -19,7 +19,7 @@ struct CalibrationResult {
 /// Runs the calibration probes. `clients` and windows as in the benchmarks.
 inline CalibrationResult Calibrate(int clients, Duration warmup, Duration measure,
                                    uint64_t seed) {
-  auto run = [&](CcSchemeKind scheme, double mp_fraction, bool undo_everywhere,
+  auto run = [&](const std::string& scheme, double mp_fraction, bool undo_everywhere,
                  bool force_locks) {
     KvWorkloadOptions mb;
     mb.num_partitions = 2;
@@ -42,15 +42,15 @@ inline CalibrationResult Calibrate(int clients, Duration warmup, Duration measur
   CalibrationResult out;
   // tsp: pure single-partition, no undo; two partitions each finish one
   // transaction every tsp seconds.
-  const auto sp = run(CcSchemeKind::kBlocking, 0.0, false, false);
+  const auto sp = run("blocking", 0.0, false, false);
   out.sp_only = sp.throughput;
   out.params.tsp = 2.0 / sp.throughput;
   // tspS: same but with undo buffers recorded.
-  const auto sps = run(CcSchemeKind::kBlocking, 0.0, true, false);
+  const auto sps = run("blocking", 0.0, true, false);
   out.params.tsp_s = 2.0 / sps.throughput;
   // tmp: pure multi-partition under blocking executes one transaction at a
   // time across both partitions: tmp = 1/throughput.
-  const auto mp = run(CcSchemeKind::kBlocking, 1.0, false, false);
+  const auto mp = run("blocking", 1.0, false, false);
   out.blocking_100mp = mp.throughput;
   out.params.tmp = 1.0 / mp.throughput;
   // tmpC: CPU consumed per multi-partition transaction at one partition
@@ -58,7 +58,7 @@ inline CalibrationResult Calibrate(int clients, Duration warmup, Duration measur
   out.params.tmp_c = mp.cpu_per_txn / 2.0;
   // l: locking overhead at 0% multi-partition with the fast path disabled,
   // relative to the same workload with undo (locking always keeps undo).
-  const auto locked = run(CcSchemeKind::kLocking, 0.0, false, true);
+  const auto locked = run("locking", 0.0, false, true);
   out.params.lock_overhead = (2.0 / locked.throughput) / out.params.tsp_s - 1.0;
   return out;
 }

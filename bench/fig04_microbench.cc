@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
     std::vector<std::string> row{std::to_string(pct)};
     double coord_util = 0;
-    for (CcSchemeKind scheme :
-         {CcSchemeKind::kSpeculative, CcSchemeKind::kLocking, CcSchemeKind::kBlocking}) {
+    for (const std::string scheme :
+         {"speculation", "locking", "blocking"}) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
           KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed)),
           mb, bench.warmup(), bench.measure());
       row.push_back(FmtInt(m.Throughput()));
-      if (scheme == CcSchemeKind::kSpeculative) coord_util = m.CoordinatorUtilization();
+      if (scheme == "speculation") coord_util = m.CoordinatorUtilization();
     }
     row.push_back(Fmt2(coord_util));
     table.AddRow(row);

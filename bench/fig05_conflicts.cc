@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
     std::vector<std::string> row{std::to_string(pct)};
 
-    auto run = [&](CcSchemeKind scheme, double conflict) {
+    auto run = [&](const std::string& scheme, double conflict) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
@@ -41,11 +41,11 @@ int main(int argc, char** argv) {
           .Throughput();
     };
 
-    for (double c : conflict_levels) row.push_back(FmtInt(run(CcSchemeKind::kLocking, c)));
+    for (double c : conflict_levels) row.push_back(FmtInt(run("locking", c)));
     // Speculation and blocking assume all transactions conflict, so their
     // throughput does not depend on p; report the p=1 case.
-    row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, 1.0)));
-    row.push_back(FmtInt(run(CcSchemeKind::kBlocking, 1.0)));
+    row.push_back(FmtInt(run("speculation", 1.0)));
+    row.push_back(FmtInt(run("blocking", 1.0)));
     table.AddRow(row);
   }
   table.PrintAligned();

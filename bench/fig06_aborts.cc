@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(pct)};
     uint64_t cascades = 0;
 
-    auto run = [&](CcSchemeKind scheme, double aborts) {
+    auto run = [&](const std::string& scheme, double aborts) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);
@@ -36,15 +36,15 @@ int main(int argc, char** argv) {
       Metrics m = RunKvClosedLoop(
           KvDbOptions(mb, scheme, RunMode::kSimulated, static_cast<uint64_t>(*bench.seed)),
           mb, bench.warmup(), bench.measure());
-      if (scheme == CcSchemeKind::kSpeculative && aborts == 0.10) {
+      if (scheme == "speculation" && aborts == 0.10) {
         cascades = m.cascading_reexecs;
       }
       return m.Throughput();
     };
 
-    for (double a : abort_levels) row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, a)));
-    row.push_back(FmtInt(run(CcSchemeKind::kBlocking, 0.10)));
-    row.push_back(FmtInt(run(CcSchemeKind::kLocking, 0.10)));
+    for (double a : abort_levels) row.push_back(FmtInt(run("speculation", a)));
+    row.push_back(FmtInt(run("blocking", 0.10)));
+    row.push_back(FmtInt(run("locking", 0.10)));
     row.push_back(std::to_string(cascades));
     table.AddRow(row);
   }

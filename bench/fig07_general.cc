@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
 
   for (int pct = 0; pct <= 100; pct += static_cast<int>(*step)) {
     std::vector<std::string> row{std::to_string(pct)};
-    for (CcSchemeKind scheme :
-         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+    for (const char* scheme :
+         {"speculation", "blocking", "locking"}) {
       KvWorkloadOptions mb;
       mb.num_partitions = 2;
       mb.num_clients = static_cast<int>(*clients);

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
     wl.scale.initial_orders_per_district = static_cast<int>(*customers);
 
     std::vector<std::string> row{std::to_string(w), Fmt2(wl.MultiPartitionProbability())};
-    for (CcSchemeKind scheme :
-         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+    for (const char* scheme :
+         {"speculation", "blocking", "locking"}) {
       auto db = Database::Open(TpccDbOptions(wl.scale, scheme, RunMode::kSimulated,
                                              static_cast<int>(*clients),
                                              static_cast<uint64_t>(*bench.seed)));

@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{FmtInt(target * 100), Fmt2(wl.remote_item_prob)};
     double lock_pct = 0;
     uint64_t deadlocks = 0, timeouts = 0;
-    for (CcSchemeKind scheme :
-         {CcSchemeKind::kSpeculative, CcSchemeKind::kBlocking, CcSchemeKind::kLocking}) {
+    for (const std::string scheme :
+         {"speculation", "blocking", "locking"}) {
       auto db = Database::Open(TpccDbOptions(wl.scale, scheme, RunMode::kSimulated,
                                              static_cast<int>(*clients),
                                              static_cast<uint64_t>(*bench.seed)));
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
       loop.measure = bench.measure();
       Metrics m = RunClosedLoop(*db, loop);
       row.push_back(FmtInt(m.Throughput()));
-      if (scheme == CcSchemeKind::kLocking) {
+      if (scheme == "locking") {
         lock_pct = m.LockTimeFraction();
         deadlocks = m.local_deadlocks;
         timeouts = m.timeout_aborts;

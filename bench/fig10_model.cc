@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                      "model_locking", "meas_spec", "meas_local_spec", "meas_blocking",
                      "meas_locking"});
 
-  auto run = [&](CcSchemeKind scheme, double f, bool local_only) {
+  auto run = [&](const std::string& scheme, double f, bool local_only) {
     KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = static_cast<int>(*clients);
@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
     row.push_back(FmtInt(ModelLocalSpeculationThroughput(p, f)));
     row.push_back(FmtInt(ModelBlockingThroughput(p, f)));
     row.push_back(FmtInt(ModelLockingThroughput(p, f)));
-    row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, f, false)));
-    row.push_back(FmtInt(run(CcSchemeKind::kSpeculative, f, true)));
-    row.push_back(FmtInt(run(CcSchemeKind::kBlocking, f, false)));
-    row.push_back(FmtInt(run(CcSchemeKind::kLocking, f, false)));
+    row.push_back(FmtInt(run("speculation", f, false)));
+    row.push_back(FmtInt(run("speculation", f, true)));
+    row.push_back(FmtInt(run("blocking", f, false)));
+    row.push_back(FmtInt(run("locking", f, false)));
     table.AddRow(row);
   }
   table.PrintAligned();

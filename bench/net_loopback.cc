@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "cc/scheme_registry.h"
 #include "common/flags.h"
 #include "db/closed_loop.h"
 #include "kv/kv_procedures.h"
@@ -47,8 +48,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   std::vector<SchemeResult> results;
-  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+  for (const std::string& scheme : CcSchemeRegistry::Global().Names()) {
     DbOptions opts = KvDbOptions(mb, scheme, RunMode::kParallel, seed);
     opts.log_commits = *verify != 0;
     opts.max_inflight_per_session = static_cast<uint64_t>(*max_inflight);
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     db->Close();
 
     std::printf("%-12s %8.0f txn/s  committed=%llu (sp=%llu mp=%llu)\n",
-                CcSchemeName(scheme), m.Throughput(),
+                scheme.c_str(), m.Throughput(),
                 static_cast<unsigned long long>(m.committed),
                 static_cast<unsigned long long>(m.sp_committed),
                 static_cast<unsigned long long>(m.mp_committed));
@@ -99,11 +99,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.io.bytes_in >> 20),
                 static_cast<unsigned long long>(stats.io.bytes_out >> 20));
     if (m.committed == 0) {
-      std::printf("ERROR: no transactions committed under %s\n", CcSchemeName(scheme));
+      std::printf("ERROR: no transactions committed under %s\n", scheme.c_str());
       ok = false;
     }
     if (*verify != 0) {
-      ok = VerifyReplay(db->cluster(), db->options().engine_factory, CcSchemeName(scheme)) &&
+      ok = VerifyReplay(db->cluster(), db->options().engine_factory, scheme.c_str()) &&
            ok;
     }
     results.push_back({scheme, m});

@@ -1,5 +1,5 @@
 // Connection-count scaling of the event-loop ingress: the KV microbenchmark
-// (speculation scheme) served by one DbServer and driven closed-loop while
+// (--scheme, default speculation) served by one DbServer and driven closed-loop while
 // the number of TCP connections sweeps 1 -> 256 (one session per connection,
 // the thread-per-conn worst case the epoll tier exists to absorb), plus a
 // multiplexing sweep holding ONE connection while the sessions on it grow.
@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cc/scheme_registry.h"
 #include "common/flags.h"
 #include "db/closed_loop.h"
 #include "kv/kv_procedures.h"
@@ -71,11 +72,15 @@ int main(int argc, char** argv) {
   int64_t* num_loops = flags.AddInt64("loops", 1, "server event-loop threads");
   int64_t* max_conns =
       flags.AddInt64("max_conns", 256, "top of the connection sweep (1,2,4,... up to this)");
+  std::string* scheme =
+      flags.AddString("scheme", "speculation", "concurrency-control scheme (registry name)");
   std::string* json =
       flags.AddString("json", "BENCH_net_many_conn.json", "machine-readable results");
   if (!flags.Parse(argc, argv)) return 0;
 
   const uint64_t seed = static_cast<uint64_t>(*bench.seed);
+  // Fail fast (listing the registered schemes) before the sweep starts.
+  CcSchemeRegistry::Global().Get(*scheme);
   bool ok = true;
   std::vector<RowResult> results;
 
@@ -88,7 +93,7 @@ int main(int argc, char** argv) {
     mb.num_clients = sessions;
     mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
 
-    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, seed);
+    DbOptions opts = KvDbOptions(mb, *scheme, RunMode::kParallel, seed);
     opts.max_sessions = sessions + 4;
     auto db = Database::Open(std::move(opts));
     DbServerOptions sopts;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cc/scheme_registry.h"
 #include "common/flags.h"
 #include "db/load_driver.h"
 #include "kv/kv_procedures.h"
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
   int64_t* min_rate = flags.AddInt64("min_rate", 1000, "lowest offered rate (txn/s)");
   int64_t* max_rate = flags.AddInt64("max_rate", 16000, "highest offered rate (txn/s)");
   int64_t* seed = flags.AddInt64("seed", 12345, "workload seed");
+  std::string* scheme =
+      flags.AddString("scheme", "speculation", "concurrency-control scheme (registry name)");
   int64_t* verify = flags.AddInt64("verify", 1, "replay commit logs");
   std::string* csv = flags.AddString("csv", "", "also write results to this CSV file");
   if (!flags.Parse(argc, argv)) return 0;
@@ -34,15 +37,18 @@ int main(int argc, char** argv) {
   mb.num_clients = static_cast<int>(*threads);  // pre-populated key namespaces
   mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
 
+  // Fail fast (listing the registered schemes) before the rate sweep starts.
+  CcSchemeRegistry::Global().Get(*scheme);
   std::printf("open-loop load via Database/Session: %d partitions, %d driver threads, "
-              "%d%% multi-partition, speculative scheme\n",
-              mb.num_partitions, static_cast<int>(*threads), static_cast<int>(*mp_pct));
+              "%d%% multi-partition, %s scheme\n",
+              mb.num_partitions, static_cast<int>(*threads), static_cast<int>(*mp_pct),
+              scheme->c_str());
 
   TableWriter table({"target_txn_s", "offered_txn_s", "completed_txn_s", "p50_us",
                      "p95_us", "p99_us", "max_us"});
   bool ok = true;
   for (int64_t rate = *min_rate; rate <= *max_rate; rate *= 2) {
-    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+    DbOptions opts = KvDbOptions(mb, *scheme, RunMode::kParallel,
                                  static_cast<uint64_t>(*seed));
     opts.log_commits = *verify != 0;
     auto db = Database::Open(std::move(opts));

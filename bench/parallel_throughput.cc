@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "cc/scheme_registry.h"
 #include "common/flags.h"
 #include "db/closed_loop.h"
 #include "kv/kv_procedures.h"
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   int64_t* partitions = flags.AddInt64("partitions", 4, "partition worker threads");
   int64_t* clients = flags.AddInt64("clients", 40, "closed-loop logical clients (sessions)");
   int64_t* mp_pct = flags.AddInt64("mp_pct", 10, "multi-partition transaction percentage");
+  int64_t* read_only_pct =
+      flags.AddInt64("read_only_pct", 50, "read-only transaction percentage");
   int64_t* verify = flags.AddInt64("verify", 1, "replay commit logs + sim cross-check");
   std::string* json =
       flags.AddString("json", "BENCH_parallel_throughput.json", "machine-readable results");
@@ -32,16 +35,17 @@ int main(int argc, char** argv) {
   mb.num_partitions = static_cast<int>(*partitions);
   mb.num_clients = static_cast<int>(*clients);
   mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
+  mb.read_only_fraction = static_cast<double>(*read_only_pct) / 100.0;
   const uint64_t seed = static_cast<uint64_t>(*bench.seed);
 
   std::printf("parallel runtime via Database/Session: %d partition threads, %d sessions, "
-              "%d%% multi-partition\n",
-              mb.num_partitions, mb.num_clients, static_cast<int>(*mp_pct));
+              "%d%% multi-partition, %d%% read-only\n",
+              mb.num_partitions, mb.num_clients, static_cast<int>(*mp_pct),
+              static_cast<int>(*read_only_pct));
 
   bool ok = true;
   std::vector<SchemeResult> results;
-  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+  for (const std::string& scheme : CcSchemeRegistry::Global().Names()) {
     DbOptions opts = KvDbOptions(mb, scheme, RunMode::kParallel, seed);
     opts.log_commits = *verify != 0;
     auto db = Database::Open(std::move(opts));
@@ -55,7 +59,7 @@ int main(int argc, char** argv) {
     db->Close();
 
     std::printf("%-12s %8.0f txn/s  committed=%llu (sp=%llu mp=%llu)\n",
-                CcSchemeName(scheme), m.Throughput(),
+                scheme.c_str(), m.Throughput(),
                 static_cast<unsigned long long>(m.committed),
                 static_cast<unsigned long long>(m.sp_committed),
                 static_cast<unsigned long long>(m.mp_committed));
@@ -64,12 +68,11 @@ int main(int argc, char** argv) {
       std::printf("  mp latency: %s\n", m.mp_latency.Summary(1e-3).c_str());
     }
     if (m.committed == 0) {
-      std::printf("ERROR: no transactions committed under %s\n", CcSchemeName(scheme));
+      std::printf("ERROR: no transactions committed under %s\n", scheme.c_str());
       ok = false;
     }
     if (*verify != 0) {
-      ok = VerifyReplay(db->cluster(), db->options().engine_factory, CcSchemeName(scheme)) &&
-           ok;
+      ok = VerifyReplay(db->cluster(), db->options().engine_factory, scheme.c_str()) && ok;
     }
     results.push_back({scheme, m});
   }
@@ -77,7 +80,7 @@ int main(int argc, char** argv) {
   if (*verify != 0) {
     // Cross-check: the same procedure/sessions path on the deterministic
     // simulator must also pass serial-replay equivalence.
-    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, seed);
+    DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kSimulated, seed);
     opts.log_commits = true;
     auto db = Database::Open(std::move(opts));
     ClosedLoopOptions loop;
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
                          {{"partitions", mb.num_partitions},
                           {"clients", mb.num_clients},
                           {"mp_pct", *mp_pct},
+                          {"read_only_pct", *read_only_pct},
                           {"measure_ms", *bench.measure_ms}},
                          results) &&
          ok;

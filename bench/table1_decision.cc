@@ -73,8 +73,8 @@ int main(int argc, char** argv) {
                                  cell.many_rounds ? "multi" : "single",
                                  cell.many_aborts ? "many" : "few",
                                  cell.many_conflicts ? "many" : "few"};
-    for (CcSchemeKind scheme :
-         {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative, CcSchemeKind::kLocking}) {
+    for (const char* scheme :
+         {"blocking", "speculation", "locking"}) {
       const double t =
           RunKvClosedLoop(KvDbOptions(mb, scheme, RunMode::kSimulated,
                                       static_cast<uint64_t>(*bench.seed)),
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
       row.push_back(FmtInt(t));
       if (t > best) {
         best = t;
-        winner = CcSchemeName(scheme);
+        winner = scheme;
       }
     }
     row.push_back(winner);

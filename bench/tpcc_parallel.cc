@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "cc/scheme_registry.h"
 #include "common/flags.h"
 #include "db/closed_loop.h"
 #include "tpcc/tpcc_consistency.h"
@@ -48,8 +49,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   std::vector<SchemeResult> results;
-  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+  for (const std::string& scheme : CcSchemeRegistry::Global().Names()) {
     DbOptions opts = TpccDbOptions(wl.scale, scheme, RunMode::kParallel,
                                    static_cast<int>(*clients), seed);
     opts.log_commits = *verify != 0;
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
 
     std::printf("%-12s %8.0f txn/s  committed=%llu (sp=%llu mp=%llu)  "
                 "aborts=%llu deadlocks=%llu timeouts=%llu\n",
-                CcSchemeName(scheme), m.Throughput(),
+                scheme.c_str(), m.Throughput(),
                 static_cast<unsigned long long>(m.committed),
                 static_cast<unsigned long long>(m.sp_committed),
                 static_cast<unsigned long long>(m.mp_committed),
@@ -93,15 +93,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(proc_committed),
                   static_cast<unsigned long long>(proc_aborts),
                   static_cast<unsigned long long>(m.committed),
-                  static_cast<unsigned long long>(m.user_aborts), CcSchemeName(scheme));
+                  static_cast<unsigned long long>(m.user_aborts), scheme.c_str());
       ok = false;
     }
     if (m.committed == 0) {
-      std::printf("ERROR: no transactions committed under %s\n", CcSchemeName(scheme));
+      std::printf("ERROR: no transactions committed under %s\n", scheme.c_str());
       ok = false;
     }
     if (*verify != 0) {
-      ok = VerifyReplay(db->cluster(), db->options().engine_factory, CcSchemeName(scheme)) &&
+      ok = VerifyReplay(db->cluster(), db->options().engine_factory, scheme.c_str()) &&
            ok;
       std::vector<const TpccDb*> dbs;
       for (PartitionId p = 0; p < wl.scale.num_partitions; ++p) {
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
       }
       const auto violations = CheckConsistency(dbs);
       if (!violations.empty()) {
-        std::printf("%s: TPC-C consistency VIOLATION: %s\n", CcSchemeName(scheme),
+        std::printf("%s: TPC-C consistency VIOLATION: %s\n", scheme.c_str(),
                     violations.front().c_str());
         ok = false;
       }

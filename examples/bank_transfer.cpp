@@ -12,7 +12,9 @@
 //
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "cc/scheme_registry.h"
 #include "db/closed_loop.h"
 #include "db/database.h"
 #include "engine/engine.h"
@@ -165,8 +167,7 @@ int main() {
   std::printf("bank_transfer: %d partitions x %d accounts, 25%% cross-partition transfers\n\n",
               kPartitions, kAccountsPerPartition);
 
-  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+  for (const std::string& scheme : CcSchemeRegistry::Global().Names()) {
     DbOptions options;
     options.scheme = scheme;
     options.mode = RunMode::kSimulated;
@@ -197,7 +198,7 @@ int main() {
     const int64_t expected =
         static_cast<int64_t>(kPartitions) * kAccountsPerPartition * kInitialBalance;
     std::printf("%-12s %8.0f txn/s  insufficient-funds aborts=%llu  money %s\n",
-                CcSchemeName(scheme), m.Throughput(),
+                scheme.c_str(), m.Throughput(),
                 static_cast<unsigned long long>(m.user_aborts),
                 total == expected ? "conserved ✓" : "LOST — BUG!");
     if (total != expected) return 1;

@@ -8,7 +8,9 @@
 //
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "cc/scheme_registry.h"
 #include "common/flags.h"
 #include "db/closed_loop.h"
 #include "kv/kv_procedures.h"
@@ -52,8 +54,7 @@ int main(int argc, char** argv) {
 
   if (!*verify) return 0;
   std::printf("\nsimulation check:\n");
-  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+  for (const std::string& scheme : CcSchemeRegistry::Global().Names()) {
     KvWorkloadOptions mb;
     mb.num_partitions = 2;
     mb.num_clients = 40;
@@ -70,7 +71,7 @@ int main(int argc, char** argv) {
     loop.measure = Micros(600000);
     Metrics m = RunClosedLoop(*db, loop);
     db->Close();
-    std::printf("  %-12s %8.0f txn/s\n", CcSchemeName(scheme), m.Throughput());
+    std::printf("  %-12s %8.0f txn/s\n", scheme.c_str(), m.Throughput());
   }
   return 0;
 }

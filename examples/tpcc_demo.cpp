@@ -1,5 +1,5 @@
 // tpcc_demo: run the full TPC-C mix (the paper's §5.5 configuration) under
-// all four schemes through the public embedded API — TPC-C registered as
+// every registered scheme through the public embedded API — TPC-C registered as
 // stored procedures, closed-loop clients over Database/Session on the
 // deterministic simulator — then verify the TPC-C consistency conditions on
 // the final database, the workload the paper's introduction motivates.
@@ -8,7 +8,9 @@
 //
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "cc/scheme_registry.h"
 #include "db/closed_loop.h"
 #include "tpcc/tpcc_consistency.h"
 #include "tpcc/tpcc_procedures.h"
@@ -32,8 +34,7 @@ int main() {
       workload.MultiPartitionProbability() * 100);
 
   const int kClients = 40;
-  for (CcSchemeKind scheme : {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                              CcSchemeKind::kLocking, CcSchemeKind::kOcc}) {
+  for (const std::string& scheme : CcSchemeRegistry::Global().Names()) {
     auto db = Database::Open(TpccDbOptions(workload.scale, scheme, RunMode::kSimulated,
                                            kClients, /*seed=*/12345));
     ClosedLoopOptions loop;
@@ -51,7 +52,7 @@ int main() {
     const auto violations = CheckConsistency(dbs);
 
     std::printf("%-12s %8.0f txn/s  new-order aborts=%llu  deadlocks=%llu timeouts=%llu  %s\n",
-                CcSchemeName(scheme), m.Throughput(),
+                scheme.c_str(), m.Throughput(),
                 static_cast<unsigned long long>(m.user_aborts),
                 static_cast<unsigned long long>(m.local_deadlocks),
                 static_cast<unsigned long long>(m.timeout_aborts),

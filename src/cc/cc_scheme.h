@@ -1,7 +1,9 @@
 // Concurrency-control scheme interface. A scheme decides when fragments
-// execute, when results become visible, and what happens on abort. The three
-// implementations mirror the paper: BlockingCc (§4.1), SpeculativeCc (§4.2),
-// LockingCc (§4.3).
+// execute, when results become visible, and what happens on abort. The
+// implementations mirror the paper — BlockingCc (§4.1), SpeculativeCc (§4.2),
+// LockingCc (§4.3), OccCc (§5.7) — plus MvccCc (multiversion snapshot reads).
+// Schemes are selected by name through the CcSchemeRegistry
+// (cc/scheme_registry.h); concrete types are named only by their registrant.
 #ifndef PARTDB_CC_CC_SCHEME_H_
 #define PARTDB_CC_CC_SCHEME_H_
 
@@ -13,25 +15,6 @@
 #include "runtime/metrics.h"
 
 namespace partdb {
-
-/// The concurrency-control schemes a partition can run: the paper's three
-/// (blocking §4.1, speculation §4.2, locking §4.3) plus the OCC extension
-/// (§5.7).
-enum class CcSchemeKind { kBlocking, kSpeculative, kLocking, kOcc };
-
-inline const char* CcSchemeName(CcSchemeKind k) {
-  switch (k) {
-    case CcSchemeKind::kBlocking:
-      return "blocking";
-    case CcSchemeKind::kSpeculative:
-      return "speculation";
-    case CcSchemeKind::kLocking:
-      return "locking";
-    case CcSchemeKind::kOcc:
-      return "occ";
-  }
-  return "?";
-}
 
 /// Services a scheme uses, implemented by PartitionActor. All CPU consumed
 /// through these calls is charged to the partition's virtual CPU at the

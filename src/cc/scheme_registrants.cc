@@ -1,0 +1,39 @@
+// The one translation unit that knows the concrete scheme types: the paper's
+// four schemes and mvcc register themselves here, in the order they appear in
+// the paper (registration order is the registry's enumeration order). Adding
+// a scheme means adding one Register call here — nothing else in the runtime,
+// db, bench, or test layers names scheme types.
+#include "cc/blocking.h"
+#include "cc/locking.h"
+#include "cc/mvcc.h"
+#include "cc/occ.h"
+#include "cc/scheme_registry.h"
+#include "cc/speculative.h"
+
+namespace partdb {
+
+void RegisterBuiltinSchemes(CcSchemeRegistry& r) {
+  r.Register("blocking", CcSchemeCapabilities{},
+             [](PartitionExec* part, const SchemeOptions&) {
+               return std::make_unique<BlockingCc>(part);
+             });
+  r.Register("speculation", CcSchemeCapabilities{},
+             [](PartitionExec* part, const SchemeOptions& options) {
+               return std::make_unique<SpeculativeCc>(part, !options.local_speculation_only);
+             });
+  CcSchemeCapabilities locking_caps;
+  locking_caps.client_coordinated_2pc = true;
+  r.Register("locking", locking_caps, [](PartitionExec* part, const SchemeOptions& options) {
+    return std::make_unique<LockingCc>(part, options.force_locks);
+  });
+  r.Register("occ", CcSchemeCapabilities{}, [](PartitionExec* part, const SchemeOptions&) {
+    return std::make_unique<OccCc>(part);
+  });
+  CcSchemeCapabilities mvcc_caps;
+  mvcc_caps.snapshot_reads = true;
+  r.Register("mvcc", mvcc_caps, [](PartitionExec* part, const SchemeOptions&) {
+    return std::make_unique<MvccCc>(part);
+  });
+}
+
+}  // namespace partdb

@@ -1,0 +1,73 @@
+#include "cc/scheme_registry.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+CcSchemeRegistry& CcSchemeRegistry::Global() {
+  static CcSchemeRegistry* g = [] {
+    auto* r = new CcSchemeRegistry();
+    RegisterBuiltinSchemes(*r);
+    return r;
+  }();
+  return *g;
+}
+
+void CcSchemeRegistry::Register(std::string name, CcSchemeCapabilities caps,
+                                CcSchemeFactory factory) {
+  PARTDB_CHECK(!name.empty());
+  PARTDB_CHECK(factory != nullptr);
+  MutexLock lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      std::fprintf(stderr, "duplicate CC scheme registration: \"%s\"\n", name.c_str());
+      PARTDB_CHECK(false);
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->caps = caps;
+  entry->factory = std::move(factory);
+  entries_.push_back(std::move(entry));
+}
+
+const CcSchemeRegistry::Entry* CcSchemeRegistry::Find(std::string_view name) const {
+  MutexLock lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+const CcSchemeRegistry::Entry& CcSchemeRegistry::Get(std::string_view name) const {
+  const Entry* e = Find(name);
+  if (e == nullptr) {
+    std::string known;
+    for (const std::string& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    std::fprintf(stderr, "unknown CC scheme \"%.*s\" (registered: %s)\n",
+                 static_cast<int>(name.size()), name.data(), known.c_str());
+    PARTDB_CHECK(false);
+  }
+  return *e;
+}
+
+std::vector<std::string> CcSchemeRegistry::Names() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e->name);
+  return out;
+}
+
+std::unique_ptr<CcScheme> CcSchemeRegistry::Make(std::string_view name, PartitionExec* part,
+                                                 const SchemeOptions& options) const {
+  return Get(name).factory(part, options);
+}
+
+}  // namespace partdb

@@ -116,7 +116,7 @@ void SessionActor::OnMessage(Message& msg, ActorContext& ctx) {
     return;
   }
   if (auto* r = std::get_if<FragmentResponse>(&msg.body)) {
-    PARTDB_CHECK(scheme_ == CcSchemeKind::kLocking);
+    PARTDB_CHECK(caps_.client_coordinated_2pc);
     OnFragmentResponse(*r, ctx);
     return;
   }
@@ -168,7 +168,7 @@ void SessionActor::SendCurrent(TxnId id, Txn& t, ActorContext& ctx) {
     ctx.Send(topology_.partition_primary[t.route.participants[0]], std::move(f));
     return;
   }
-  if (scheme_ != CcSchemeKind::kLocking) {
+  if (!caps_.client_coordinated_2pc) {
     ClientRequest r;
     r.txn_id = id;
     r.attempt = t.attempt;

@@ -31,7 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "cc/cc_scheme.h"
+#include "cc/scheme_registry.h"
 #include "common/mutex.h"
 #include "client/proc_metrics.h"
 #include "client/routing.h"
@@ -80,16 +80,18 @@ using ProcRouter = std::function<TxnRouting(ProcId proc, const Payload& args)>;
 
 class SessionActor : public Actor {
  public:
-  /// `continuations` supplies coordinator-style round inputs when this actor
-  /// self-coordinates multi-round 2PC under locking (the db layer passes its
-  /// ProcedureRegistry).
+  /// `caps` is the running scheme's capability set: under a
+  /// client_coordinated_2pc scheme (locking §4.3) this actor runs the 2PC
+  /// rounds itself, with `continuations` supplying coordinator-style round
+  /// inputs (the db layer passes its ProcedureRegistry).
   SessionActor(std::string name, ProcRouter router, TxnContinuations* continuations,
-               Topology topology, CcSchemeKind scheme, const CostModel& cost, uint64_t seed)
+               Topology topology, CcSchemeCapabilities caps, const CostModel& cost,
+               uint64_t seed)
       : Actor(std::move(name)),
         router_(std::move(router)),
         continuations_(continuations),
         topology_(std::move(topology)),
-        scheme_(scheme),
+        caps_(caps),
         cost_(cost),
         rng_(seed) {}
 
@@ -177,7 +179,7 @@ class SessionActor : public Actor {
   ProcRouter router_;
   TxnContinuations* continuations_;
   Topology topology_;
-  CcSchemeKind scheme_;
+  CcSchemeCapabilities caps_;
   CostModel cost_;
   Metrics* metrics_ = nullptr;
   ProcMetricsSink* proc_metrics_ = nullptr;

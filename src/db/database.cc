@@ -17,6 +17,11 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
   }
   options_.procedures.clear();
 
+  // Resolve the scheme name up front: an unknown name fails here, before any
+  // cluster wiring, with the registered schemes listed.
+  const CcSchemeCapabilities scheme_caps =
+      CcSchemeRegistry::Global().Get(options_.scheme).caps;
+
   ClusterConfig cfg;
   cfg.scheme = options_.scheme;
   cfg.mode = options_.mode;
@@ -42,7 +47,7 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
     // sessions replays the legacy bench clients' streams exactly.
     auto actor = std::make_unique<SessionActor>(
         "session-" + std::to_string(i), router, &registry_, cluster_->topology(),
-        options_.scheme, options_.cost, ClientStreamSeed(options_.seed, i));
+        scheme_caps, options_.cost, ClientStreamSeed(options_.seed, i));
     actor->set_metrics(cluster_->BindSession(i, actor.get()));
     actor->set_proc_metrics(&registry_);
     actor->set_max_inflight(options_.max_inflight_per_session);

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -25,7 +26,11 @@
 namespace partdb {
 
 struct DbOptions {
-  CcSchemeKind scheme = CcSchemeKind::kSpeculative;
+  /// Registered name of the concurrency-control scheme, resolved through
+  /// CcSchemeRegistry::Global() at Open ("blocking", "speculation",
+  /// "locking", "occ", "mvcc", or anything registered since). An unknown
+  /// name fails loudly, listing the registered schemes.
+  std::string scheme = "speculation";
   RunMode mode = RunMode::kParallel;
   int num_partitions = 2;
   /// Total copies of each partition including the primary (k in §2.2).

@@ -23,7 +23,8 @@ ExecResult KvEngine::Execute(const Payload& payload, int round, const Payload* r
   PARTDB_CHECK(!keys.empty());
 
   if (args.rounds == 1) {
-    // Read + increment in one fragment.
+    // Read + increment in one fragment (read-only transactions skip the
+    // increment and return the values as-is).
     auto result = std::make_shared<KvResult>();
     result->values.reserve(keys.size());
     for (const KvKey& k : keys) {
@@ -32,7 +33,7 @@ ExecResult KvEngine::Execute(const Payload& payload, int round, const Payload* r
       PARTDB_CHECK(found);
       const uint64_t old = DecodeValue(v);
       result->values.push_back(old);
-      store_.Put(k, EncodeValue(old + 1), undo, meter);
+      if (!args.read_only) store_.Put(k, EncodeValue(old + 1), undo, meter);
       if (meter != nullptr) meter->user_code++;
     }
     res.result = std::move(result);
@@ -64,7 +65,7 @@ ExecResult KvEngine::Execute(const Payload& payload, int round, const Payload* r
   const std::vector<uint64_t>& vals = input.values[pid_];
   PARTDB_CHECK(vals.size() == keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    store_.Put(keys[i], EncodeValue(vals[i] + 1), undo, meter);
+    if (!args.read_only) store_.Put(keys[i], EncodeValue(vals[i] + 1), undo, meter);
     if (meter != nullptr) meter->user_code++;
   }
   return res;
@@ -82,7 +83,7 @@ void KvArgs::SerializeTo(WireWriter& w) const {
   uint64_t total = 0;
   for (const auto& ks : keys) total += ks.size();
   w.I32(rounds);
-  w.U32(abort_txn ? 1 : 0);
+  w.U32((abort_txn ? 1u : 0u) | (read_only ? 2u : 0u));
   w.I32(abort_at);
   w.U32(static_cast<uint32_t>(keys.size()));
   w.U64(total);
@@ -101,7 +102,9 @@ constexpr uint32_t kMaxWireLists = 1024;
 PayloadPtr DecodeKvArgs(WireReader& r) {
   auto args = std::make_shared<KvArgs>();
   args->rounds = r.I32();
-  args->abort_txn = (r.U32() & 1) != 0;
+  const uint32_t flags = r.U32();
+  args->abort_txn = (flags & 1) != 0;
+  args->read_only = (flags & 2) != 0;
   args->abort_at = r.I32();
   const uint32_t num_lists = r.U32();
   const uint64_t total = r.U64();
@@ -189,8 +192,9 @@ void KvEngine::LockSet(const Payload& payload, int round,
   PARTDB_CHECK(static_cast<size_t>(pid_) < args.keys.size());
   if (args.rounds == 2 && round == 1) return;  // round 0 acquired X already
   for (const KvKey& k : args.keys[pid_]) {
-    // Read-then-write access: exclusive from the start.
-    out->push_back(LockRequest{LockId(k), true});
+    // Read-then-write access: exclusive from the start. Read-only
+    // transactions only ever read, so they declare shared access.
+    out->push_back(LockRequest{LockId(k), !args.read_only});
   }
 }
 

@@ -22,7 +22,11 @@ struct KvArgs : public Payload {
   std::vector<std::vector<KvKey>> keys;  // indexed by PartitionId
   int rounds = 1;                        // 2 = general transaction (§5.4)
   bool abort_txn = false;                // single-partition user abort
-  PartitionId abort_at = -1;             // multi-partition: partition that aborts locally
+  /// Read the keys without updating them (read-heavy mixes; snapshot-read
+  /// schemes serve these without waiting). Bit 1 of the wire flags word, so
+  /// encoded sizes are unchanged.
+  bool read_only = false;
+  PartitionId abort_at = -1;  // multi-partition: partition that aborts locally
 
   void SerializeTo(WireWriter& w) const override;
 };

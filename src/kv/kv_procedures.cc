@@ -82,6 +82,13 @@ PayloadPtr DrawKvTxn(const KvWorkloadOptions& config, int client_index, Rng& rng
     }
   }
 
+  // Read-heavy mixes: some transactions only read their keys. Aborting
+  // transactions stay writers (the abort paths are what they exercise).
+  if (config.read_only_fraction > 0 && !args->abort_txn && args->abort_at < 0 &&
+      rng.Bernoulli(config.read_only_fraction)) {
+    args->read_only = true;
+  }
+
   return args;
 }
 
@@ -92,8 +99,8 @@ InvocationGenerator KvInvocations(const KvWorkloadOptions& config, DbHandle& db)
   };
 }
 
-DbOptions KvDbOptions(const KvWorkloadOptions& config, CcSchemeKind scheme, RunMode mode,
-                      uint64_t seed) {
+DbOptions KvDbOptions(const KvWorkloadOptions& config, const std::string& scheme,
+                      RunMode mode, uint64_t seed) {
   DbOptions opts;
   opts.scheme = scheme;
   opts.mode = mode;

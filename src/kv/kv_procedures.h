@@ -42,8 +42,8 @@ InvocationGenerator KvInvocations(const KvWorkloadOptions& config, DbHandle& db)
 /// read/update procedure, one session slot per closed-loop client, and the
 /// workload's partition count. Callers adjust mode/net/cost/etc. before
 /// Database::Open.
-DbOptions KvDbOptions(const KvWorkloadOptions& config, CcSchemeKind scheme, RunMode mode,
-                      uint64_t seed);
+DbOptions KvDbOptions(const KvWorkloadOptions& config, const std::string& scheme,
+                      RunMode mode, uint64_t seed);
 
 }  // namespace partdb
 

@@ -47,13 +47,16 @@ class KvStore {
     if (undo != nullptr) {
       KvValue old;
       const bool existed = Get(key, &old, nullptr);
-      undo->Add(
+      undo->AddWithRedo(
           [this, key, old, existed]() {
             if (existed) {
               table_.Put(key, old);
             } else {
               table_.Erase(key);
             }
+          },
+          [&] {
+            return [this, key, value]() { table_.Put(key, value); };
           },
           m);
     }

@@ -27,6 +27,10 @@ struct KvWorkloadOptions {
   bool pin_first_clients = false;
   /// §5.3: probability a transaction user-aborts (at one participant for MP).
   double abort_prob = 0.0;
+  /// Read-heavy mixes: probability a transaction reads its keys without
+  /// updating them. The draw consumes no randomness at 0, so the default mix
+  /// replays the legacy client streams bit-for-bit.
+  double read_only_fraction = 0.0;
   /// Marks every transaction can_abort so the fast paths record undo
   /// (used by the tspS calibration probe; paper Table 2).
   bool force_undo = false;

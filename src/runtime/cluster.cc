@@ -2,29 +2,10 @@
 
 #include <chrono>
 
-#include "cc/blocking.h"
-#include "cc/locking.h"
-#include "cc/occ.h"
-#include "cc/speculative.h"
+#include "cc/scheme_registry.h"
 #include "common/logging.h"
 
 namespace partdb {
-
-std::unique_ptr<CcScheme> MakeScheme(CcSchemeKind kind, PartitionExec* part,
-                                     const SchemeOptions& options) {
-  switch (kind) {
-    case CcSchemeKind::kBlocking:
-      return std::make_unique<BlockingCc>(part);
-    case CcSchemeKind::kSpeculative:
-      return std::make_unique<SpeculativeCc>(part, !options.local_speculation_only);
-    case CcSchemeKind::kLocking:
-      return std::make_unique<LockingCc>(part, options.force_locks);
-    case CcSchemeKind::kOcc:
-      return std::make_unique<OccCc>(part);
-  }
-  PARTDB_CHECK(false);
-  return nullptr;
-}
 
 Metrics* Cluster::MetricsFor(NodeId node) {
   if (config_.mode == RunMode::kSimulated) return &metrics_;
@@ -96,7 +77,7 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
     SchemeOptions opts;
     opts.local_speculation_only = config_.local_speculation_only;
     opts.force_locks = config_.force_locks;
-    part->InstallScheme(MakeScheme(config_.scheme, part.get(), opts));
+    part->InstallScheme(CcSchemeRegistry::Global().Make(config_.scheme, part.get(), opts));
     if (config_.log_commits) part->EnableCommitLog();
     part->Bind(exec_, topo.partition_primary[p]);
     partitions_.push_back(std::move(part));

@@ -14,9 +14,11 @@
 #define PARTDB_RUNTIME_CLUSTER_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cc/scheme_registry.h"
 #include "client/routing.h"
 #include "coord/coordinator_actor.h"
 #include "engine/partition_actor.h"
@@ -34,7 +36,9 @@ namespace partdb {
 enum class RunMode { kSimulated, kParallel };
 
 struct ClusterConfig {
-  CcSchemeKind scheme = CcSchemeKind::kSpeculative;
+  /// Registered name of the concurrency-control scheme (CcSchemeRegistry);
+  /// unknown names fail loudly at construction, listing the registered ones.
+  std::string scheme = "speculation";
   RunMode mode = RunMode::kSimulated;
   int num_partitions = 2;
   /// Session ingress slots. Each slot is one externally-owned actor bound via
@@ -141,15 +145,6 @@ class Cluster {
   Time window_end_ = 0;
   bool parallel_started_ = false;
 };
-
-struct SchemeOptions {
-  bool local_speculation_only = false;
-  bool force_locks = false;
-};
-
-/// Builds the scheme instance for a partition (exposed for scheme unit tests).
-std::unique_ptr<CcScheme> MakeScheme(CcSchemeKind kind, PartitionExec* part,
-                                     const SchemeOptions& options = {});
 
 }  // namespace partdb
 

@@ -18,6 +18,8 @@ void Metrics::Merge(const Metrics& o) {
   timeout_aborts += o.timeout_aborts;
   txn_retries += o.txn_retries;
   occ_survivors += o.occ_survivors;
+  mvcc_snapshot_reads += o.mvcc_snapshot_reads;
+  mvcc_conflict_waits += o.mvcc_conflict_waits;
   sp_latency.Merge(o.sp_latency);
   mp_latency.Merge(o.mp_latency);
   lock_acquire_ns += o.lock_acquire_ns;

@@ -31,6 +31,8 @@ struct Metrics {
   uint64_t timeout_aborts = 0;       // distributed deadlock timeouts
   uint64_t txn_retries = 0;          // system-induced retries (deadlock victims)
   uint64_t occ_survivors = 0;        // OCC: speculated txns that survived an abort
+  uint64_t mvcc_snapshot_reads = 0;  // MVCC: fragments served from the committed snapshot
+  uint64_t mvcc_conflict_waits = 0;  // MVCC: writers queued behind a pending MP access set
 
   Histogram sp_latency;  // ns, client observed
   Histogram mp_latency;

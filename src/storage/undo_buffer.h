@@ -2,12 +2,22 @@
 // compensation closures while executing; Rollback applies them in reverse.
 // Discarded wholesale on commit. Transactions that cannot abort skip undo
 // entirely, which is the "very low overhead" fast path.
+//
+// For multiversion schemes the buffer doubles as the transaction's pending
+// version chain: with redo capture enabled (EnableRedo), every entry also
+// carries the re-application closure for its record, so the buffer's effects
+// can be lifted off the store (Lift — exposing the committed snapshot
+// underneath) and reinstalled afterwards (Reinstall). Redo closures are only
+// materialized when a scheme asked for them; the default-path write sites pay
+// one predicted branch and nothing else.
 #ifndef PARTDB_STORAGE_UNDO_BUFFER_H_
 #define PARTDB_STORAGE_UNDO_BUFFER_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "engine/work_meter.h"
 
 namespace partdb {
@@ -20,26 +30,68 @@ class UndoBuffer {
   UndoBuffer(UndoBuffer&&) = default;
   UndoBuffer& operator=(UndoBuffer&&) = default;
 
+  /// Capture redo closures alongside undo from now on (multiversion schemes;
+  /// call before the first write executes into this buffer).
+  void EnableRedo() { keep_redo_ = true; }
+  bool redo_enabled() const { return keep_redo_; }
+
   /// Appends a compensation action. `m` (optional) gets the record counted.
   void Add(std::function<void()> fn, WorkMeter* m = nullptr) {
-    ops_.push_back(std::move(fn));
+    ops_.push_back(Entry{std::move(fn), {}});
+    if (m != nullptr) m->undo_records++;
+  }
+
+  /// Appends a compensation action plus, when redo capture is enabled, the
+  /// re-application closure `make_redo` produces. Engines use this at every
+  /// write site; `make_redo` runs only under a multiversion scheme, so the
+  /// common path never allocates the redo.
+  template <typename MakeRedo>
+  void AddWithRedo(std::function<void()> fn, MakeRedo&& make_redo, WorkMeter* m = nullptr) {
+    if (keep_redo_) {
+      ops_.push_back(Entry{std::move(fn), make_redo()});
+    } else {
+      ops_.push_back(Entry{std::move(fn), {}});
+    }
     if (m != nullptr) m->undo_records++;
   }
 
   /// Applies all compensation actions newest-first, then clears.
   void Rollback() {
-    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) (*it)();
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) it->undo();
     ops_.clear();
   }
 
   /// Commit path: drop the records.
   void Clear() { ops_.clear(); }
 
+  /// Applies the undos newest-first but keeps the entries: the store now
+  /// shows the committed snapshot beneath this transaction's pending
+  /// versions. Pair with Reinstall. Requires redo capture.
+  void Lift() {
+    PARTDB_CHECK(keep_redo_);
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) it->undo();
+  }
+
+  /// Re-applies the redos oldest-first, restoring the pending versions a
+  /// Lift removed.
+  void Reinstall() {
+    for (Entry& e : ops_) {
+      PARTDB_CHECK(e.redo != nullptr);
+      e.redo();
+    }
+  }
+
   size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
 
  private:
-  std::vector<std::function<void()>> ops_;
+  struct Entry {
+    std::function<void()> undo;
+    std::function<void()> redo;  // set only under EnableRedo
+  };
+
+  std::vector<Entry> ops_;
+  bool keep_redo_ = false;
 };
 
 }  // namespace partdb

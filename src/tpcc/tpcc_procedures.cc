@@ -231,7 +231,7 @@ InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, DbHandle& 
   };
 }
 
-DbOptions TpccDbOptions(const TpccScale& scale, CcSchemeKind scheme, RunMode mode,
+DbOptions TpccDbOptions(const TpccScale& scale, const std::string& scheme, RunMode mode,
                         int sessions, uint64_t seed) {
   DbOptions opts;
   opts.scheme = scheme;

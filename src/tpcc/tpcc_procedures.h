@@ -62,7 +62,7 @@ InvocationGenerator TpccInvocations(const TpccWorkloadConfig& config, DbHandle& 
 /// DbOptions preloaded for TPC-C: the engine factory, the five procedures,
 /// and the scale's partition count. Callers adjust mode/log_commits/etc.
 /// before Database::Open.
-DbOptions TpccDbOptions(const TpccScale& scale, CcSchemeKind scheme, RunMode mode,
+DbOptions TpccDbOptions(const TpccScale& scale, const std::string& scheme, RunMode mode,
                         int sessions, uint64_t seed);
 
 }  // namespace tpcc

@@ -11,7 +11,8 @@ namespace tpcc {
 
 namespace {
 
-/// Read-modify-write on a hash-table row with undo.
+/// Read-modify-write on a hash-table row with undo (and, under a
+/// multiversion scheme, the redo that reinstalls the written version).
 template <typename V, typename Fn>
 void Update(HashTable<uint64_t, V>& table, uint64_t key, UndoBuffer* undo, WorkMeter* m,
             Fn&& mutate) {
@@ -23,7 +24,14 @@ void Update(HashTable<uint64_t, V>& table, uint64_t key, UndoBuffer* undo, WorkM
   }
   if (undo != nullptr) {
     V old = *row;
-    undo->Add([&table, key, old]() { *table.Find(key) = old; }, m);
+    mutate(*row);
+    undo->AddWithRedo([&table, key, old]() { *table.Find(key) = old; },
+                      [&] {
+                        V now = *row;
+                        return [&table, key, now]() { *table.Find(key) = now; };
+                      },
+                      m);
+    return;
   }
   mutate(*row);
 }
@@ -98,13 +106,24 @@ ExecResult ExecNewOrder(TpccDb& db, const NewOrderArgs& a, UndoBuffer* undo, Wor
     orow.all_local = all_local;
     PARTDB_CHECK(db.orders.Insert(OrderKey(a.w_id, a.d_id, o_id), orow, m));
     if (undo != nullptr) {
-      undo->Add([&db, w = a.w_id, d = a.d_id, o_id]() { db.orders.Erase(OrderKey(w, d, o_id)); },
-                m);
+      undo->AddWithRedo(
+          [&db, w = a.w_id, d = a.d_id, o_id]() { db.orders.Erase(OrderKey(w, d, o_id)); },
+          [&] {
+            return [&db, w = a.w_id, d = a.d_id, o_id, orow]() {
+              db.orders.Insert(OrderKey(w, d, o_id), orow);
+            };
+          },
+          m);
     }
     PARTDB_CHECK(db.new_orders.Insert(NewOrderKey(a.w_id, a.d_id, o_id), true, m));
     if (undo != nullptr) {
-      undo->Add(
+      undo->AddWithRedo(
           [&db, w = a.w_id, d = a.d_id, o_id]() { db.new_orders.Erase(NewOrderKey(w, d, o_id)); },
+          [&] {
+            return [&db, w = a.w_id, d = a.d_id, o_id]() {
+              db.new_orders.Insert(NewOrderKey(w, d, o_id), true);
+            };
+          },
           m);
     }
     {
@@ -113,13 +132,16 @@ ExecResult ExecNewOrder(TpccDb& db, const NewOrderArgs& a, UndoBuffer* undo, Wor
         int32_t* prev = db.last_order_of_customer.Find(ck);
         const bool existed = prev != nullptr;
         const int32_t old = existed ? *prev : 0;
-        undo->Add(
+        undo->AddWithRedo(
             [&db, ck, existed, old]() {
               if (existed) {
                 db.last_order_of_customer.Put(ck, old);
               } else {
                 db.last_order_of_customer.Erase(ck);
               }
+            },
+            [&] {
+              return [&db, ck, o_id]() { db.last_order_of_customer.Put(ck, o_id); };
             },
             m);
       }
@@ -166,9 +188,14 @@ ExecResult ExecNewOrder(TpccDb& db, const NewOrderArgs& a, UndoBuffer* undo, Wor
       total += olr.amount;
       PARTDB_CHECK(db.order_lines.Insert(OrderLineKey(a.w_id, a.d_id, o_id, ol), olr, m));
       if (undo != nullptr) {
-        undo->Add(
+        undo->AddWithRedo(
             [&db, w = a.w_id, d = a.d_id, o_id, ol]() {
               db.order_lines.Erase(OrderLineKey(w, d, o_id, ol));
+            },
+            [&] {
+              return [&db, w = a.w_id, d = a.d_id, o_id, ol, olr]() {
+                db.order_lines.Insert(OrderLineKey(w, d, o_id, ol), olr);
+              };
             },
             m);
       }
@@ -237,7 +264,11 @@ ExecResult ExecPayment(TpccDb& db, const PaymentArgs& a, UndoBuffer* undo, WorkM
     db.history.Put(hid, h, m);
     if (m != nullptr) m->writes++;
     if (undo != nullptr) {
-      undo->Add([&db, hid]() { db.history.Erase(hid); }, m);
+      undo->AddWithRedo([&db, hid]() { db.history.Erase(hid); },
+                        [&] {
+                          return [&db, hid, h]() { db.history.Put(hid, h); };
+                        },
+                        m);
     }
   }
 
@@ -306,15 +337,27 @@ ExecResult ExecDelivery(TpccDb& db, const DeliveryArgs& a, UndoBuffer* undo, Wor
     PARTDB_CHECK(db.new_orders.Erase(key, m));
     if (m != nullptr) m->writes++;
     if (undo != nullptr) {
-      undo->Add([&db, key]() { db.new_orders.Insert(key, true); }, m);
+      undo->AddWithRedo([&db, key]() { db.new_orders.Insert(key, true); },
+                        [&] {
+                          return [&db, key]() { db.new_orders.Erase(key); };
+                        },
+                        m);
     }
 
     OrderRow* o = db.orders.Find(OrderKey(a.w_id, d, o_id), m);
     PARTDB_CHECK(o != nullptr);
     if (undo != nullptr) {
       const OrderRow old = *o;
-      undo->Add([&db, w = a.w_id, d, o_id, old]() { *db.orders.Find(OrderKey(w, d, o_id)) = old; },
-                m);
+      OrderRow now = old;
+      now.carrier_id = a.carrier_id;
+      undo->AddWithRedo(
+          [&db, w = a.w_id, d, o_id, old]() { *db.orders.Find(OrderKey(w, d, o_id)) = old; },
+          [&] {
+            return [&db, w = a.w_id, d, o_id, now]() {
+              *db.orders.Find(OrderKey(w, d, o_id)) = now;
+            };
+          },
+          m);
     }
     o->carrier_id = a.carrier_id;
     if (m != nullptr) {
@@ -328,9 +371,16 @@ ExecResult ExecDelivery(TpccDb& db, const DeliveryArgs& a, UndoBuffer* undo, Wor
       PARTDB_CHECK(olr != nullptr);
       if (undo != nullptr) {
         const OrderLineRow old = *olr;
-        undo->Add(
+        OrderLineRow now = old;
+        now.delivery_d = a.date;
+        undo->AddWithRedo(
             [&db, w = a.w_id, d, o_id, ol, old]() {
               *db.order_lines.Find(OrderLineKey(w, d, o_id, ol)) = old;
+            },
+            [&] {
+              return [&db, w = a.w_id, d, o_id, ol, now]() {
+                *db.order_lines.Find(OrderLineKey(w, d, o_id, ol)) = now;
+              };
             },
             m);
       }

@@ -27,7 +27,7 @@ KvWorkloadOptions SmallConfig(int clients, double mp_fraction, double abort_prob
   return mb;
 }
 
-DbOptions SmallDb(const KvWorkloadOptions& mb, CcSchemeKind scheme, RunMode mode,
+DbOptions SmallDb(const KvWorkloadOptions& mb, const std::string& scheme, RunMode mode,
                   int max_sessions) {
   DbOptions opts;
   opts.scheme = scheme;
@@ -102,7 +102,7 @@ TEST(ProcedureRegistry, RegisterFindDispatch) {
 
 TEST(SimSession, ExecuteCommitsAndReturnsPayload) {
   const KvWorkloadOptions mb = SmallConfig(4, 0.2);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 2));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kSimulated, 2));
   auto session = db->CreateSession();
 
   const ProcId proc = db->proc(kKvReadUpdateProc);
@@ -129,7 +129,7 @@ TEST(SimSession, ExecuteCommitsAndReturnsPayload) {
 
 TEST(SimSession, ExecutePropagatesUserAborts) {
   const KvWorkloadOptions mb = SmallConfig(2, 0.0);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kSimulated, 1));
   auto session = db->CreateSession();
   const ProcId proc = db->proc(kKvReadUpdateProc);
 
@@ -149,7 +149,7 @@ TEST(SimSession, ExecutePropagatesUserAborts) {
 
 TEST(ParallelSession, ExecutePropagatesUserAborts) {
   const KvWorkloadOptions mb = SmallConfig(2, 0.0);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 1));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kParallel, 1));
   auto session = db->CreateSession();
   const ProcId proc = db->proc(kKvReadUpdateProc);
 
@@ -161,7 +161,7 @@ TEST(ParallelSession, ExecutePropagatesUserAborts) {
 }
 
 struct SchemeParam {
-  CcSchemeKind scheme;
+  const char* scheme;
   double mp_fraction;
   double abort_prob;
 };
@@ -215,14 +215,16 @@ TEST_P(ConcurrentSubmit, SerializableUnderConcurrentSessions) {
 
 INSTANTIATE_TEST_SUITE_P(
     Schemes, ConcurrentSubmit,
-    ::testing::Values(SchemeParam{CcSchemeKind::kSpeculative, 0.3, 0.0},
-                      SchemeParam{CcSchemeKind::kSpeculative, 0.5, 0.1},
-                      SchemeParam{CcSchemeKind::kBlocking, 0.3, 0.05},
-                      SchemeParam{CcSchemeKind::kLocking, 0.3, 0.05},
-                      SchemeParam{CcSchemeKind::kOcc, 0.3, 0.05}),
+    ::testing::Values(SchemeParam{"speculation", 0.3, 0.0},
+                      SchemeParam{"speculation", 0.5, 0.1},
+                      SchemeParam{"blocking", 0.3, 0.05},
+                      SchemeParam{"locking", 0.3, 0.05},
+                      SchemeParam{"occ", 0.3, 0.05},
+                      SchemeParam{"mvcc", 0.3, 0.05},
+                      SchemeParam{"mvcc", 0.5, 0.1}),
     [](const ::testing::TestParamInfo<SchemeParam>& info) {
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%s_mp%d_abort%d", CcSchemeName(info.param.scheme),
+      std::snprintf(buf, sizeof(buf), "%s_mp%d_abort%d", info.param.scheme,
                     static_cast<int>(info.param.mp_fraction * 100),
                     static_cast<int>(info.param.abort_prob * 100));
       return std::string(buf);
@@ -230,7 +232,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInSim) {
   const KvWorkloadOptions mb = SmallConfig(8, 0.25);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 8));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kSimulated, 8));
 
   ClosedLoopOptions loop;
   loop.num_clients = 8;
@@ -249,7 +251,7 @@ TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInSim) {
 
 TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInParallel) {
   const KvWorkloadOptions mb = SmallConfig(6, 0.2);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 6));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kParallel, 6));
 
   ClosedLoopOptions loop;
   loop.num_clients = 6;
@@ -266,7 +268,7 @@ TEST(ClosedLoopAdapter, DrivesWorkloadOverSessionsInParallel) {
 
 TEST(OpenLoopDriver, HitsTargetRateWithinTolerance) {
   const KvWorkloadOptions mb = SmallConfig(2, 0.1);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kParallel, 2));
 
   LoadDriverOptions load;
   load.threads = 2;
@@ -295,7 +297,7 @@ TEST(OpenLoopDriver, HitsTargetRateWithinTolerance) {
 // then complete off that single mailbox drain.
 TEST(SessionBatching, BurstCoalescesIntoOneMailboxWake) {
   const KvWorkloadOptions mb = SmallConfig(4, 0.0);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kSimulated, 1));
   auto session = db->CreateSession();
   SessionActor& actor = static_cast<LocalSession&>(*session).actor();
   const ProcId proc = db->proc(kKvReadUpdateProc);
@@ -329,7 +331,7 @@ TEST(SessionBatching, BurstCoalescesIntoOneMailboxWake) {
 // the simulator has not run, so nothing can complete between the submits.
 TEST(AdmissionControl, RejectsBeyondBoundAndRecoversAfterDrain) {
   const KvWorkloadOptions mb = SmallConfig(4, 0.0);
-  DbOptions opts = SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 1);
+  DbOptions opts = SmallDb(mb, "speculation", RunMode::kSimulated, 1);
   opts.max_inflight_per_session = 3;
   auto db = Database::Open(std::move(opts));
   auto session = db->CreateSession();
@@ -359,7 +361,7 @@ TEST(AdmissionControl, RejectsBeyondBoundAndRecoversAfterDrain) {
 TEST(AdmissionControl, ClosedLoopSustainsUnderBoundOne) {
   const KvWorkloadOptions mb = SmallConfig(6, 0.2);
   for (RunMode mode : {RunMode::kSimulated, RunMode::kParallel}) {
-    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, mode, 99);
+    DbOptions opts = KvDbOptions(mb, "speculation", mode, 99);
     opts.max_inflight_per_session = 1;
     auto db = Database::Open(std::move(opts));
     ClosedLoopOptions loop;
@@ -375,7 +377,7 @@ TEST(AdmissionControl, ClosedLoopSustainsUnderBoundOne) {
 
 TEST(Database, SessionSlotsRecycle) {
   const KvWorkloadOptions mb = SmallConfig(2, 0.0);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 2));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kParallel, 2));
   const ProcId proc = db->proc(kKvReadUpdateProc);
   for (int round = 0; round < 3; ++round) {
     auto a = db->CreateSession();
@@ -394,7 +396,7 @@ TEST(Database, SessionSlotsRecycle) {
 // touch it after that notify. Run under TSan to check the discipline.
 TEST(ParallelSession, TeardownRacesCompletionCallbacks) {
   const KvWorkloadOptions mb = SmallConfig(4, 0.25);
-  auto db = Database::Open(SmallDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 4));
+  auto db = Database::Open(SmallDb(mb, "speculation", RunMode::kParallel, 4));
   const ProcId proc = db->proc(kKvReadUpdateProc);
   for (int cycle = 0; cycle < 50; ++cycle) {
     auto session = db->CreateSession();

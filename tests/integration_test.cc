@@ -13,7 +13,7 @@
 namespace partdb {
 namespace {
 
-KvRun RunKvSim(const KvWorkloadOptions& mb, CcSchemeKind scheme, uint64_t seed,
+KvRun RunKvSim(const KvWorkloadOptions& mb, const std::string& scheme, uint64_t seed,
                Duration warmup, Duration measure, bool log_commits = false,
                int replication = 1, bool backups_execute = false) {
   DbOptions opts = KvDbOptions(mb, scheme, RunMode::kSimulated, seed);
@@ -24,7 +24,7 @@ KvRun RunKvSim(const KvWorkloadOptions& mb, CcSchemeKind scheme, uint64_t seed,
 }
 
 struct IntegrationParam {
-  CcSchemeKind scheme;
+  const char* scheme;
   double mp_fraction;
   double conflict_prob;
   double abort_prob;
@@ -35,7 +35,7 @@ struct IntegrationParam {
 std::string ParamName(const ::testing::TestParamInfo<IntegrationParam>& info) {
   const IntegrationParam& p = info.param;
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "%s_mp%d_conf%d_abort%d_r%d_s%llu", CcSchemeName(p.scheme),
+  std::snprintf(buf, sizeof(buf), "%s_mp%d_conf%d_abort%d_r%d_s%llu", p.scheme,
                 static_cast<int>(p.mp_fraction * 100), static_cast<int>(p.conflict_prob * 100),
                 static_cast<int>(p.abort_prob * 100), p.mp_rounds,
                 static_cast<unsigned long long>(p.seed));
@@ -77,7 +77,7 @@ TEST_P(SchemeIntegration, SerializableAndLive) {
     const uint64_t live = cluster.engine(p).StateHash();
     const uint64_t replayed = ExpectCleanReplayStateHash(factory, p, cluster.commit_log(p));
     EXPECT_EQ(live, replayed) << "partition " << p << " diverged from serial replay ("
-                              << CcSchemeName(param.scheme) << ")";
+                              << param.scheme << ")";
     logs.push_back(&cluster.commit_log(p));
   }
   ExpectMpOrderConsistent(logs, param.scheme);
@@ -87,41 +87,48 @@ INSTANTIATE_TEST_SUITE_P(
     Matrix, SchemeIntegration,
     ::testing::Values(
         // Plain mixes.
-        IntegrationParam{CcSchemeKind::kBlocking, 0.1, 0, 0, 1, 1},
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.1, 0, 0, 1, 1},
-        IntegrationParam{CcSchemeKind::kLocking, 0.1, 0, 0, 1, 1},
+        IntegrationParam{"blocking", 0.1, 0, 0, 1, 1},
+        IntegrationParam{"speculation", 0.1, 0, 0, 1, 1},
+        IntegrationParam{"locking", 0.1, 0, 0, 1, 1},
         // Multi-partition heavy.
-        IntegrationParam{CcSchemeKind::kBlocking, 0.8, 0, 0, 1, 2},
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.8, 0, 0, 1, 2},
-        IntegrationParam{CcSchemeKind::kLocking, 0.8, 0, 0, 1, 2},
+        IntegrationParam{"blocking", 0.8, 0, 0, 1, 2},
+        IntegrationParam{"speculation", 0.8, 0, 0, 1, 2},
+        IntegrationParam{"locking", 0.8, 0, 0, 1, 2},
         // Conflicts (locking must serialize around the hot keys).
-        IntegrationParam{CcSchemeKind::kLocking, 0.3, 0.6, 0, 1, 3},
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.3, 0.6, 0, 1, 3},
-        IntegrationParam{CcSchemeKind::kBlocking, 0.3, 0.6, 0, 1, 3},
+        IntegrationParam{"locking", 0.3, 0.6, 0, 1, 3},
+        IntegrationParam{"speculation", 0.3, 0.6, 0, 1, 3},
+        IntegrationParam{"blocking", 0.3, 0.6, 0, 1, 3},
         // Aborts (speculation must cascade correctly).
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.3, 0, 0.1, 1, 4},
-        IntegrationParam{CcSchemeKind::kBlocking, 0.3, 0, 0.1, 1, 4},
-        IntegrationParam{CcSchemeKind::kLocking, 0.3, 0, 0.1, 1, 4},
+        IntegrationParam{"speculation", 0.3, 0, 0.1, 1, 4},
+        IntegrationParam{"blocking", 0.3, 0, 0.1, 1, 4},
+        IntegrationParam{"locking", 0.3, 0, 0.1, 1, 4},
         // Aborts + conflicts + speculation, different seeds.
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.5, 0.4, 0.05, 1, 5},
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.5, 0.4, 0.05, 1, 6},
-        IntegrationParam{CcSchemeKind::kLocking, 0.5, 0.4, 0.05, 1, 7},
+        IntegrationParam{"speculation", 0.5, 0.4, 0.05, 1, 5},
+        IntegrationParam{"speculation", 0.5, 0.4, 0.05, 1, 6},
+        IntegrationParam{"locking", 0.5, 0.4, 0.05, 1, 7},
         // General (two-round) multi-partition transactions.
-        IntegrationParam{CcSchemeKind::kBlocking, 0.3, 0, 0, 2, 8},
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.3, 0, 0, 2, 8},
-        IntegrationParam{CcSchemeKind::kLocking, 0.3, 0, 0, 2, 8},
-        IntegrationParam{CcSchemeKind::kSpeculative, 0.7, 0, 0.05, 2, 9},
+        IntegrationParam{"blocking", 0.3, 0, 0, 2, 8},
+        IntegrationParam{"speculation", 0.3, 0, 0, 2, 8},
+        IntegrationParam{"locking", 0.3, 0, 0, 2, 8},
+        IntegrationParam{"speculation", 0.7, 0, 0.05, 2, 9},
         // 100% multi-partition stress.
-        IntegrationParam{CcSchemeKind::kBlocking, 1.0, 0, 0, 1, 10},
-        IntegrationParam{CcSchemeKind::kSpeculative, 1.0, 0, 0, 1, 10},
-        IntegrationParam{CcSchemeKind::kLocking, 1.0, 0, 0, 1, 10},
-        IntegrationParam{CcSchemeKind::kSpeculative, 1.0, 0, 0.1, 2, 11},
+        IntegrationParam{"blocking", 1.0, 0, 0, 1, 10},
+        IntegrationParam{"speculation", 1.0, 0, 0, 1, 10},
+        IntegrationParam{"locking", 1.0, 0, 0, 1, 10},
+        IntegrationParam{"speculation", 1.0, 0, 0.1, 2, 11},
         // OCC extension (paper §5.7) across the regimes.
-        IntegrationParam{CcSchemeKind::kOcc, 0.1, 0, 0, 1, 12},
-        IntegrationParam{CcSchemeKind::kOcc, 0.8, 0, 0, 1, 12},
-        IntegrationParam{CcSchemeKind::kOcc, 0.3, 0.6, 0, 1, 13},
-        IntegrationParam{CcSchemeKind::kOcc, 0.5, 0.4, 0.1, 1, 14},
-        IntegrationParam{CcSchemeKind::kOcc, 1.0, 0, 0.1, 1, 15}),
+        IntegrationParam{"occ", 0.1, 0, 0, 1, 12},
+        IntegrationParam{"occ", 0.8, 0, 0, 1, 12},
+        IntegrationParam{"occ", 0.3, 0.6, 0, 1, 13},
+        IntegrationParam{"occ", 0.5, 0.4, 0.1, 1, 14},
+        IntegrationParam{"occ", 1.0, 0, 0.1, 1, 15},
+        // MVCC extension (snapshot reads) across the regimes.
+        IntegrationParam{"mvcc", 0.1, 0, 0, 1, 16},
+        IntegrationParam{"mvcc", 0.8, 0, 0, 1, 16},
+        IntegrationParam{"mvcc", 0.3, 0.6, 0, 1, 17},
+        IntegrationParam{"mvcc", 0.5, 0.4, 0.1, 1, 18},
+        IntegrationParam{"mvcc", 0.3, 0, 0, 2, 19},
+        IntegrationParam{"mvcc", 1.0, 0, 0.1, 1, 20}),
     ParamName);
 
 TEST(Integration, CounterSumMatchesCommits) {
@@ -133,7 +140,7 @@ TEST(Integration, CounterSumMatchesCommits) {
   mb.mp_fraction = 0.4;
   mb.abort_prob = 0.05;
 
-  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 99, Micros(10000), Micros(100000),
+  KvRun run = RunKvSim(mb, "speculation", 99, Micros(10000), Micros(100000),
                        /*log_commits=*/true);
   Cluster& cluster = run.db->cluster();
 
@@ -163,7 +170,7 @@ TEST(Integration, ReplicationBackupsConverge) {
   mb.mp_fraction = 0.3;
   mb.abort_prob = 0.05;
 
-  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 77, Micros(10000), Micros(80000),
+  KvRun run = RunKvSim(mb, "speculation", 77, Micros(10000), Micros(80000),
                        /*log_commits=*/false, /*replication=*/2, /*backups_execute=*/true);
   EXPECT_GT(run.metrics.completions(), 100u);
 
@@ -180,7 +187,7 @@ TEST(Integration, DeterministicAcrossRuns) {
     mb.num_partitions = 2;
     mb.num_clients = 10;
     mb.mp_fraction = 0.25;
-    KvRun r = RunKvSim(mb, CcSchemeKind::kSpeculative, seed, Micros(10000), Micros(50000));
+    KvRun r = RunKvSim(mb, "speculation", seed, Micros(10000), Micros(50000));
     return std::make_pair(r.metrics.completions(), r.db->cluster().engine(0).StateHash() ^
                                                        r.db->cluster().engine(1).StateHash());
   };
@@ -197,7 +204,7 @@ TEST(Integration, LockingFastPathUsedWhenNoMp) {
   mb.num_partitions = 2;
   mb.num_clients = 8;
   mb.mp_fraction = 0.0;
-  KvRun run = RunKvSim(mb, CcSchemeKind::kLocking, 12345, Micros(10000), Micros(50000));
+  KvRun run = RunKvSim(mb, "locking", 12345, Micros(10000), Micros(50000));
   EXPECT_GT(run.metrics.lock_fast_path, 0u);
   EXPECT_EQ(run.metrics.locked_txns, 0u);  // never any active transaction at arrival
 }
@@ -207,7 +214,7 @@ TEST(Integration, SpeculationActuallySpeculates) {
   mb.num_partitions = 2;
   mb.num_clients = 20;
   mb.mp_fraction = 0.3;
-  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 12345, Micros(10000), Micros(50000));
+  KvRun run = RunKvSim(mb, "speculation", 12345, Micros(10000), Micros(50000));
   EXPECT_GT(run.metrics.speculative_execs, 0u) << run.metrics.Summary();
 }
 
@@ -217,7 +224,7 @@ TEST(Integration, AbortsCauseCascadingReexecutions) {
   mb.num_clients = 20;
   mb.mp_fraction = 0.3;
   mb.abort_prob = 0.1;
-  KvRun run = RunKvSim(mb, CcSchemeKind::kSpeculative, 12345, Micros(10000), Micros(50000));
+  KvRun run = RunKvSim(mb, "speculation", 12345, Micros(10000), Micros(50000));
   EXPECT_GT(run.metrics.cascading_reexecs, 0u) << run.metrics.Summary();
   EXPECT_GT(run.metrics.user_aborts, 0u);
 }

@@ -25,8 +25,8 @@
 namespace partdb {
 namespace {
 
-constexpr CcSchemeKind kAllSchemes[] = {CcSchemeKind::kBlocking, CcSchemeKind::kSpeculative,
-                                        CcSchemeKind::kLocking, CcSchemeKind::kOcc};
+constexpr const char* kAllSchemes[] = {"blocking", "speculation", "locking", "occ",
+                                       "mvcc"};
 
 KvWorkloadOptions NetKvConfig() {
   KvWorkloadOptions mb;
@@ -54,7 +54,7 @@ void ExpectKvReplayClean(Database& db, const KvWorkloadOptions& mb) {
 // figure harnesses make, replay-verified serializable on the server.
 TEST(NetLoopback, KvMixAllSchemesReplayVerified) {
   const KvWorkloadOptions mb = NetKvConfig();
-  for (CcSchemeKind scheme : kAllSchemes) {
+  for (const char* scheme : kAllSchemes) {
     DbOptions opts = KvDbOptions(mb, scheme, RunMode::kParallel, 12345);
     opts.log_commits = true;
     auto db = Database::Open(std::move(opts));
@@ -69,8 +69,8 @@ TEST(NetLoopback, KvMixAllSchemesReplayVerified) {
     loop.warmup = 20 * kMillisecond;
     loop.measure = 100 * kMillisecond;
     const Metrics m = RunClosedLoop(*remote, loop);
-    EXPECT_GT(m.committed, 0u) << CcSchemeName(scheme);
-    EXPECT_GT(m.window_ns, 0) << CcSchemeName(scheme);
+    EXPECT_GT(m.committed, 0u) << scheme;
+    EXPECT_GT(m.window_ns, 0) << scheme;
 
     remote.reset();
     server.Stop();
@@ -90,7 +90,7 @@ TEST(NetLoopback, TpccFullMixAllSchemesReplayVerified) {
   wl.scale.initial_orders_per_district = 30;
   const int clients = 8;
 
-  for (CcSchemeKind scheme : kAllSchemes) {
+  for (const char* scheme : kAllSchemes) {
     DbOptions opts = tpcc::TpccDbOptions(wl.scale, scheme, RunMode::kParallel, clients, 7);
     opts.log_commits = true;
     auto db = Database::Open(std::move(opts));
@@ -105,7 +105,7 @@ TEST(NetLoopback, TpccFullMixAllSchemesReplayVerified) {
     loop.warmup = 20 * kMillisecond;
     loop.measure = 150 * kMillisecond;
     const Metrics m = RunClosedLoop(*remote, loop);
-    EXPECT_GT(m.committed, 0u) << CcSchemeName(scheme);
+    EXPECT_GT(m.committed, 0u) << scheme;
 
     remote.reset();
     server.Stop();
@@ -116,7 +116,7 @@ TEST(NetLoopback, TpccFullMixAllSchemesReplayVerified) {
       EXPECT_EQ(db->cluster().engine(p).StateHash(),
                 ExpectCleanReplayStateHash(db->options().engine_factory, p,
                                            db->cluster().commit_log(p)))
-          << CcSchemeName(scheme) << " partition " << p;
+          << scheme << " partition " << p;
       logs.push_back(&db->cluster().commit_log(p));
     }
     ExpectMpOrderConsistent(logs, scheme);
@@ -124,7 +124,7 @@ TEST(NetLoopback, TpccFullMixAllSchemesReplayVerified) {
     for (PartitionId p = 0; p < wl.scale.num_partitions; ++p) {
       dbs.push_back(&static_cast<tpcc::TpccEngine&>(db->cluster().engine(p)).db());
     }
-    EXPECT_TRUE(tpcc::CheckConsistency(dbs).empty()) << CcSchemeName(scheme);
+    EXPECT_TRUE(tpcc::CheckConsistency(dbs).empty()) << scheme;
   }
 }
 
@@ -134,7 +134,7 @@ TEST(NetLoopback, TpccFullMixAllSchemesReplayVerified) {
 TEST(NetLoopback, ExecuteReturnsDecodedResultPayload) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.abort_prob = 0.0;
-  auto db = Database::Open(KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+  auto db = Database::Open(KvDbOptions(mb, "speculation", RunMode::kParallel,
                                        12345));
   DbServer server(db.get());
   ConnectOptions copts;
@@ -176,7 +176,7 @@ TEST(NetLoopback, ExecuteReturnsDecodedResultPayload) {
 // (histograms included) survive the wire.
 TEST(NetLoopback, MeasurementWindowOverControlChannel) {
   const KvWorkloadOptions mb = NetKvConfig();
-  auto db = Database::Open(KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+  auto db = Database::Open(KvDbOptions(mb, "speculation", RunMode::kParallel,
                                        12345));
   DbServer server(db.get());
   ConnectOptions copts;
@@ -244,7 +244,7 @@ class SlowEngine : public Engine {
 
 DbOptions SlowDb(uint64_t max_inflight) {
   DbOptions opts;
-  opts.scheme = CcSchemeKind::kSpeculative;
+  opts.scheme = "speculation";
   opts.mode = RunMode::kParallel;
   opts.num_partitions = 1;
   opts.max_sessions = 2;
@@ -348,7 +348,7 @@ std::shared_ptr<KvArgs> OneKeyArgs(const KvWorkloadOptions& mb) {
 TEST(NetMux, ManyConnectionsConstantServerThreads) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.abort_prob = 0.0;
-  DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345);
+  DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, 12345);
   opts.max_sessions = 140;
   auto db = Database::Open(std::move(opts));
   DbServerOptions sopts;
@@ -399,7 +399,7 @@ TEST(NetMux, ManyConnectionsConstantServerThreads) {
 TEST(NetMux, ManySessionsShareOneConnection) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.num_clients = 24;
-  DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345);
+  DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, 12345);
   opts.max_sessions = 32;
   opts.log_commits = true;
   auto db = Database::Open(std::move(opts));
@@ -431,7 +431,7 @@ TEST(NetMux, ManySessionsShareOneConnection) {
 TEST(NetMux, SessionSlotsRecycleViaCloseSession) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.abort_prob = 0.0;
-  DbOptions opts = KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345);
+  DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, 12345);
   opts.max_sessions = 1;
   auto db = Database::Open(std::move(opts));
   DbServer server(db.get());
@@ -460,7 +460,7 @@ TEST(NetMux, SessionSlotsRecycleViaCloseSession) {
 TEST(NetMux, IdleSessionCloseKeepsSharedConnectionAlive) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.abort_prob = 0.0;
-  auto db = Database::Open(KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+  auto db = Database::Open(KvDbOptions(mb, "speculation", RunMode::kParallel,
                                        12345));
   DbServer server(db.get());
   ConnectOptions copts;
@@ -493,7 +493,7 @@ TEST(NetMux, IdleSessionCloseKeepsSharedConnectionAlive) {
 TEST(NetMux, PipelinedSubmissionsCoalesceWrites) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.abort_prob = 0.0;
-  auto db = Database::Open(KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel,
+  auto db = Database::Open(KvDbOptions(mb, "speculation", RunMode::kParallel,
                                        12345));
   DbServer server(db.get());
   ConnectOptions copts;
@@ -547,7 +547,7 @@ TEST(NetMux, TeardownWithResponsesInFlight) {
   KvWorkloadOptions mb = NetKvConfig();
   mb.abort_prob = 0.0;
   auto db = Database::Open(
-      KvDbOptions(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 12345));
+      KvDbOptions(mb, "speculation", RunMode::kParallel, 12345));
   DbServer server(db.get());
 
   for (int cycle = 0; cycle < 20; ++cycle) {

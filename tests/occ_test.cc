@@ -170,7 +170,7 @@ TEST(OccScheme, EndToEndSerializable) {
     mb.conflict_prob = 0.4;
     mb.pin_first_clients = true;
 
-    DbOptions opts = KvDbOptions(mb, CcSchemeKind::kOcc, RunMode::kSimulated, seed);
+    DbOptions opts = KvDbOptions(mb, "occ", RunMode::kSimulated, seed);
     opts.log_commits = true;
     KvRun run = RunKvClosedLoop(std::move(opts), mb, Micros(20000), Micros(120000));
     EXPECT_GT(run.metrics.completions(), 100u);

@@ -25,7 +25,7 @@ struct SimRunResult {
   std::vector<uint64_t> state_hashes;
 };
 
-SimRunResult RunSimOnce(CcSchemeKind scheme, uint64_t seed) {
+SimRunResult RunSimOnce(const std::string& scheme, uint64_t seed) {
   KvWorkloadOptions mb;
   mb.num_partitions = 3;
   mb.num_clients = 12;
@@ -48,9 +48,9 @@ SimRunResult RunSimOnce(CcSchemeKind scheme, uint64_t seed) {
 }
 
 TEST(Determinism, SameSeedSameRun) {
-  for (CcSchemeKind scheme :
-       {CcSchemeKind::kSpeculative, CcSchemeKind::kLocking, CcSchemeKind::kBlocking}) {
-    SCOPED_TRACE(CcSchemeName(scheme));
+  for (const char* scheme :
+       {"speculation", "locking", "blocking"}) {
+    SCOPED_TRACE(scheme);
     SimRunResult a = RunSimOnce(scheme, 777);
     SimRunResult b = RunSimOnce(scheme, 777);
     EXPECT_EQ(a.events, b.events);
@@ -69,8 +69,8 @@ TEST(Determinism, SameSeedSameRun) {
 }
 
 TEST(Determinism, DifferentSeedDifferentRun) {
-  SimRunResult a = RunSimOnce(CcSchemeKind::kSpeculative, 1);
-  SimRunResult b = RunSimOnce(CcSchemeKind::kSpeculative, 2);
+  SimRunResult a = RunSimOnce("speculation", 1);
+  SimRunResult b = RunSimOnce("speculation", 2);
   // Event counts colliding would be a one-in-a-million fluke; state hashes
   // differ because clients draw different keys and values.
   EXPECT_NE(a.state_hashes, b.state_hashes);
@@ -182,7 +182,8 @@ TEST(Mailbox, DrainUntilTimesOutWhenEmpty) {
 // commit log reproduces the live engine state), and multi-partition commit
 // order must be consistent across partitions.
 
-KvRun RunKvDb(const KvWorkloadOptions& mb, CcSchemeKind scheme, RunMode mode, uint64_t seed,
+KvRun RunKvDb(const KvWorkloadOptions& mb, const std::string& scheme, RunMode mode,
+              uint64_t seed,
               Duration warmup, Duration measure) {
   DbOptions opts = KvDbOptions(mb, scheme, mode, seed);
   opts.log_commits = true;
@@ -208,7 +209,7 @@ TEST(ParallelRuntime, SpeculativeCommitsAndReplaysSerially) {
   mb.num_clients = 16;
   mb.mp_fraction = 0.15;
 
-  KvRun run = RunKvDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 4242,
+  KvRun run = RunKvDb(mb, "speculation", RunMode::kParallel, 4242,
                       Micros(20000), Micros(150000));
 
   EXPECT_GT(run.metrics.committed, 0u);
@@ -224,7 +225,7 @@ TEST(ParallelRuntime, SimAndParallelAgreeOnSerialReplayState) {
   mb.mp_fraction = 0.2;
 
   // Simulated run of the workload/seed.
-  KvRun sim_run = RunKvDb(mb, CcSchemeKind::kSpeculative, RunMode::kSimulated, 99,
+  KvRun sim_run = RunKvDb(mb, "speculation", RunMode::kSimulated, 99,
                           Micros(10000), Micros(50000));
   EXPECT_GT(sim_run.metrics.committed, 0u);
   CheckReplayEquivalence(*sim_run.db);
@@ -232,7 +233,7 @@ TEST(ParallelRuntime, SimAndParallelAgreeOnSerialReplayState) {
   // Parallel run of the same workload/seed. Thread interleavings differ from
   // the virtual-clock schedule, so the committed sets differ — but both must
   // be serializable over the same engines, which replay verifies.
-  KvRun par_run = RunKvDb(mb, CcSchemeKind::kSpeculative, RunMode::kParallel, 99,
+  KvRun par_run = RunKvDb(mb, "speculation", RunMode::kParallel, 99,
                           Micros(10000), Micros(50000));
   EXPECT_GT(par_run.metrics.committed, 0u);
   CheckReplayEquivalence(*par_run.db);
@@ -244,7 +245,7 @@ TEST(ParallelRuntime, LockingSchemeRunsOnThreads) {
   mb.num_clients = 8;
   mb.mp_fraction = 0.1;
 
-  KvRun run = RunKvDb(mb, CcSchemeKind::kLocking, RunMode::kParallel, 5, Micros(10000),
+  KvRun run = RunKvDb(mb, "locking", RunMode::kParallel, 5, Micros(10000),
                       Micros(50000));
   EXPECT_GT(run.metrics.committed, 0u);
   CheckReplayEquivalence(*run.db);

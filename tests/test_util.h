@@ -5,11 +5,13 @@
 #define PARTDB_TESTS_TEST_UTIL_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cc/cc_scheme.h"
+#include "cc/scheme_registry.h"
 #include "engine/engine.h"
 #include "engine/partition_actor.h"
 #include "engine/replay.h"
@@ -56,14 +58,15 @@ inline uint64_t ExpectCleanReplayStateHash(const EngineFactory& factory, Partiti
 /// Verifies that every pair of partitions committed their shared
 /// multi-partition transactions in the same relative order. Schemes that
 /// funnel multi-partition transactions through the central coordinator
-/// (blocking, speculation, OCC) guarantee this globally. Locking does not:
-/// two 2PC transactions with disjoint lock sets may commit in opposite
-/// orders on two partitions and still be serializable — pass the scheme to
-/// skip the strict check there (serial replay already verifies final-state
-/// serializability for every scheme).
+/// (blocking, speculation, OCC, MVCC) guarantee this globally.
+/// Client-coordinated 2PC schemes (locking) do not: two 2PC transactions
+/// with disjoint lock sets may commit in opposite orders on two partitions
+/// and still be serializable — the registry's capability flags decide
+/// whether the strict check applies (serial replay already verifies
+/// final-state serializability for every scheme).
 inline void ExpectMpOrderConsistent(const std::vector<const std::vector<CommitRecord>*>& logs,
-                                    CcSchemeKind scheme = CcSchemeKind::kBlocking) {
-  if (scheme == CcSchemeKind::kLocking) return;
+                                    const std::string& scheme = "blocking") {
+  if (CcSchemeRegistry::Global().Get(scheme).caps.client_coordinated_2pc) return;
   for (size_t a = 0; a < logs.size(); ++a) {
     for (size_t b = a + 1; b < logs.size(); ++b) {
       std::unordered_map<TxnId, size_t> pos_b;

@@ -39,7 +39,7 @@ struct TpccRun {
   Metrics metrics;
 };
 
-TpccRun RunTpccSim(const TpccWorkloadConfig& wl, CcSchemeKind scheme, int clients,
+TpccRun RunTpccSim(const TpccWorkloadConfig& wl, const std::string& scheme, int clients,
                    uint64_t seed, uint64_t load_seed, Duration warmup, Duration measure,
                    bool log_commits = false, int replication = 1,
                    bool backups_execute = false) {
@@ -61,7 +61,7 @@ TpccRun RunTpccSim(const TpccWorkloadConfig& wl, CcSchemeKind scheme, int client
 }
 
 struct TpccParam {
-  CcSchemeKind scheme;
+  const char* scheme;
   double remote_item_prob;
   int pct_new_order;  // rest of the mix scales accordingly
   uint64_t seed;
@@ -69,7 +69,7 @@ struct TpccParam {
 
 std::string TpccParamName(const ::testing::TestParamInfo<TpccParam>& info) {
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "%s_rem%d_no%d_s%llu", CcSchemeName(info.param.scheme),
+  std::snprintf(buf, sizeof(buf), "%s_rem%d_no%d_s%llu", info.param.scheme,
                 static_cast<int>(info.param.remote_item_prob * 100), info.param.pct_new_order,
                 static_cast<unsigned long long>(info.param.seed));
   return buf;
@@ -109,7 +109,7 @@ TEST_P(TpccIntegration, ConsistentAndSerializable) {
   for (PartitionId p = 0; p < wl.scale.num_partitions; ++p) {
     EXPECT_EQ(cluster.engine(p).StateHash(),
               ExpectCleanReplayStateHash(factory, p, cluster.commit_log(p)))
-        << "partition " << p << " diverged (" << CcSchemeName(param.scheme) << ")";
+        << "partition " << p << " diverged (" << param.scheme << ")";
     logs.push_back(&cluster.commit_log(p));
   }
   ExpectMpOrderConsistent(logs, param.scheme);
@@ -117,23 +117,27 @@ TEST_P(TpccIntegration, ConsistentAndSerializable) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, TpccIntegration,
-    ::testing::Values(TpccParam{CcSchemeKind::kBlocking, 0.01, 45, 1},
-                      TpccParam{CcSchemeKind::kSpeculative, 0.01, 45, 1},
-                      TpccParam{CcSchemeKind::kLocking, 0.01, 45, 1},
+    ::testing::Values(TpccParam{"blocking", 0.01, 45, 1},
+                      TpccParam{"speculation", 0.01, 45, 1},
+                      TpccParam{"locking", 0.01, 45, 1},
                       // Remote-heavy NewOrder-only (fig. 9 regime, deadlocks
                       // under locking).
-                      TpccParam{CcSchemeKind::kBlocking, 0.2, 100, 2},
-                      TpccParam{CcSchemeKind::kSpeculative, 0.2, 100, 2},
-                      TpccParam{CcSchemeKind::kLocking, 0.2, 100, 2},
+                      TpccParam{"blocking", 0.2, 100, 2},
+                      TpccParam{"speculation", 0.2, 100, 2},
+                      TpccParam{"locking", 0.2, 100, 2},
                       // Different seeds for the full mix.
-                      TpccParam{CcSchemeKind::kSpeculative, 0.05, 45, 3},
-                      TpccParam{CcSchemeKind::kLocking, 0.05, 45, 3},
-                      TpccParam{CcSchemeKind::kBlocking, 0.05, 45, 4},
-                      TpccParam{CcSchemeKind::kSpeculative, 0.01, 45, 5},
+                      TpccParam{"speculation", 0.05, 45, 3},
+                      TpccParam{"locking", 0.05, 45, 3},
+                      TpccParam{"blocking", 0.05, 45, 4},
+                      TpccParam{"speculation", 0.01, 45, 5},
                       // OCC extension (paper §5.7).
-                      TpccParam{CcSchemeKind::kOcc, 0.01, 45, 6},
-                      TpccParam{CcSchemeKind::kOcc, 0.2, 100, 7},
-                      TpccParam{CcSchemeKind::kOcc, 0.05, 45, 8}),
+                      TpccParam{"occ", 0.01, 45, 6},
+                      TpccParam{"occ", 0.2, 100, 7},
+                      TpccParam{"occ", 0.05, 45, 8},
+                      // MVCC extension (snapshot reads).
+                      TpccParam{"mvcc", 0.01, 45, 9},
+                      TpccParam{"mvcc", 0.2, 100, 10},
+                      TpccParam{"mvcc", 0.05, 45, 11}),
     TpccParamName);
 
 TEST(TpccIntegrationExtra, LockingUnderContentionMakesProgress) {
@@ -142,7 +146,7 @@ TEST(TpccIntegrationExtra, LockingUnderContentionMakesProgress) {
   TpccWorkloadConfig wl;
   wl.scale = SmallScale();
   wl.scale.num_warehouses = 2;
-  TpccRun run = RunTpccSim(wl, CcSchemeKind::kLocking, /*clients=*/16, /*seed=*/9,
+  TpccRun run = RunTpccSim(wl, "locking", /*clients=*/16, /*seed=*/9,
                            /*load_seed=*/77, Micros(20000), Micros(100000));
   EXPECT_GT(run.metrics.completions(), 50u) << run.metrics.Summary();
   EXPECT_GT(run.metrics.locked_txns, 0u);
@@ -151,7 +155,7 @@ TEST(TpccIntegrationExtra, LockingUnderContentionMakesProgress) {
 TEST(TpccIntegrationExtra, ReplicatedTpccBackupConverges) {
   TpccWorkloadConfig wl;
   wl.scale = SmallScale();
-  TpccRun run = RunTpccSim(wl, CcSchemeKind::kSpeculative, /*clients=*/8, /*seed=*/31,
+  TpccRun run = RunTpccSim(wl, "speculation", /*clients=*/8, /*seed=*/31,
                            /*load_seed=*/31, Micros(20000), Micros(80000),
                            /*log_commits=*/false, /*replication=*/2,
                            /*backups_execute=*/true);

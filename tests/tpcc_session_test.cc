@@ -90,7 +90,7 @@ TEST(TpccProcedures, RoutersDeriveLegacyRoutingFacts) {
 
 TEST(TpccProcedures, RegistersAllFiveWithDatabase) {
   auto db = Database::Open(
-      TpccDbOptions(SmallScale(), CcSchemeKind::kSpeculative, RunMode::kSimulated, 1, 7));
+      TpccDbOptions(SmallScale(), "speculation", RunMode::kSimulated, 1, 7));
   EXPECT_EQ(db->registry().size(), 5u);
   for (const char* name : {tpcc::kTpccNewOrderProc, tpcc::kTpccPaymentProc,
                            tpcc::kTpccOrderStatusProc, tpcc::kTpccDeliveryProc,
@@ -105,7 +105,7 @@ TEST(TpccSession, UserAbortPropagatesThroughTxnResult) {
   const TpccScale scale = SmallScale();
   for (RunMode mode : {RunMode::kSimulated, RunMode::kParallel}) {
     auto db =
-        Database::Open(TpccDbOptions(scale, CcSchemeKind::kSpeculative, mode, 1, 11));
+        Database::Open(TpccDbOptions(scale, "speculation", mode, 1, 11));
     auto session = db->CreateSession();
 
     TxnResult good = session->Execute(tpcc::kTpccNewOrderProc, HomeOrder(1, 5));
@@ -133,7 +133,7 @@ TEST(TpccSession, UserAbortPropagatesThroughTxnResult) {
   }
 }
 
-class TpccConcurrentSessions : public ::testing::TestWithParam<CcSchemeKind> {};
+class TpccConcurrentSessions : public ::testing::TestWithParam<const char*> {};
 
 // Many driver threads, each with its own session, submit NewOrder (with
 // remote stock lines forcing multi-partition 2PC) concurrently under the
@@ -197,7 +197,7 @@ TEST_P(TpccConcurrentSessions, NewOrderSerializableUnderSubmit) {
   for (PartitionId p = 0; p < wl.scale.num_partitions; ++p) {
     EXPECT_EQ(db->cluster().engine(p).StateHash(),
               ExpectCleanReplayStateHash(factory, p, db->cluster().commit_log(p)))
-        << "partition " << p << " diverged (" << CcSchemeName(GetParam()) << ")";
+        << "partition " << p << " diverged (" << GetParam() << ")";
     logs.push_back(&db->cluster().commit_log(p));
     dbs.push_back(&static_cast<TpccEngine&>(db->cluster().engine(p)).db());
   }
@@ -207,11 +207,10 @@ TEST_P(TpccConcurrentSessions, NewOrderSerializableUnderSubmit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Schemes, TpccConcurrentSessions,
-                         ::testing::Values(CcSchemeKind::kBlocking,
-                                           CcSchemeKind::kSpeculative,
-                                           CcSchemeKind::kLocking, CcSchemeKind::kOcc),
-                         [](const ::testing::TestParamInfo<CcSchemeKind>& info) {
-                           return std::string(CcSchemeName(info.param));
+                         ::testing::Values("blocking", "speculation", "locking", "occ",
+                                           "mvcc"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
                          });
 
 // --- fig08/fig09 sim-mode parity regression ---------------------------------
@@ -241,10 +240,10 @@ constexpr FigGolden kFigGoldens[] = {
     {"fig09_locking", 1053, 272, 781, 12, 3, 0, 3, 276, 789, 284962800},
 };
 
-CcSchemeKind SchemeFor(const std::string& name) {
-  if (name.find("speculation") != std::string::npos) return CcSchemeKind::kSpeculative;
-  if (name.find("blocking") != std::string::npos) return CcSchemeKind::kBlocking;
-  return CcSchemeKind::kLocking;
+std::string SchemeFor(const std::string& name) {
+  if (name.find("speculation") != std::string::npos) return "speculation";
+  if (name.find("blocking") != std::string::npos) return "blocking";
+  return "locking";
 }
 
 TEST(TpccSessionParity, SimFigureMetricsMatchSeedHarness) {
@@ -293,7 +292,7 @@ TEST(TpccProcMetrics, FiveProceduresDecomposeWindowMetrics) {
   TpccWorkloadConfig wl;
   wl.scale = SmallScale();
   auto db = Database::Open(
-      TpccDbOptions(wl.scale, CcSchemeKind::kSpeculative, RunMode::kSimulated, 10, 12345));
+      TpccDbOptions(wl.scale, "speculation", RunMode::kSimulated, 10, 12345));
   ClosedLoopOptions loop;
   loop.num_clients = 10;
   loop.next = TpccInvocations(wl, *db);

@@ -99,6 +99,15 @@ def run_gate(baseline, fresh, max_regression, warn_only, out=sys.stdout,
         print(f"{base_doc['bench']:>22} {name:<12} baseline={b_tps:>10.0f} "
               f"fresh={f_tps:>10.0f} delta={delta:+7.1%}  {status}", file=out)
 
+    # A scheme present in the fresh results but absent from the baseline is a
+    # newly added scheme, not a regression: warn (so the baseline gets
+    # refreshed to start gating it) but never fail the build over it.
+    new_schemes = sorted(set(fresh_schemes) - set(base))
+    if new_schemes:
+        print(f"check_bench: warning: new scheme(s) in fresh results, not in "
+              f"baseline ({baseline}): {', '.join(new_schemes)} — refresh the "
+              f"baseline to gate them", file=err)
+
     if failed or missing:
         kind = "warning" if warn_only else "FAIL"
         reasons = []
@@ -136,6 +145,11 @@ def self_test():
          "scheme(s) missing from fresh results: b"),
         ("missing is not a regression", doc(a=100, b=200), doc(a=100), False, 1,
          "FAIL: scheme(s) missing"),
+        ("new scheme in fresh warns, not fails", doc(a=100),
+         doc(a=100, mvcc=150), False, 0,
+         "new scheme(s) in fresh results"),
+        ("new scheme named in warning", doc(a=100),
+         doc(a=100, mvcc=150), False, 0, "mvcc"),
         ("bad metric", doc(a=100), {"bench": "kv", "schemes": [{"scheme": "a"}]},
          False, 2, "missing metric 'txn_per_sec'"),
         ("non-numeric metric", doc(a=100),
