@@ -4,6 +4,37 @@
 
 namespace partdb {
 
+namespace {
+/// Recycled Txn structs kept per partition: bounds the speculation queue's
+/// idle footprint while covering any realistic uncommitted depth.
+constexpr size_t kTxnPoolMax = 64;
+}  // namespace
+
+SpeculativeCc::TxnPtr SpeculativeCc::NewTxn() {
+  if (txn_pool_.empty()) return std::make_unique<Txn>();
+  TxnPtr t = std::move(txn_pool_.back());
+  txn_pool_.pop_back();
+  return t;
+}
+
+void SpeculativeCc::RecycleTxn(TxnPtr t) {
+  if (t == nullptr || txn_pool_.size() >= kTxnPoolMax) return;
+  t->id = kInvalidTxn;
+  t->mp = false;
+  t->can_abort = false;
+  t->coord = kInvalidNode;
+  t->args = nullptr;
+  t->frags.clear();
+  t->round_inputs.clear();
+  t->undo.Clear();
+  t->finished = false;
+  t->aborted_locally = false;
+  t->undo_applied = false;
+  t->speculative = false;
+  t->held.clear();
+  txn_pool_.push_back(std::move(t));
+}
+
 void SpeculativeCc::OnFragment(FragmentRequest frag) {
   // A later round of the in-flight multi-partition transaction. By the
   // coordinator's dependency gating, rounds past 0 are only dispatched once
@@ -62,7 +93,7 @@ void SpeculativeCc::ExecuteFresh(FragmentRequest& f) {
     return;
   }
   // New non-speculative head.
-  auto t = std::make_unique<Txn>();
+  TxnPtr t = NewTxn();
   t->id = f.txn_id;
   t->mp = true;
   t->can_abort = f.can_abort;
@@ -73,7 +104,7 @@ void SpeculativeCc::ExecuteFresh(FragmentRequest& f) {
 }
 
 void SpeculativeCc::SpeculateSp(FragmentRequest& f) {
-  auto t = std::make_unique<Txn>();
+  TxnPtr t = NewTxn();
   t->id = f.txn_id;
   t->mp = false;
   t->can_abort = f.can_abort;
@@ -106,7 +137,7 @@ void SpeculativeCc::SpeculateSp(FragmentRequest& f) {
 }
 
 void SpeculativeCc::SpeculateMp(FragmentRequest& f) {
-  auto t = std::make_unique<Txn>();
+  TxnPtr t = NewTxn();
   t->id = f.txn_id;
   t->mp = true;
   t->can_abort = f.can_abort;
@@ -179,6 +210,7 @@ void SpeculativeCc::OnDecision(const DecisionMessage& d) {
     head->undo.Clear();
     part_->LogCommit(head->id, true, head->args, head->round_inputs);
     part_->ShipDecision(head->id, true);
+    RecycleTxn(std::move(uncommitted_.front()));
     uncommitted_.pop_front();
     ReleaseCommittedSp();
   } else {
@@ -200,6 +232,7 @@ void SpeculativeCc::OnDecision(const DecisionMessage& d) {
       FragmentRequest f = std::move(t->frags[0]);
       f.attempt++;
       requeue.push_back(std::move(f));
+      RecycleTxn(std::move(t));
     }
     TxnPtr h = std::move(uncommitted_.front());
     uncommitted_.pop_front();
@@ -208,6 +241,7 @@ void SpeculativeCc::OnDecision(const DecisionMessage& d) {
       h->undo.Rollback();
     }
     part_->ShipDecision(h->id, false);
+    RecycleTxn(std::move(h));
     // requeue holds [newest, ..., oldest]; push_front restores queue order.
     for (auto& f : requeue) unexecuted_.push_front(std::move(f));
   }
@@ -229,6 +263,7 @@ void SpeculativeCc::ReleaseCommittedSp() {
         part_->SendDurable(dst, std::move(body), ShipFor(*t));
       }
     }
+    RecycleTxn(std::move(uncommitted_.front()));
     uncommitted_.pop_front();
   }
 }

@@ -53,6 +53,13 @@ class SpeculativeCc : public CcScheme {
   };
   using TxnPtr = std::unique_ptr<Txn>;
 
+  /// Txn structs are recycled through a freelist: a speculation burst churns
+  /// one per transaction, and the recycled structs keep their frags /
+  /// round_inputs / undo vector capacities, so steady-state speculation
+  /// allocates no bookkeeping at all.
+  TxnPtr NewTxn();
+  void RecycleTxn(TxnPtr t);
+
   void ExecuteFresh(FragmentRequest& f);  // uncommitted queue empty
   void SpeculateSp(FragmentRequest& f);
   void SpeculateMp(FragmentRequest& f);
@@ -67,6 +74,7 @@ class SpeculativeCc : public CcScheme {
   bool speculate_mp_;
   std::deque<FragmentRequest> unexecuted_;
   std::deque<TxnPtr> uncommitted_;  // head is the non-speculative transaction
+  std::vector<TxnPtr> txn_pool_;    // recycled Txn structs (bounded)
   uint32_t epoch_ = 0;              // abort decisions processed
 };
 

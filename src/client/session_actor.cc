@@ -7,6 +7,13 @@
 
 namespace partdb {
 
+namespace {
+/// Recycled txns_ map nodes kept per session. A closed loop needs one per
+/// concurrently completing transaction (usually 1); open loops with deep
+/// pipelines still cap the stash so an in-flight burst can't pin memory.
+constexpr size_t kTxnStashMax = 16;
+}  // namespace
+
 SubmitResult SessionActor::Submit(ProcId proc, PayloadPtr args, TxnCallback cb) {
   PARTDB_CHECK(args != nullptr);  // fail at the call site, not on the worker
   PARTDB_CHECK(router_ != nullptr);
@@ -124,21 +131,40 @@ void SessionActor::OnMessage(Message& msg, ActorContext& ctx) {
 }
 
 void SessionActor::DrainSubmissions(ActorContext& ctx) {
-  std::deque<PendingSubmit> batch;
+  // Ping-pong swap: pending_ and drain_scratch_ trade storage, so the
+  // steady state reuses both buffers' capacity instead of allocating a
+  // fresh batch container per wake.
   {
     MutexLock lock(mu_);
-    batch.swap(pending_);
+    drain_scratch_.swap(pending_);
     // Submissions arriving from here on need a fresh wake.
     wake_pending_ = false;
   }
-  for (PendingSubmit& p : batch) {
+  for (PendingSubmit& p : drain_scratch_) {
     const TxnId id = p.id;
     StartTxn(id, std::move(p), ctx);
   }
+  drain_scratch_.clear();
 }
 
 void SessionActor::StartTxn(TxnId id, PendingSubmit p, ActorContext& ctx) {
-  Txn t;
+  std::unordered_map<TxnId, Txn>::iterator it;
+  if (!txn_stash_.empty()) {
+    // Reattach a recycled node: no map-node allocation, and the Txn inside
+    // keeps the vector capacities its previous life grew.
+    auto nh = std::move(txn_stash_.back());
+    txn_stash_.pop_back();
+    nh.key() = id;
+    auto ins = txns_.insert(std::move(nh));
+    PARTDB_CHECK(ins.inserted);
+    it = ins.position;
+  } else {
+    auto ins = txns_.emplace(std::piecewise_construct, std::forward_as_tuple(id),
+                             std::forward_as_tuple());
+    PARTDB_CHECK(ins.second);
+    it = ins.first;
+  }
+  Txn& t = it->second;
   t.proc = p.proc;
   t.args = std::move(p.args);
   t.route = p.routed ? std::move(p.route) : router_(p.proc, *t.args);
@@ -149,9 +175,7 @@ void SessionActor::StartTxn(TxnId id, PendingSubmit p, ActorContext& ctx) {
   }
   t.cb = std::move(p.cb);
   t.issue_time = p.submit_time;
-  auto [it, inserted] = txns_.emplace(id, std::move(t));
-  PARTDB_CHECK(inserted);
-  SendCurrent(it->first, it->second, ctx);
+  SendCurrent(it->first, t, ctx);
 }
 
 void SessionActor::SendCurrent(TxnId id, Txn& t, ActorContext& ctx) {
@@ -285,10 +309,11 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
                             ActorContext& ctx) {
   auto it = txns_.find(id);
   PARTDB_CHECK(it != txns_.end());
-  Txn t = std::move(it->second);
-  txns_.erase(it);
+  auto nh = txns_.extract(it);
+  Txn& t = nh.mapped();
 
   const bool sp = t.route.single_partition();
+  const Duration lat = ctx.now() - t.issue_time;
   if (metrics_->recording) {
     if (committed) {
       metrics_->committed++;
@@ -300,7 +325,6 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
     } else {
       metrics_->user_aborts++;
     }
-    const Duration lat = ctx.now() - t.issue_time;
     if (sp) {
       metrics_->sp_latency.Add(lat);
     } else {
@@ -313,7 +337,7 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
 
   TxnResult r;
   r.committed = committed;
-  r.latency_ns = ctx.now() - t.issue_time;
+  r.latency_ns = lat;
   r.attempts = attempts;
   r.payload = committed ? std::move(result) : nullptr;
 
@@ -326,19 +350,35 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
     --admitted_;
   }
 
+  // Recycle the detached map node before the callback runs, so a closed
+  // loop's resubmit-from-callback picks it straight back up. Payloads and
+  // the callback's captures are released now; got/resp keep their capacity
+  // for the node's next life.
+  TxnCallback cb = std::move(t.cb);
+  t.cb = nullptr;
+  t.args = nullptr;
+  t.route = TxnRouting{};
+  t.proc = kInvalidProc;
+  t.issue_time = 0;
+  t.attempt = 0;
+  t.round = 0;
+  t.got.clear();
+  t.resp.clear();
+  if (txn_stash_.size() < kTxnStashMax) txn_stash_.push_back(std::move(nh));
+
   // The callback runs before outstanding_ drops: a Drain that returns must
   // observe every completion's side effects (it may also Submit again —
   // closed-loop drivers — which keeps the session non-drained, correctly).
-  if (t.cb) t.cb(r);
+  if (cb) cb(r);
   {
     // Notify under the lock, same teardown protocol as
     // RemoteSession::OnResponse: actors are pooled in Database and outlive
     // session handles today, but that invariant lives far from here — don't
-    // let this path depend on it.
+    // let this path depend on it. Only the ->0 edge can wake a waiter.
     MutexLock lock(mu_);
     PARTDB_CHECK(outstanding_ > 0);
     --outstanding_;
-    drained_cv_.NotifyAll();
+    if (outstanding_ == 0) drained_cv_.NotifyAll();
   }
 }
 

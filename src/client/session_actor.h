@@ -25,7 +25,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <thread>
 #include <unordered_map>
@@ -190,7 +189,7 @@ class SessionActor : public Actor {
   // Shared with submitting threads.
   mutable Mutex mu_;
   CondVar drained_cv_;
-  std::deque<PendingSubmit> pending_ PARTDB_GUARDED_BY(mu_);
+  std::vector<PendingSubmit> pending_ PARTDB_GUARDED_BY(mu_);
   uint64_t outstanding_ PARTDB_GUARDED_BY(mu_) = 0;
   /// Admitted-and-uncompleted transactions (the admission-control counter).
   /// Unlike outstanding_, this drops *before* the completion callback runs,
@@ -204,6 +203,14 @@ class SessionActor : public Actor {
 
   // Owned by the actor's worker (or the sim pump).
   std::unordered_map<TxnId, Txn> txns_;
+  /// Recycled txns_ map nodes: Complete detaches the finished node and parks
+  /// it here (with its Txn's vector capacities intact), StartTxn reattaches
+  /// it under the new id — the steady-state closed loop allocates no map
+  /// nodes at all.
+  std::vector<std::unordered_map<TxnId, Txn>::node_type> txn_stash_;
+  /// DrainSubmissions' ping-pong buffer: swapped with pending_ under mu_,
+  /// iterated without the lock, then kept for its capacity.
+  std::vector<PendingSubmit> drain_scratch_;
 
   // Set for the duration of OnMessage so Enqueue can detect a submission made
   // from within one of this actor's own handlers and start it inline.

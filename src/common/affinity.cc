@@ -1,0 +1,44 @@
+#include "common/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace partdb {
+
+int OnlineCpuCount() {
+#if defined(__linux__)
+  const int n = static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN));
+  if (n >= 1) return n;
+#endif
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int AffinityCpuFor(const CpuAffinity& a, int index) {
+  if (!a.enabled() || index < 0) return -1;
+  if (!a.cpus.empty()) {
+    return a.cpus[static_cast<size_t>(index) % a.cpus.size()];
+  }
+  const int n = OnlineCpuCount();
+  if (n <= 0) return -1;
+  return index % n;
+}
+
+}  // namespace partdb

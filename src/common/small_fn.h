@@ -1,0 +1,127 @@
+// SmallFn: a move-only callable wrapper with a guaranteed small-buffer
+// optimization. std::function only stores trivially-copyable callables of at
+// most 16 bytes inline (libstdc++), which silently heap-allocates the undo /
+// redo closures engines create on every write — the single hottest
+// allocation site in the execution tier. SmallFn stores any nothrow-move
+// callable up to `Inline` bytes in place and falls back to the heap only
+// beyond that (TPC-C closures capturing full row images), so the common
+// small-capture path is allocation-free by construction.
+#ifndef PARTDB_COMMON_SMALL_FN_H_
+#define PARTDB_COMMON_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace partdb {
+
+template <typename Sig, size_t Inline = 48>
+class SmallFn;
+
+template <typename R, typename... Args, size_t Inline>
+class SmallFn<R(Args...), Inline> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { MoveFrom(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  bool operator==(std::nullptr_t) const { return ops_ == nullptr; }
+  bool operator!=(std::nullptr_t) const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// True when a callable of type F is stored in the inline buffer (compile-
+  /// time fact; lets tests pin which captures stay allocation-free).
+  template <typename F>
+  static constexpr bool stored_inline() {
+    return fits<std::decay_t<F>>();
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* self, Args&&... args);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits() {
+    return sizeof(Fn) <= Inline && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self, Args&&... args) -> R {
+        return (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self, Args&&... args) -> R {
+        return (**static_cast<Fn**>(self))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* self) { delete *static_cast<Fn**>(self); },
+  };
+
+  void MoveFrom(SmallFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Inline < sizeof(void*) ? sizeof(void*) : Inline];
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_COMMON_SMALL_FN_H_

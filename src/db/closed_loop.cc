@@ -32,14 +32,16 @@ struct ClientLoop {
     // historical dedicated-client harness. An explicit seed switches to the
     // loop-owned stream.
     Invocation inv = next(index, rng != nullptr ? *rng : session->rng());
-    // The stop flag is captured by value: the final completion callback runs
-    // while ~ClientLoop is draining the session, after the members have begun
-    // destructing. Once stop is set (always before destruction), the callback
-    // must not touch `this` at all.
-    session->Submit(inv.proc, std::move(inv.args),
-                    [this, stop_flag = stop](const TxnResult&) {
-                      if (!stop_flag->load(std::memory_order_relaxed)) IssueNext();
-                    });
+    // The callback captures only `this`: a trivially-copyable 8-byte functor
+    // stays in std::function's inline buffer, so the resubmit path allocates
+    // nothing. The final completion callback can still run while ~ClientLoop
+    // is draining the session — `session` is the last-declared member, so
+    // `stop` (declared before it) is alive for that read, and once stop is
+    // set (always before destruction begins) the callback touches nothing
+    // else.
+    session->Submit(inv.proc, std::move(inv.args), [this](const TxnResult&) {
+      if (!stop->load(std::memory_order_relaxed)) IssueNext();
+    });
   }
 };
 

@@ -36,6 +36,7 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
   cfg.log_commits = options_.log_commits;
   cfg.local_speculation_only = options_.local_speculation_only;
   cfg.force_locks = options_.force_locks;
+  cfg.worker_affinity = options_.worker_affinity;
   cluster_ = std::make_unique<Cluster>(cfg, options_.engine_factory, &registry_);
 
   ProcRouter router = [reg = &registry_](ProcId proc, const Payload& args) {
@@ -121,6 +122,11 @@ Metrics Database::EndMeasurement() {
   }
   out.coord_busy_ns = cluster_->coordinator()->busy_ns();
   return out;
+}
+
+ParallelRuntime::Stats Database::Stats() const {
+  ParallelRuntime* rt = cluster_->parallel_runtime();
+  return rt != nullptr ? rt->GetStats() : ParallelRuntime::Stats{};
 }
 
 void Database::AdvanceSim(Duration d) {

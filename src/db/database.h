@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/mutex.h"
 #include "db/db_handle.h"
 #include "db/procedure_registry.h"
@@ -56,6 +57,11 @@ struct DbOptions {
   bool log_commits = false;
   bool local_speculation_only = false;
   bool force_locks = false;
+  /// Parallel mode: pin the runtime's worker threads (partitions, backups,
+  /// coordinator, session workers) round-robin over the CPU list, or over
+  /// all online CPUs when the list is empty with pin set. Advisory — failed
+  /// pins are counted in Stats().pinned_workers, never an error.
+  CpuAffinity worker_affinity;
   /// Builds the engine for each partition, primaries and backups alike.
   /// Required.
   EngineFactory engine_factory;
@@ -102,6 +108,12 @@ class Database : public DbHandle {
   /// registration order (committed / user-abort counts plus a latency
   /// histogram per registered procedure). Thread-safe.
   std::vector<ProcMetricsSnapshot> ProcMetrics() const { return registry_.ProcMetrics(); }
+
+  /// Ingress hot-path counters (parallel mode): mailbox push/pop/wake/park
+  /// totals, lock-free CAS retries, mailbox-node cache hit rates, and worker
+  /// pin outcomes under worker_affinity. All zeros in simulated mode (no
+  /// mailboxes there). Thread-safe; monotonic since Open.
+  ParallelRuntime::Stats Stats() const;
 
   /// Simulated mode: advances the virtual clock by `d` (closed-loop
   /// measurement windows with traffic already in flight).

@@ -55,6 +55,16 @@ struct ProcedureDescriptor {
   /// decode_args, a remote client needs decode_result).
   PayloadDecoder decode_args;
   PayloadDecoder decode_result;
+
+  /// Pooled-decode hooks (both optional, set together). `make_args` builds a
+  /// default-constructed instance of the argument payload type;
+  /// `decode_args_into` decodes into such an instance, overwriting every
+  /// field — instances are recycled across transactions (net/PayloadArena),
+  /// so a decoder that leaves stale state behind corrupts a later request.
+  /// When unset, the net tier falls back to decode_args (one allocation per
+  /// request).
+  std::function<std::unique_ptr<Payload>()> make_args;
+  std::function<bool(WireReader& r, Payload* into)> decode_args_into;
 };
 
 /// One procedure's measurement-window outcomes (Database::ProcMetrics).

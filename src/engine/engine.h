@@ -6,6 +6,7 @@
 #define PARTDB_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 

@@ -132,6 +132,45 @@ PayloadPtr DecodeKvArgs(WireReader& r) {
   return r.ok() ? args : nullptr;
 }
 
+bool DecodeKvArgsInto(WireReader& r, KvArgs* into) {
+  into->rounds = r.I32();
+  const uint32_t flags = r.U32();
+  into->abort_txn = (flags & 1) != 0;
+  into->read_only = (flags & 2) != 0;
+  into->abort_at = r.I32();
+  const uint32_t num_lists = r.U32();
+  const uint64_t total = r.U64();
+  if (num_lists > kMaxWireLists || total > r.remaining() / 9) {
+    r.MarkCorrupt();
+    return false;
+  }
+  // Two passes over the recycled storage instead of a scratch counts vector:
+  // resize each list to its wire count (keeping capacity), then overwrite
+  // every slot — no allocation once the lists have grown to steady state.
+  into->keys.resize(num_lists);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    const uint32_t c = r.U32();
+    sum += c;
+    // Bound each list by the validated total before sizing anything from it
+    // (the one-shot decoder reads all counts before allocating; here the
+    // running check keeps every resize under the same cap).
+    if (!r.ok() || sum > total) {
+      r.MarkCorrupt();
+      return false;
+    }
+    into->keys[i].resize(c);
+  }
+  if (sum != total) {
+    r.MarkCorrupt();
+    return false;
+  }
+  for (auto& ks : into->keys) {
+    for (KvKey& k : ks) k = r.Str<8>();
+  }
+  return r.ok();
+}
+
 void KvResult::SerializeTo(WireWriter& w) const {
   w.U64(values.size());
   for (uint64_t v : values) w.U64(v);

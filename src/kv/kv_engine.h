@@ -34,6 +34,12 @@ struct KvArgs : public Payload {
 /// Decodes a KvArgs payload (registered as the procedure's args codec).
 PayloadPtr DecodeKvArgs(WireReader& r);
 
+/// Pooled variant: decodes into an existing (recycled) KvArgs, overwriting
+/// every field while reusing its key-list capacities. Returns false (and
+/// marks the reader corrupt) on a malformed span; `into` is then in an
+/// unspecified but reusable state.
+bool DecodeKvArgsInto(WireReader& r, KvArgs* into);
+
 /// Result of a fragment: the values read (pre-update), in key order.
 /// Wire layout: u64 count, then each value as a u64.
 struct KvResult : public Payload {

@@ -5,13 +5,17 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "net/payload_pool.h"
 
 namespace partdb {
 
 /// Per-connection server state. Owned by the handler closures; every field
-/// is touched only on the connection's loop thread.
+/// is touched only on the connection's loop thread (the arena's alloc side
+/// relies on that; its release side is called from session workers and is
+/// lock-free).
 struct DbServer::ServerConn {
   std::unordered_map<uint32_t, std::unique_ptr<Session>> sessions;
+  std::shared_ptr<PayloadArena> arena;
 };
 
 DbServer::DbServer(Database* db, DbServerOptions options) : db_(db) {
@@ -32,7 +36,8 @@ DbServer::DbServer(Database* db, DbServerOptions options) : db_(db) {
 
   loops_.reserve(static_cast<size_t>(options.num_loops));
   for (int i = 0; i < options.num_loops; ++i) {
-    loops_.push_back(std::make_unique<EventLoop>("server-loop-" + std::to_string(i)));
+    loops_.push_back(std::make_unique<EventLoop>("server-loop-" + std::to_string(i),
+                                                 AffinityCpuFor(options.loop_affinity, i)));
   }
 
   listener_ = TcpListener::Listen(options.host, options.port);
@@ -57,6 +62,8 @@ void DbServer::AcceptLoop() {
     accepted_conns_.fetch_add(1, std::memory_order_relaxed);
 
     auto sc = std::make_shared<ServerConn>();
+    sc->arena =
+        PayloadArena::Create(db_->registry().size(), &payload_pool_hits_, &payload_pool_misses_);
     LoopConnHandlers handlers;
     handlers.on_frame = [this, sc](LoopConn& lc, const FrameView& fv) {
       return OnFrame(sc, lc, fv);
@@ -79,7 +86,7 @@ bool DbServer::OnFrame(const std::shared_ptr<ServerConn>& sc, LoopConn& lc, cons
       // Refuse procedures without a wire codec (embedded-only): the proc
       // id is remote input, so this is a protocol violation, not a bug.
       if (desc.decode_args == nullptr) break;
-      PayloadPtr args = desc.decode_args(r);
+      PayloadPtr args = sc->arena->Decode(h.proc, desc, r);
       if (args == nullptr || !r.AtEnd()) break;  // malformed: drop the conn
       // Wire-shape validity is not semantic validity: drop arguments whose
       // derived routing leaves this database (a well-formed frame naming
@@ -241,9 +248,12 @@ DbServerStats DbServer::Stats() const {
   s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
   s.rejected_requests = rejected_requests_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.payload_pool_hits = payload_pool_hits_.load(std::memory_order_relaxed);
+  s.payload_pool_misses = payload_pool_misses_.load(std::memory_order_relaxed);
   for (const auto& loop : loops_) {
     s.active_conns += loop->conn_count();
     s.io += loop->stats();
+    if (loop->pinned()) ++s.pinned_loops;
   }
   return s;
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/mutex.h"
 #include "db/database.h"
 #include "net/event_loop.h"
@@ -37,6 +38,12 @@ struct DbServerOptions {
   int port = 0;
   /// Event-loop threads; connections are sharded across them round-robin.
   int num_loops = 1;
+  /// Pin the loop threads (round-robin over the CPU list, or over all online
+  /// CPUs when the list is empty). Advisory — refused pins are visible in
+  /// Stats().pinned_loops, never an error. Typically paired with
+  /// DbOptions::worker_affinity so ingress and execution land on disjoint
+  /// cores.
+  CpuAffinity loop_affinity;
 };
 
 /// Ingress counters, snapshotted by DbServer::Stats.
@@ -48,6 +55,13 @@ struct DbServerStats {
   uint64_t sessions_closed = 0;
   uint64_t rejected_requests = 0;  // kRejected responses sent
   uint64_t protocol_errors = 0;    // malformed frames (the conn is dropped)
+  /// Request decodes served from a recycled pooled payload vs. ones that had
+  /// to allocate (cold pool, capacity growth, or a procedure without pooled
+  /// hooks). At steady state hits dominate: decode allocates nothing.
+  uint64_t payload_pool_hits = 0;
+  uint64_t payload_pool_misses = 0;
+  /// Loop threads that successfully pinned under loop_affinity.
+  uint64_t pinned_loops = 0;
   EventLoopStats io;               // aggregated over every loop
 };
 
@@ -105,6 +119,9 @@ class DbServer {
   std::atomic<uint64_t> sessions_closed_{0};
   std::atomic<uint64_t> rejected_requests_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  // Shared by every connection's PayloadArena so totals survive conn churn.
+  std::atomic<uint64_t> payload_pool_hits_{0};
+  std::atomic<uint64_t> payload_pool_misses_{0};
 };
 
 }  // namespace partdb

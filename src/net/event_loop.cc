@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/affinity.h"
 #include "common/logging.h"
 
 namespace partdb {
@@ -45,7 +46,7 @@ void LoopConn::CountFrameOut() {
 
 // --- EventLoop ---------------------------------------------------------------
 
-EventLoop::EventLoop(std::string name) : name_(std::move(name)) {
+EventLoop::EventLoop(std::string name, int pin_cpu) : name_(std::move(name)), pin_cpu_(pin_cpu) {
   epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
   PARTDB_CHECK(epfd_ >= 0);
   wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
@@ -130,6 +131,11 @@ void EventLoop::QueueCloseCommand(LoopConnPtr c) {
 }
 
 void EventLoop::Run() {
+  // Advisory pin (same policy as the partition workers): a refused pin is
+  // reported through pinned(), never an error.
+  if (pin_cpu_ >= 0 && PinCurrentThreadToCpu(pin_cpu_)) {
+    pinned_.store(true, std::memory_order_relaxed);
+  }
   epoll_event events[kMaxEvents];
   while (true) {
     const int n = ::epoll_wait(epfd_, events, kMaxEvents, -1);

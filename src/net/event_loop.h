@@ -142,8 +142,9 @@ class LoopConn : public std::enable_shared_from_this<LoopConn> {
 
 class EventLoop {
  public:
-  /// Starts the loop thread immediately.
-  explicit EventLoop(std::string name = "event-loop");
+  /// Starts the loop thread immediately. `pin_cpu` >= 0 pins the loop thread
+  /// to that CPU (advisory — a refused pin is reported via pinned()).
+  explicit EventLoop(std::string name = "event-loop", int pin_cpu = -1);
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -158,6 +159,9 @@ class EventLoop {
 
   EventLoopStats stats() const;
   size_t conn_count() const;
+
+  /// True once the loop thread successfully pinned itself to `pin_cpu`.
+  bool pinned() const { return pinned_.load(std::memory_order_relaxed); }
 
  private:
   friend class LoopConn;
@@ -181,6 +185,8 @@ class EventLoop {
   void QueueCloseCommand(LoopConnPtr c);
 
   std::string name_;
+  int pin_cpu_ = -1;
+  std::atomic<bool> pinned_{false};
   int epfd_ = -1;
   int wakefd_ = -1;
   std::atomic<bool> wake_armed_{false};

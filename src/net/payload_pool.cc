@@ -1,0 +1,128 @@
+#include "net/payload_pool.h"
+
+#include <new>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace partdb {
+
+std::shared_ptr<PayloadArena> PayloadArena::Create(size_t num_procs, std::atomic<uint64_t>* hits,
+                                                  std::atomic<uint64_t>* misses) {
+  return std::shared_ptr<PayloadArena>(new PayloadArena(num_procs, hits, misses));
+}
+
+PayloadArena::PayloadArena(size_t num_procs, std::atomic<uint64_t>* hits,
+                           std::atomic<uint64_t>* misses)
+    : hits_(hits), misses_(misses), free_by_proc_(num_procs, nullptr) {
+  PARTDB_CHECK(hits_ != nullptr && misses_ != nullptr);
+}
+
+PayloadArena::~PayloadArena() {
+  // The control block of every outstanding payload holds a strong reference,
+  // so reaching the destructor means no payload is in flight: the stacks and
+  // freelists are the complete population and nothing races the teardown.
+  StealReturnedEntries();
+  for (Entry* head : free_by_proc_) {
+    while (head != nullptr) {
+      Entry* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+  void* block = returned_blocks_.load(std::memory_order_acquire);
+  while (block != nullptr) {
+    void* next = *static_cast<void**>(block);
+    ::operator delete(block);
+    block = next;
+  }
+  for (void* b : free_blocks_) ::operator delete(b);
+}
+
+PayloadPtr PayloadArena::Decode(ProcId proc, const ProcedureDescriptor& desc, WireReader& r) {
+  if (desc.make_args == nullptr || desc.decode_args_into == nullptr) {
+    misses_->fetch_add(1, std::memory_order_relaxed);
+    return desc.decode_args(r);
+  }
+  Entry* e = TakeEntry(proc, desc);
+  if (!desc.decode_args_into(r, e->payload.get())) {
+    ReturnEntry(e);
+    return nullptr;
+  }
+  // The deleter returns the entry; the allocator routes the control block
+  // through the block cache and keeps the arena alive via its embedded
+  // shared_ptr. At steady state this whole construction allocates nothing.
+  return PayloadPtr(const_cast<const Payload*>(e->payload.get()), EntryReturner{this, e},
+                    BlockAlloc<const Payload>(shared_from_this()));
+}
+
+PayloadArena::Entry* PayloadArena::TakeEntry(ProcId proc, const ProcedureDescriptor& desc) {
+  PARTDB_CHECK(proc >= 0 && static_cast<size_t>(proc) < free_by_proc_.size());
+  Entry*& head = free_by_proc_[proc];
+  if (head == nullptr) StealReturnedEntries();
+  if (head != nullptr) {
+    Entry* e = head;
+    head = e->next;
+    e->next = nullptr;
+    hits_->fetch_add(1, std::memory_order_relaxed);
+    return e;
+  }
+  misses_->fetch_add(1, std::memory_order_relaxed);
+  Entry* e = new Entry;
+  e->proc = proc;
+  e->payload = desc.make_args();
+  PARTDB_CHECK(e->payload != nullptr);
+  return e;
+}
+
+void PayloadArena::ReturnEntry(Entry* e) {
+  Entry* head = returned_entries_.load(std::memory_order_relaxed);
+  do {
+    e->next = head;
+  } while (!returned_entries_.compare_exchange_weak(head, e, std::memory_order_release,
+                                                    std::memory_order_relaxed));
+}
+
+void PayloadArena::StealReturnedEntries() {
+  Entry* e = returned_entries_.exchange(nullptr, std::memory_order_acquire);
+  while (e != nullptr) {
+    Entry* next = e->next;
+    Entry*& head = free_by_proc_[e->proc];
+    e->next = head;
+    head = e;
+    e = next;
+  }
+}
+
+void* PayloadArena::AllocBlock(size_t n) {
+  if (n < sizeof(void*)) n = sizeof(void*);  // room for the freelist word
+  if (block_size_ == 0) block_size_ = n;
+  // One arena only ever allocates one concrete control-block type, so every
+  // request is the same size; the check guards the single-size cache against
+  // a future second instantiation silently mixing sizes.
+  PARTDB_CHECK(n == block_size_);
+  if (free_blocks_.empty()) {
+    void* stolen = returned_blocks_.exchange(nullptr, std::memory_order_acquire);
+    while (stolen != nullptr) {
+      void* next = *static_cast<void**>(stolen);
+      free_blocks_.push_back(stolen);
+      stolen = next;
+    }
+  }
+  if (!free_blocks_.empty()) {
+    void* b = free_blocks_.back();
+    free_blocks_.pop_back();
+    return b;
+  }
+  return ::operator new(n);
+}
+
+void PayloadArena::FreeBlock(void* p) {
+  void* head = returned_blocks_.load(std::memory_order_relaxed);
+  do {
+    *static_cast<void**>(p) = head;
+  } while (!returned_blocks_.compare_exchange_weak(head, p, std::memory_order_release,
+                                                   std::memory_order_relaxed));
+}
+
+}  // namespace partdb

@@ -1,0 +1,137 @@
+// PayloadArena: per-connection recycling pool for decoded request payloads —
+// the last per-request allocations on the server ingress path. Each decoded
+// request normally costs three heap allocations (the argument payload, its
+// shared_ptr control block, and any interior vectors); at steady state the
+// arena reduces that to zero by recycling whole decoded instances:
+//
+//  - Entries pair a ProcId with a default-constructed argument payload built
+//    by the procedure's make_args hook. decode_args_into overwrites every
+//    field in place, so a recycled NewOrderArgs keeps its line-vector
+//    capacity and a recycled KvArgs its key-list capacities.
+//  - The PayloadPtr handed to Session::Submit is a shared_ptr with a custom
+//    deleter (returns the entry to the arena) and a custom allocator (the
+//    control block itself comes from the arena's block cache), so the
+//    control-block allocation is recycled too.
+//  - Allocation (TakeEntry/AllocBlock) happens only on the connection's
+//    event-loop thread; release can happen on any session worker, so the
+//    return paths are lock-free atomic stacks the loop thread steals from.
+//
+// Lifetime: the control block's allocator copy owns a shared_ptr to the
+// arena, so the arena outlives every outstanding payload even if the
+// connection (and its owning reference) dies mid-transaction. The destructor
+// therefore always runs with no pooled payload in flight and frees
+// everything single-threaded.
+//
+// Procedures without pooled hooks (make_args/decode_args_into unset) fall
+// back to the one-shot decode_args codec; those decodes count as misses.
+#ifndef PARTDB_NET_PAYLOAD_POOL_H_
+#define PARTDB_NET_PAYLOAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "db/procedure_registry.h"
+#include "msg/payload.h"
+#include "msg/wire.h"
+
+namespace partdb {
+
+class PayloadArena : public std::enable_shared_from_this<PayloadArena> {
+ public:
+  /// One arena per connection. `num_procs` sizes the per-procedure freelist
+  /// table; `hits`/`misses` are caller-owned counter cells (shared across
+  /// arenas so totals survive connection churn). Must be heap-held via the
+  /// returned shared_ptr — payload deleters extend the arena's life.
+  static std::shared_ptr<PayloadArena> Create(size_t num_procs, std::atomic<uint64_t>* hits,
+                                              std::atomic<uint64_t>* misses);
+
+  ~PayloadArena();
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// Decodes one request payload for procedure `proc` (descriptor `desc`)
+  /// from `r`, recycling a pooled instance when the procedure registered
+  /// pooled hooks. Returns null (reader marked corrupt) on a malformed span.
+  /// Must be called on the connection's loop thread.
+  PayloadPtr Decode(ProcId proc, const ProcedureDescriptor& desc, WireReader& r);
+
+ private:
+  struct Entry {
+    Entry* next = nullptr;
+    ProcId proc = kInvalidProc;
+    std::unique_ptr<Payload> payload;
+  };
+
+  /// shared_ptr deleter: hands the entry back instead of deleting the
+  /// payload. The arena pointer stays valid because the control block's
+  /// allocator copy (below) holds a strong reference until after this runs.
+  struct EntryReturner {
+    PayloadArena* arena;
+    Entry* entry;
+    void operator()(const Payload*) const { arena->ReturnEntry(entry); }
+  };
+
+  /// Minimal allocator routing shared_ptr control blocks through the block
+  /// cache. Copies share one strong reference to the arena; the copy stored
+  /// in the control block is what keeps the arena alive while payloads are
+  /// in flight.
+  template <typename T>
+  struct BlockAlloc {
+    using value_type = T;
+    std::shared_ptr<PayloadArena> arena;
+
+    explicit BlockAlloc(std::shared_ptr<PayloadArena> a) : arena(std::move(a)) {}
+    template <typename U>
+    BlockAlloc(const BlockAlloc<U>& o) : arena(o.arena) {}  // NOLINT(google-explicit-constructor)
+
+    T* allocate(size_t n) { return static_cast<T*>(arena->AllocBlock(n * sizeof(T))); }
+    void deallocate(T* p, size_t /*n*/) { arena->FreeBlock(p); }
+
+    template <typename U>
+    bool operator==(const BlockAlloc<U>& o) const {
+      return arena == o.arena;
+    }
+    template <typename U>
+    bool operator!=(const BlockAlloc<U>& o) const {
+      return arena != o.arena;
+    }
+  };
+
+  PayloadArena(size_t num_procs, std::atomic<uint64_t>* hits, std::atomic<uint64_t>* misses);
+
+  /// Loop thread: pops a recycled entry for `proc` (stealing everything the
+  /// workers returned on a private-list miss) or builds a fresh one.
+  Entry* TakeEntry(ProcId proc, const ProcedureDescriptor& desc);
+  /// Any thread: lock-free return of a finished entry.
+  void ReturnEntry(Entry* e);
+
+  /// Loop thread: a control-block-sized memory block from the cache. All
+  /// control blocks of one arena are the same concrete type, so the cache
+  /// latches a single block size.
+  void* AllocBlock(size_t n);
+  /// Any thread: lock-free return of a control block.
+  void FreeBlock(void* p);
+
+  /// Loop thread: drains the entry return stack into the per-proc freelists.
+  void StealReturnedEntries();
+
+  std::atomic<uint64_t>* hits_;
+  std::atomic<uint64_t>* misses_;
+
+  // --- loop-thread state -----------------------------------------------------
+  std::vector<Entry*> free_by_proc_;  // singly linked via Entry::next
+  std::vector<void*> free_blocks_;
+  size_t block_size_ = 0;  // latched by the first AllocBlock
+
+  // --- any-thread return stacks ----------------------------------------------
+  std::atomic<Entry*> returned_entries_{nullptr};
+  /// Treiber stack of raw blocks; each free block's first word is the next
+  /// pointer (the memory is dead between FreeBlock and reuse).
+  std::atomic<void*> returned_blocks_{nullptr};
+};
+
+}  // namespace partdb
+
+#endif  // PARTDB_NET_PAYLOAD_POOL_H_

@@ -44,6 +44,9 @@ struct ConnectOptions {
   /// Sessions multiplexed per TCP connection before a new one is dialed.
   /// 0 = unlimited: every session shares the first connection.
   uint32_t sessions_per_conn = 0;
+  /// Pin the client's event-loop thread to this CPU (-1 = don't pin).
+  /// Advisory, like the server-side affinity knobs.
+  int loop_cpu = -1;
 };
 
 class RemoteDatabase;
@@ -153,7 +156,7 @@ class RemoteDatabase : public DbHandle {
   std::unordered_map<std::string, ProcId> by_name_;
   std::vector<PayloadDecoder> result_decoders_;  // indexed by ProcId; may be null
 
-  EventLoop loop_{"client-loop"};
+  EventLoop loop_;
 
   /// Guards conns_ and session-slot assignment.
   mutable Mutex conn_mu_;

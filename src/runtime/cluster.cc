@@ -55,6 +55,7 @@ Cluster::Cluster(const ClusterConfig& config, const EngineFactory& factory,
     const int session_workers = config_.session_workers;
     PARTDB_CHECK(session_workers >= 1);
     parallel_ = std::make_unique<ParallelRuntime>(P + num_backups + 1 + session_workers);
+    parallel_->set_affinity(config_.worker_affinity);
     const int coord_worker = P + num_backups;
     for (int p = 0; p < P; ++p) parallel_->MapNode(topo.partition_primary[p], p);
     for (int b = 0; b < num_backups; ++b) {

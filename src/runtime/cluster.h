@@ -20,6 +20,7 @@
 
 #include "cc/scheme_registry.h"
 #include "client/routing.h"
+#include "common/affinity.h"
 #include "coord/coordinator_actor.h"
 #include "engine/partition_actor.h"
 #include "engine/replication.h"
@@ -64,6 +65,11 @@ struct ClusterConfig {
   bool local_speculation_only = false;
   /// Disable the locking scheme's no-lock fast path (§5.1 remark).
   bool force_locks = false;
+  /// Parallel mode: pin worker threads (partitions, backups, coordinator,
+  /// session workers — in that MapNode order) round-robin over the CPU list,
+  /// or over all online CPUs when the list is empty. Advisory; failed pins
+  /// show up in ParallelRuntime::Stats::pinned_workers.
+  CpuAffinity worker_affinity;
 };
 
 class Cluster {

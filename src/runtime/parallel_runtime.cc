@@ -1,5 +1,7 @@
 #include "runtime/parallel_runtime.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "runtime/actor.h"
@@ -8,10 +10,18 @@ namespace partdb {
 
 using std::chrono::steady_clock;
 
+namespace {
+/// Items processed per mailbox drain before the worker re-checks the stop
+/// flag and recomputes its timer deadline. Large enough to amortize the
+/// drain, small enough to keep stop/timer latency bounded.
+constexpr size_t kDrainBatch = 256;
+}  // namespace
+
 ParallelRuntime::ParallelRuntime(int num_workers) {
   PARTDB_CHECK(num_workers >= 1);
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (auto& w : workers_) w->mailbox.set_idle_signal(&idle_signal_);
 }
 
 ParallelRuntime::~ParallelRuntime() { Stop(); }
@@ -55,23 +65,14 @@ Time ParallelRuntime::Now() const {
 }
 
 void ParallelRuntime::Send(Message msg, Time /*depart*/) {
-  Worker* w = workers_[worker_of(msg.dst)].get();
-  WorkItem item;
-  item.msg = std::move(msg);
-  w->mailbox.Push(std::move(item));
+  workers_[worker_of(msg.dst)]->mailbox.PushMessage(std::move(msg));
 }
 
 void ParallelRuntime::SetTimer(NodeId self, Time at, TimerFire t) {
   // Timer heaps are owned by their worker thread, so registration travels
-  // through the mailbox as a control item (this also makes SetTimer safe to
-  // call from the main thread, e.g. client kicks before Start()).
-  Worker* w = workers_[worker_of(self)].get();
-  WorkItem item;
-  item.control = [w, self, at, t]() {
-    w->timers.push(TimerEntry{at, self, t});
-    w->timer_count.store(w->timers.size(), std::memory_order_relaxed);
-  };
-  w->mailbox.Push(std::move(item));
+  // through the mailbox — as plain data, not a closure: session wake-ups and
+  // lock timeouts ride this path, so it must not allocate.
+  workers_[worker_of(self)]->mailbox.PushTimer(self, at, t);
 }
 
 void ParallelRuntime::HandlerDone(Actor* actor, Time /*start*/, Duration /*charged*/) {
@@ -84,17 +85,16 @@ void ParallelRuntime::Start() {
   PARTDB_CHECK(!started_.load());
   start_tp_ = steady_clock::now();
   started_.store(true, std::memory_order_release);
-  for (auto& w : workers_) {
-    w->thread = std::thread([this, worker = w.get()]() { WorkerLoop(worker); });
+  for (int i = 0; i < num_workers(); ++i) {
+    Worker* worker = workers_[i].get();
+    worker->thread = std::thread([this, worker, i]() { WorkerLoop(worker, i); });
   }
 }
 
 void ParallelRuntime::Stop() {
   if (!started_.load() || stop_.exchange(true)) return;
   for (auto& w : workers_) {
-    WorkItem wake;
-    wake.control = []() {};
-    w->mailbox.Push(std::move(wake));
+    w->mailbox.PushControl([]() {});  // wake a parked consumer
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
@@ -107,8 +107,7 @@ void ParallelRuntime::RunOn(int worker, std::function<void()> fn) {
     CondVar cv;
     bool done PARTDB_GUARDED_BY(mu) = false;
   } sync;
-  WorkItem item;
-  item.control = [&fn, &sync]() {
+  workers_[worker]->mailbox.PushControl([&fn, &sync]() {
     fn();
     // Notify under the lock: `sync` lives on the caller's stack, and the
     // waiter may observe done==true and return (destroying sync) the instant
@@ -116,8 +115,7 @@ void ParallelRuntime::RunOn(int worker, std::function<void()> fn) {
     MutexLock lock(sync.mu);
     sync.done = true;
     sync.cv.NotifyOne();
-  };
-  workers_[worker]->mailbox.Push(std::move(item));
+  });
   MutexLock lock(sync.mu);
   while (!sync.done) sync.cv.Wait(sync.mu);
 }
@@ -136,8 +134,11 @@ void ParallelRuntime::FireDueTimers(Worker* w) {
   }
 }
 
-void ParallelRuntime::WorkerLoop(Worker* w) {
-  std::deque<WorkItem> batch;
+void ParallelRuntime::WorkerLoop(Worker* w, int index) {
+  const int cpu = AffinityCpuFor(affinity_, index);
+  if (cpu >= 0 && PinCurrentThreadToCpu(cpu)) {
+    pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+  }
   while (!stop_.load(std::memory_order_relaxed)) {
     FireDueTimers(w);
 
@@ -148,27 +149,35 @@ void ParallelRuntime::WorkerLoop(Worker* w) {
       if (next_timer < deadline) deadline = next_timer;
     }
 
-    // Swap-under-lock batch drain: one mutex acquisition per batch rather
-    // than per message. Due timers still fire between items, so timer
+    // Lock-free batch drain. Due timers still fire between items, so timer
     // fidelity matches the one-message-at-a-time loop.
-    if (!w->mailbox.DrainUntil(deadline, &batch)) continue;
-
-    for (WorkItem& item : batch) {
-      if (item.control) {
-        item.control();
-      } else {
-        endpoint(item.msg.dst)->Deliver(std::move(item.msg));
+    w->mailbox.DrainUntil(deadline, kDrainBatch, [&](MailboxNode* n) {
+      switch (n->kind) {
+        case MailboxNode::Kind::kMessage:
+          endpoint(n->msg.dst)->Deliver(std::move(n->msg));
+          break;
+        case MailboxNode::Kind::kTimer:
+          w->timers.push(TimerEntry{n->timer.at, n->timer.self, n->timer.fire});
+          w->timer_count.store(w->timers.size(), std::memory_order_relaxed);
+          break;
+        case MailboxNode::Kind::kControl:
+          n->control();
+          break;
+        case MailboxNode::Kind::kNone:
+          break;
       }
       FireDueTimers(w);
-    }
-    batch.clear();
+    });
   }
 }
 
 bool ParallelRuntime::WaitQuiescent(std::chrono::steady_clock::duration timeout) {
   const steady_clock::time_point give_up = steady_clock::now() + timeout;
   uint64_t prev_pushed = ~0ull;
-  while (steady_clock::now() < give_up) {
+  bool ok = false;
+  MutexLock lock(idle_signal_.mu);
+  idle_signal_.armed.store(true, std::memory_order_release);
+  for (;;) {
     bool calm = true;
     uint64_t pushed = 0;
     for (const auto& w : workers_) {
@@ -179,11 +188,42 @@ bool ParallelRuntime::WaitQuiescent(std::chrono::steady_clock::duration timeout)
       }
       pushed += w->mailbox.pushed();
     }
-    if (calm && pushed == prev_pushed) return true;
+    if (calm && pushed == prev_pushed) {
+      ok = true;
+      break;
+    }
     prev_pushed = calm ? pushed : ~0ull;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const steady_clock::time_point now = steady_clock::now();
+    if (now >= give_up) break;
+    // Sleep until the next park event. Parkers serialize on idle_signal_.mu
+    // to notify, so an event between our scan and this wait cannot be lost —
+    // the backstop only covers state changes that raise no park event (an
+    // in-flight push landing, a timer being consumed).
+    const steady_clock::time_point backstop =
+        now + (calm ? std::chrono::microseconds(200) : std::chrono::milliseconds(1));
+    idle_signal_.cv.WaitUntil(idle_signal_.mu, std::min(give_up, backstop));
   }
-  return false;
+  idle_signal_.armed.store(false, std::memory_order_release);
+  return ok;
+}
+
+ParallelRuntime::Stats ParallelRuntime::GetStats() const {
+  Stats s;
+  s.num_workers = num_workers();
+  s.pinned_workers = pinned_workers_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    const Mailbox::Stats ms = w->mailbox.stats();
+    s.mailbox_pushed += ms.pushed;
+    s.mailbox_popped += ms.popped;
+    s.mailbox_wakes += ms.wakes;
+    s.mailbox_parks += ms.parks;
+    s.mailbox_cas_retries += ms.pop_retries;
+  }
+  const MailboxNodeCacheStats nc = MailboxNodeCaches();
+  s.node_cache_hits = nc.hits;
+  s.node_cache_misses = nc.misses;
+  s.mailbox_cas_retries += nc.cas_retries;
+  return s;
 }
 
 }  // namespace partdb

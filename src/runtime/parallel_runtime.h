@@ -1,10 +1,11 @@
 // ParallelRuntime: the hardware-speed ExecutionContext. Each worker is one
 // OS thread owning a disjoint set of actors (thread-per-partition for
-// primaries); messages travel through MPSC mailboxes and time is the
-// wall-clock nanoseconds since Start(). An actor's handlers run only on its
-// owning worker, so the single-threaded CcScheme/Engine code runs unchanged
-// — concurrency control stays as cheap as the paper claims, now at the speed
-// the hardware allows.
+// primaries); messages travel through lock-free MPSC mailboxes and time is
+// the wall-clock nanoseconds since Start(). An actor's handlers run only on
+// its owning worker, so the single-threaded CcScheme/Engine code runs
+// unchanged — concurrency control stays as cheap as the paper claims, now at
+// the speed the hardware allows. Workers can optionally be pinned to CPUs
+// (round-robin or an explicit list) to keep cache/NUMA locality stable.
 #ifndef PARTDB_RUNTIME_PARALLEL_RUNTIME_H_
 #define PARTDB_RUNTIME_PARALLEL_RUNTIME_H_
 
@@ -15,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/types.h"
 #include "runtime/execution_context.h"
 #include "runtime/mailbox.h"
@@ -23,6 +25,22 @@ namespace partdb {
 
 class ParallelRuntime : public ExecutionContext {
  public:
+  /// Ingress-path counters aggregated over every worker mailbox plus the
+  /// process-wide node caches (Database::Stats surfaces these).
+  struct Stats {
+    uint64_t mailbox_pushed = 0;
+    uint64_t mailbox_popped = 0;
+    uint64_t mailbox_wakes = 0;  // condvar notifies (empty->nonempty edges)
+    uint64_t mailbox_parks = 0;  // consumer park transitions
+    /// Lock-free contention: consumer retries on in-flight producer links
+    /// plus CAS retries on the node-freelist return stacks.
+    uint64_t mailbox_cas_retries = 0;
+    uint64_t node_cache_hits = 0;    // process-wide, shared across runtimes
+    uint64_t node_cache_misses = 0;  // (thread-local caches outlive runtimes)
+    int pinned_workers = 0;          // workers whose CPU pin succeeded
+    int num_workers = 0;
+  };
+
   explicit ParallelRuntime(int num_workers);
   ~ParallelRuntime() override;
   ParallelRuntime(const ParallelRuntime&) = delete;
@@ -34,6 +52,10 @@ class ParallelRuntime : public ExecutionContext {
   /// node; all wiring happens on the main thread before Start().
   void MapNode(NodeId node, int worker);
   int worker_of(NodeId node) const;
+
+  /// Worker CPU pinning policy. Set before Start(); each worker pins itself
+  /// as its thread comes up (failed pins are counted, never fatal).
+  void set_affinity(CpuAffinity a) { affinity_ = std::move(a); }
 
   /// Launches the worker threads. Items pushed before Start() (e.g. client
   /// kicks) are processed once the workers come up.
@@ -52,9 +74,13 @@ class ParallelRuntime : public ExecutionContext {
   }
 
   /// Blocks until no work is in flight: all mailboxes drained, all timers
-  /// fired, all workers blocked — observed stably twice. Only meaningful once
-  /// traffic generation has stopped. Returns false if `timeout` elapses.
+  /// fired, all workers parked — observed stably twice. Event-driven: sleeps
+  /// on the shared park signal the mailboxes raise instead of polling. Only
+  /// meaningful once traffic generation has stopped. Returns false if
+  /// `timeout` elapses.
   bool WaitQuiescent(std::chrono::steady_clock::duration timeout);
+
+  Stats GetStats() const;
 
   // ExecutionContext:
   Time Now() const override;
@@ -74,12 +100,12 @@ class ParallelRuntime : public ExecutionContext {
   struct Worker {
     Mailbox mailbox;
     std::thread thread;
-    // Owned by the worker thread after Start(); mutated via control items.
+    // Owned by the worker thread after Start(); mutated via mailbox items.
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers;
     std::atomic<size_t> timer_count{0};
   };
 
-  void WorkerLoop(Worker* w);
+  void WorkerLoop(Worker* w, int index);
   void FireDueTimers(Worker* w);
   Actor* endpoint(NodeId node) const;
 
@@ -89,6 +115,10 @@ class ParallelRuntime : public ExecutionContext {
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
   std::chrono::steady_clock::time_point start_tp_;
+  CpuAffinity affinity_;  // set before Start
+  std::atomic<int> pinned_workers_{0};
+  /// Park-event channel shared by every worker mailbox (WaitQuiescent).
+  MailboxIdleSignal idle_signal_;
 };
 
 }  // namespace partdb

@@ -13,14 +13,20 @@
 #ifndef PARTDB_STORAGE_UNDO_BUFFER_H_
 #define PARTDB_STORAGE_UNDO_BUFFER_H_
 
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/small_fn.h"
 #include "engine/work_meter.h"
 
 namespace partdb {
+
+/// Compensation/redo closure storage: write-site captures (this + key + old
+/// value image) stay in the inline buffer, so recording undo on the write
+/// path allocates nothing. Oversized captures (TPC-C full-row images) spill
+/// to the heap transparently.
+using UndoFn = SmallFn<void(), 48>;
 
 class UndoBuffer {
  public:
@@ -36,7 +42,7 @@ class UndoBuffer {
   bool redo_enabled() const { return keep_redo_; }
 
   /// Appends a compensation action. `m` (optional) gets the record counted.
-  void Add(std::function<void()> fn, WorkMeter* m = nullptr) {
+  void Add(UndoFn fn, WorkMeter* m = nullptr) {
     ops_.push_back(Entry{std::move(fn), {}});
     if (m != nullptr) m->undo_records++;
   }
@@ -46,7 +52,7 @@ class UndoBuffer {
   /// write site; `make_redo` runs only under a multiversion scheme, so the
   /// common path never allocates the redo.
   template <typename MakeRedo>
-  void AddWithRedo(std::function<void()> fn, MakeRedo&& make_redo, WorkMeter* m = nullptr) {
+  void AddWithRedo(UndoFn fn, MakeRedo&& make_redo, WorkMeter* m = nullptr) {
     if (keep_redo_) {
       ops_.push_back(Entry{std::move(fn), make_redo()});
     } else {
@@ -86,8 +92,8 @@ class UndoBuffer {
 
  private:
   struct Entry {
-    std::function<void()> undo;
-    std::function<void()> redo;  // set only under EnableRedo
+    UndoFn undo;
+    UndoFn redo;  // set only under EnableRedo
   };
 
   std::vector<Entry> ops_;

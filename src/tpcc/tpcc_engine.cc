@@ -103,8 +103,7 @@ void NewOrderArgs::SerializeTo(WireWriter& w) const {
   }
 }
 
-PayloadPtr DecodeNewOrderArgs(WireReader& r) {
-  auto a = std::make_shared<NewOrderArgs>();
+bool DecodeNewOrderArgsInto(WireReader& r, NewOrderArgs* a) {
   a->w_id = r.I32();
   a->d_id = r.I32();
   a->c_id = r.I32();
@@ -113,17 +112,20 @@ PayloadPtr DecodeNewOrderArgs(WireReader& r) {
   r.Skip(8);  // reserved
   if (num_lines > r.remaining() / 12) {
     r.MarkCorrupt();
-    return nullptr;
+    return false;
   }
-  a->lines.reserve(num_lines);
-  for (uint32_t i = 0; i < num_lines; ++i) {
-    NewOrderArgs::Line l;
+  a->lines.resize(num_lines);
+  for (NewOrderArgs::Line& l : a->lines) {
     l.i_id = r.I32();
     l.supply_w_id = r.I32();
     l.quantity = r.I32();
-    a->lines.push_back(l);
   }
-  return r.ok() ? a : nullptr;
+  return r.ok();
+}
+
+PayloadPtr DecodeNewOrderArgs(WireReader& r) {
+  auto a = std::make_shared<NewOrderArgs>();
+  return DecodeNewOrderArgsInto(r, a.get()) ? PayloadPtr(a) : nullptr;
 }
 
 void PaymentArgs::SerializeTo(WireWriter& w) const {
@@ -138,8 +140,7 @@ void PaymentArgs::SerializeTo(WireWriter& w) const {
   w.Pad(3);
 }
 
-PayloadPtr DecodePaymentArgs(WireReader& r) {
-  auto a = std::make_shared<PaymentArgs>();
+bool DecodePaymentArgsInto(WireReader& r, PaymentArgs* a) {
   a->w_id = r.I32();
   a->d_id = r.I32();
   a->c_w_id = r.I32();
@@ -149,7 +150,12 @@ PayloadPtr DecodePaymentArgs(WireReader& r) {
   a->date = r.I64();
   a->c_last = r.Str<16>();
   r.Skip(3);
-  return r.ok() ? a : nullptr;
+  return r.ok();
+}
+
+PayloadPtr DecodePaymentArgs(WireReader& r) {
+  auto a = std::make_shared<PaymentArgs>();
+  return DecodePaymentArgsInto(r, a.get()) ? PayloadPtr(a) : nullptr;
 }
 
 void OrderStatusArgs::SerializeTo(WireWriter& w) const {
@@ -161,15 +167,19 @@ void OrderStatusArgs::SerializeTo(WireWriter& w) const {
   w.U64(0);  // reserved
 }
 
-PayloadPtr DecodeOrderStatusArgs(WireReader& r) {
-  auto a = std::make_shared<OrderStatusArgs>();
+bool DecodeOrderStatusArgsInto(WireReader& r, OrderStatusArgs* a) {
   a->w_id = r.I32();
   a->d_id = r.I32();
   a->c_id = r.I32();
   a->c_last = r.Str<16>();
   r.Skip(3);
   r.Skip(8);  // reserved
-  return r.ok() ? a : nullptr;
+  return r.ok();
+}
+
+PayloadPtr DecodeOrderStatusArgs(WireReader& r) {
+  auto a = std::make_shared<OrderStatusArgs>();
+  return DecodeOrderStatusArgsInto(r, a.get()) ? PayloadPtr(a) : nullptr;
 }
 
 void DeliveryArgs::SerializeTo(WireWriter& w) const {
@@ -180,13 +190,17 @@ void DeliveryArgs::SerializeTo(WireWriter& w) const {
   w.U64(0);
 }
 
-PayloadPtr DecodeDeliveryArgs(WireReader& r) {
-  auto a = std::make_shared<DeliveryArgs>();
+bool DecodeDeliveryArgsInto(WireReader& r, DeliveryArgs* a) {
   a->w_id = r.I32();
   a->carrier_id = r.I32();
   a->date = r.I64();
   r.Skip(16);  // reserved
-  return r.ok() ? a : nullptr;
+  return r.ok();
+}
+
+PayloadPtr DecodeDeliveryArgs(WireReader& r) {
+  auto a = std::make_shared<DeliveryArgs>();
+  return DecodeDeliveryArgsInto(r, a.get()) ? PayloadPtr(a) : nullptr;
 }
 
 void StockLevelArgs::SerializeTo(WireWriter& w) const {
@@ -197,13 +211,17 @@ void StockLevelArgs::SerializeTo(WireWriter& w) const {
   w.U64(0);
 }
 
-PayloadPtr DecodeStockLevelArgs(WireReader& r) {
-  auto a = std::make_shared<StockLevelArgs>();
+bool DecodeStockLevelArgsInto(WireReader& r, StockLevelArgs* a) {
   a->w_id = r.I32();
   a->d_id = r.I32();
   a->threshold = r.I32();
   r.Skip(16);  // reserved
-  return r.ok() ? a : nullptr;
+  return r.ok();
+}
+
+PayloadPtr DecodeStockLevelArgs(WireReader& r) {
+  auto a = std::make_shared<StockLevelArgs>();
+  return DecodeStockLevelArgsInto(r, a.get()) ? PayloadPtr(a) : nullptr;
 }
 
 void TpccResult::SerializeTo(WireWriter& w) const {

@@ -103,6 +103,15 @@ PayloadPtr DecodeDeliveryArgs(WireReader& r);
 PayloadPtr DecodeStockLevelArgs(WireReader& r);
 PayloadPtr DecodeTpccResult(WireReader& r);
 
+// Pooled variants: decode into an existing (recycled) instance, overwriting
+// every field — NewOrder reuses its line-vector capacity. Return false (and
+// mark the reader corrupt) on malformed spans.
+bool DecodeNewOrderArgsInto(WireReader& r, NewOrderArgs* into);
+bool DecodePaymentArgsInto(WireReader& r, PaymentArgs* into);
+bool DecodeOrderStatusArgsInto(WireReader& r, OrderStatusArgs* into);
+bool DecodeDeliveryArgsInto(WireReader& r, DeliveryArgs* into);
+bool DecodeStockLevelArgsInto(WireReader& r, StockLevelArgs* into);
+
 class TpccEngine : public Engine {
  public:
   TpccEngine(TpccScale scale, PartitionId pid, uint64_t seed);

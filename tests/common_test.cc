@@ -1,12 +1,15 @@
 // Tests for the common utilities: Status, Rng, Histogram, FlagSet,
-// InlineString, message size accounting, and metrics arithmetic.
+// InlineString, SmallFn, message size accounting, and metrics arithmetic.
 #include <cstring>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "common/flags.h"
 #include "common/histogram.h"
 #include "common/inline_string.h"
 #include "common/rng.h"
+#include "common/small_fn.h"
 #include "common/status.h"
 #include "gtest/gtest.h"
 #include "kv/kv_engine.h"
@@ -133,6 +136,73 @@ TEST(InlineString, BinaryContentsSupported) {
   InlineString<8> s(std::string_view(raw, 4));
   EXPECT_EQ(s.size(), 4u);
   EXPECT_EQ(std::memcmp(s.data(), raw, 4), 0);
+}
+
+// SmallFn backs the per-write undo/redo closures: captures up to its inline
+// budget must stay in place (no allocation), oversized ones spill to the
+// heap transparently, and moved-from wrappers release their payload.
+TEST(SmallFn, InlineStorageCoversUndoSizedCaptures) {
+  using UndoFn = SmallFn<void(), 48>;
+  // this + key + old value: the shape every KV write-site closure has.
+  struct Capture {
+    void* self;
+    InlineString<8> key;
+    InlineString<8> old_value;
+  };
+  static_assert(sizeof(Capture) <= 48);
+  EXPECT_TRUE((UndoFn::stored_inline<decltype([c = Capture{}]() { (void)c; })>()));
+  // A full TPC-C row image exceeds the budget and must take the heap path.
+  struct BigCapture {
+    char row[96];
+  };
+  EXPECT_FALSE((UndoFn::stored_inline<decltype([c = BigCapture{}]() { (void)c; })>()));
+
+  int runs = 0;
+  Capture cap{&runs, InlineString<8>("k"), InlineString<8>("v")};
+  UndoFn fn = [cap, &runs]() {
+    ++runs;
+    EXPECT_EQ(cap.key.str(), "k");
+  };
+  fn();
+  fn();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SmallFn, HeapFallbackAndMoveSemantics) {
+  using Fn = SmallFn<int(int), 16>;
+  struct Big {
+    char pad[64];
+    int base;
+    int operator()(int x) const { return base + x; }
+  };
+  static_assert(!Fn::stored_inline<Big>());
+
+  Fn f = Big{{}, 40};
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(2), 42);
+
+  Fn g = std::move(f);
+  EXPECT_EQ(f, nullptr);  // NOLINT(bugprone-use-after-move): post-move state is the test
+  EXPECT_EQ(g(10), 50);
+
+  f = std::move(g);
+  EXPECT_EQ(g, nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(f(0), 40);
+}
+
+TEST(SmallFn, DestroysCaptureExactlyOnce) {
+  using Fn = SmallFn<void(), 48>;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    Fn f = [t = std::move(token)]() { EXPECT_EQ(*t, 7); };
+    f();
+    EXPECT_FALSE(watch.expired());
+    Fn g = std::move(f);
+    g();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(MessageSize, GrowsWithPayload) {

@@ -4,6 +4,7 @@
 // serializability across every concurrency-control scheme, the closed-loop
 // session adapter, and the open-loop Poisson load driver's rate accuracy.
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -411,6 +412,16 @@ TEST(ParallelSession, TeardownRacesCompletionCallbacks) {
     session.reset();
     EXPECT_EQ(completed.load(), 16) << "cycle " << cycle;
   }
+  // Every teardown drained to true quiescence: no mailbox item was left
+  // queued (or leaked mid-push), and the park/wake discipline held — wakes
+  // fire only at parked consumers, so parks bound wakes from above. Session
+  // completion precedes trailing backup/coordinator bookkeeping messages, so
+  // wait for the runtime itself to drain before counting.
+  ASSERT_TRUE(db->cluster().parallel_runtime()->WaitQuiescent(std::chrono::seconds(30)));
+  const ParallelRuntime::Stats rs = db->Stats();
+  EXPECT_EQ(rs.mailbox_pushed, rs.mailbox_popped);
+  EXPECT_GT(rs.mailbox_parks, 0u);
+  EXPECT_LE(rs.mailbox_wakes, rs.mailbox_parks);
   db->Close();
 }
 

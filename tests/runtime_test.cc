@@ -77,7 +77,9 @@ TEST(Determinism, DifferentSeedDifferentRun) {
 }
 
 // ---------------------------------------------------------------------------
-// MPSC mailbox: FIFO per producer under concurrent senders, nothing lost.
+// MPSC mailbox smoke: FIFO per producer under concurrent senders, nothing
+// lost, batched drains. The heavy stress / wake-accounting / node-recycling
+// suites live in tests/mailbox_test.cc.
 
 TEST(Mailbox, FifoPerProducerUnderConcurrentSenders) {
   constexpr int kProducers = 4;
@@ -88,11 +90,11 @@ TEST(Mailbox, FifoPerProducerUnderConcurrentSenders) {
   for (int src = 0; src < kProducers; ++src) {
     producers.emplace_back([&box, src]() {
       for (uint32_t seq = 0; seq < kPerProducer; ++seq) {
-        WorkItem item;
-        item.msg.src = src;
-        item.msg.dst = 0;
-        item.msg.body = TimerFire{MakeTxnId(src, seq), 0};
-        box.Push(std::move(item));
+        Message m;
+        m.src = src;
+        m.dst = 0;
+        m.body = TimerFire{MakeTxnId(src, seq), 0};
+        box.PushMessage(std::move(m));
       }
     });
   }
@@ -100,80 +102,68 @@ TEST(Mailbox, FifoPerProducerUnderConcurrentSenders) {
   // Single consumer: per-producer sequence numbers must arrive in order.
   std::vector<uint32_t> next(kProducers, 0);
   uint64_t received = 0;
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
-    WorkItem item;
-    ASSERT_TRUE(box.PopUntil(deadline, &item)) << "timed out after " << received;
-    const auto& t = std::get<TimerFire>(item.msg.body);
-    const int src = TxnClient(t.txn_id);
-    const uint32_t seq = TxnSeq(t.txn_id);
-    ASSERT_EQ(seq, next[src]) << "out-of-order delivery from producer " << src;
-    next[src] = seq + 1;
-    ++received;
-  }
-  for (auto& p : producers) p.join();
-  EXPECT_TRUE(box.Empty());
-  EXPECT_EQ(box.pushed(), box.popped());
-}
-
-TEST(Mailbox, PopUntilTimesOutWhenEmpty) {
-  Mailbox box;
-  WorkItem item;
-  EXPECT_FALSE(box.PopUntil(std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
-                            &item));
-}
-
-// Batched swap-under-lock drain: everything arrives, FIFO per producer, and
-// the accounting (pushed/popped) stays exact across whole-queue swaps.
-TEST(Mailbox, DrainUntilBatchesFifoUnderConcurrentSenders) {
-  constexpr int kProducers = 4;
-  constexpr uint32_t kPerProducer = 20000;
-  Mailbox box;
-
-  std::vector<std::thread> producers;
-  for (int src = 0; src < kProducers; ++src) {
-    producers.emplace_back([&box, src]() {
-      for (uint32_t seq = 0; seq < kPerProducer; ++seq) {
-        WorkItem item;
-        item.msg.src = src;
-        item.msg.dst = 0;
-        item.msg.body = TimerFire{MakeTxnId(src, seq), 0};
-        box.Push(std::move(item));
-      }
-    });
-  }
-
-  std::vector<uint32_t> next(kProducers, 0);
-  uint64_t received = 0;
   uint64_t batches = 0;
-  std::deque<WorkItem> batch;
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
   while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
-    ASSERT_TRUE(box.DrainUntil(deadline, &batch)) << "timed out after " << received;
-    ASSERT_FALSE(batch.empty());
-    ++batches;
-    for (const WorkItem& item : batch) {
-      const auto& t = std::get<TimerFire>(item.msg.body);
+    const size_t got = box.DrainUntil(deadline, 64, [&](MailboxNode* n) {
+      ASSERT_EQ(n->kind, MailboxNode::Kind::kMessage);
+      const auto& t = std::get<TimerFire>(n->msg.body);
       const int src = TxnClient(t.txn_id);
       const uint32_t seq = TxnSeq(t.txn_id);
       ASSERT_EQ(seq, next[src]) << "out-of-order delivery from producer " << src;
       next[src] = seq + 1;
       ++received;
-    }
+    });
+    ASSERT_GT(got, 0u) << "timed out after " << received;
+    ++batches;
   }
   for (auto& p : producers) p.join();
   EXPECT_TRUE(box.Empty());
   EXPECT_EQ(box.pushed(), box.popped());
-  // The whole point: far fewer lock acquisitions than messages.
+  // The whole point of batching: far fewer drains than messages.
   EXPECT_LT(batches, received);
 }
 
 TEST(Mailbox, DrainUntilTimesOutWhenEmpty) {
   Mailbox box;
-  std::deque<WorkItem> batch;
-  EXPECT_FALSE(box.DrainUntil(std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
-                              &batch));
-  EXPECT_TRUE(batch.empty());
+  size_t drained = 0;
+  EXPECT_EQ(box.DrainUntil(std::chrono::steady_clock::now() + std::chrono::milliseconds(5), 64,
+                           [&](MailboxNode*) { ++drained; }),
+            0u);
+  EXPECT_EQ(drained, 0u);
+  EXPECT_TRUE(box.Empty());
+}
+
+// Tagged-union item kinds travel intact: messages, timers, and control
+// closures drain in push order with their payloads.
+TEST(Mailbox, CarriesAllItemKindsInOrder) {
+  Mailbox box;
+  Message m;
+  m.src = 7;
+  m.dst = 0;
+  m.body = TimerFire{MakeTxnId(7, 1), 0};
+  box.PushMessage(std::move(m));
+  box.PushTimer(/*self=*/3, /*at=*/12345, TimerFire{MakeTxnId(3, 9), 42});
+  bool control_ran = false;
+  box.PushControl([&control_ran]() { control_ran = true; });
+
+  std::vector<MailboxNode::Kind> kinds;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  box.DrainUntil(deadline, 64, [&](MailboxNode* n) {
+    kinds.push_back(n->kind);
+    if (n->kind == MailboxNode::Kind::kTimer) {
+      EXPECT_EQ(n->timer.self, 3);
+      EXPECT_EQ(n->timer.at, 12345);
+      EXPECT_EQ(n->timer.fire.generation, 42u);
+    } else if (n->kind == MailboxNode::Kind::kControl) {
+      n->control();
+    }
+  });
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], MailboxNode::Kind::kMessage);
+  EXPECT_EQ(kinds[1], MailboxNode::Kind::kTimer);
+  EXPECT_EQ(kinds[2], MailboxNode::Kind::kControl);
+  EXPECT_TRUE(control_ran);
 }
 
 // ---------------------------------------------------------------------------
