@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     loop.warmup = bench.warmup();
     loop.measure = bench.measure();
     Metrics m = RunClosedLoop(*db, loop);
-    const ParallelRuntime::Stats rs = db->Stats();
+    const ParallelRuntime::Stats rs = db->Stats().runtime;
     db->Close();
 
     std::printf("%-12s %8.0f txn/s  committed=%llu (sp=%llu mp=%llu)\n",

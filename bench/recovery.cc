@@ -1,0 +1,203 @@
+// Durability tier benchmark (README "Durability"): (1) the logging overhead
+// of the three DbOptions::durability modes on the closed-loop KV
+// microbenchmark, and (2) parallel recovery — build a command log, then time
+// Database::Open replaying it with 1 worker vs one worker per partition.
+// Emits BENCH_recovery.json for the cross-PR perf gate; the recovery rows
+// encode replayed-records-per-second as the throughput metric. The 1.5x
+// parallel-recovery self-check only runs when the host actually has enough
+// CPUs to run the replay workers concurrently (host_cpus is recorded in the
+// JSON so gate comparisons stay within a box class).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/affinity.h"
+#include "common/flags.h"
+#include "db/closed_loop.h"
+#include "kv/kv_procedures.h"
+
+using namespace partdb;
+
+namespace {
+
+const char* ModeFlagName(DurabilityMode m) { return DurabilityModeName(m); }
+
+/// Opens the database on `dir` purely to run recovery, reports the replay as
+/// a throughput row (committed = records replayed, window = recovery time).
+Metrics TimeRecovery(const KvWorkloadOptions& mb, const std::string& dir, int workers,
+                     uint64_t seed, RecoveryReport* report) {
+  DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, seed);
+  opts.durability = DurabilityMode::kGroupCommit;
+  opts.log_dir = dir;
+  opts.recovery_workers = workers;
+  auto db = Database::Open(std::move(opts));
+  *report = db->recovery_report();
+  db->Close();
+  Metrics m;
+  m.committed = report->replayed;
+  m.sp_committed = report->replayed;
+  m.window_ns = static_cast<Duration>(report->seconds * 1e9);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchFlags bench(&flags, /*warmup_default=*/200, /*measure_default=*/1000);
+  int64_t* partitions = flags.AddInt64("partitions", 4, "partition worker threads");
+  int64_t* clients = flags.AddInt64("clients", 16, "closed-loop logical clients");
+  int64_t* mp_pct = flags.AddInt64("mp_pct", 10, "multi-partition transaction percentage");
+  int64_t* window_us = flags.AddInt64("window_us", 200, "group-commit window (us)");
+  int64_t* recover_txns =
+      flags.AddInt64("recover_txns", 20000, "transactions logged for the recovery phase");
+  std::string* json = flags.AddString("json", "BENCH_recovery.json", "results file");
+  if (!flags.Parse(argc, argv)) return 0;
+
+  KvWorkloadOptions mb;
+  mb.num_partitions = static_cast<int>(*partitions);
+  mb.num_clients = static_cast<int>(*clients);
+  mb.mp_fraction = static_cast<double>(*mp_pct) / 100.0;
+  const uint64_t seed = static_cast<uint64_t>(*bench.seed);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("partdb_bench_recovery_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  std::printf("durability bench: %d partitions, %d clients, %d%% multi-partition, "
+              "group-commit window %lld us\n",
+              mb.num_partitions, mb.num_clients, static_cast<int>(*mp_pct),
+              static_cast<long long>(*window_us));
+
+  bool ok = true;
+  std::vector<SchemeResult> results;
+
+  // Phase 1 — logging overhead: identical closed-loop runs, one per mode.
+  // The "off" row is the baseline the group-commit overhead is quoted
+  // against in README "Durability".
+  double off_tps = 0;
+  for (const DurabilityMode mode :
+       {DurabilityMode::kOff, DurabilityMode::kAsync, DurabilityMode::kGroupCommit}) {
+    const std::string mode_dir = dir + "_" + ModeFlagName(mode);
+    DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, seed);
+    opts.durability = mode;
+    if (mode != DurabilityMode::kOff) opts.log_dir = mode_dir;
+    opts.group_commit_window_us = static_cast<uint32_t>(*window_us);
+    auto db = Database::Open(std::move(opts));
+
+    ClosedLoopOptions loop;
+    loop.num_clients = mb.num_clients;
+    loop.next = KvInvocations(mb, *db);
+    loop.warmup = bench.warmup();
+    loop.measure = bench.measure();
+    Metrics m = RunClosedLoop(*db, loop);
+    const DurabilityStats ds = db->Stats().durability;
+    db->Close();
+
+    std::printf("%-12s %8.0f txn/s  committed=%llu  batches=%llu avg_batch=%.1f "
+                "fsyncs=%llu bytes=%llu\n",
+                ModeFlagName(mode), m.Throughput(),
+                static_cast<unsigned long long>(m.committed),
+                static_cast<unsigned long long>(ds.batches), ds.avg_batch_size(),
+                static_cast<unsigned long long>(ds.fsyncs),
+                static_cast<unsigned long long>(ds.bytes_logged));
+    if (m.committed == 0) {
+      std::printf("ERROR: no transactions committed with durability=%s\n",
+                  ModeFlagName(mode));
+      ok = false;
+    }
+    if (mode == DurabilityMode::kOff) off_tps = m.Throughput();
+    if (mode == DurabilityMode::kGroupCommit && off_tps > 0) {
+      std::printf("  group-commit overhead: %.1f%% of the in-memory throughput\n",
+                  100.0 * (1.0 - m.Throughput() / off_tps));
+    }
+    results.push_back({ModeFlagName(mode), m});
+    db.reset();
+    std::filesystem::remove_all(mode_dir);
+  }
+
+  // Phase 2 — parallel recovery. Build the log in async mode (no completion
+  // gating, so the log fills at memory speed; a clean Close flushes it all),
+  // then time two recoveries of the same directory.
+  {
+    DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, seed);
+    opts.durability = DurabilityMode::kAsync;
+    opts.log_dir = dir;
+    auto db = Database::Open(std::move(opts));
+    const ProcId proc = db->proc(kKvReadUpdateProc);
+    const int64_t per_client = *recover_txns / mb.num_clients;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < mb.num_clients; ++c) {
+      threads.emplace_back([&, c]() {
+        auto session = db->CreateSession();
+        Rng rng(seed + static_cast<uint64_t>(c));
+        for (int64_t i = 0; i < per_client; ++i) {
+          session->Execute(proc, DrawKvTxn(mb, c, rng));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    db->Close();
+  }
+
+  RecoveryReport w1;
+  Metrics m1 = TimeRecovery(mb, dir, 1, seed, &w1);
+  RecoveryReport wp;
+  Metrics mp = TimeRecovery(mb, dir, mb.num_partitions, seed, &wp);
+  std::filesystem::remove_all(dir);
+
+  if (!w1.ok || !wp.ok) {
+    std::printf("ERROR: recovery failed: %s%s\n", w1.error.c_str(), wp.error.c_str());
+    ok = false;
+  }
+  const double speedup = w1.seconds > 0 ? w1.seconds / wp.seconds : 0.0;
+  std::printf("recover_w1   %8.0f records/s  (%llu records, %.3f s, 1 worker)\n",
+              m1.Throughput(), static_cast<unsigned long long>(w1.replayed), w1.seconds);
+  std::printf("recover_w%-2d  %8.0f records/s  (%llu records, %.3f s, %d workers)  "
+              "speedup %.2fx\n",
+              mb.num_partitions, mp.Throughput(),
+              static_cast<unsigned long long>(wp.replayed), wp.seconds, mb.num_partitions,
+              speedup);
+  if (w1.replayed != wp.replayed) {
+    std::printf("ERROR: worker count changed the replayed record count (%llu vs %llu)\n",
+                static_cast<unsigned long long>(w1.replayed),
+                static_cast<unsigned long long>(wp.replayed));
+    ok = false;
+  }
+  // The parallelism claim is only testable when the workers can actually run
+  // concurrently; narrower hosts still emit the rows for the perf gate.
+  if (OnlineCpuCount() >= mb.num_partitions && mb.num_partitions > 1) {
+    if (speedup < 1.5) {
+      std::printf("ERROR: parallel recovery speedup %.2fx < 1.5x on a %d-cpu host\n",
+                  speedup, OnlineCpuCount());
+      ok = false;
+    }
+  } else {
+    std::printf("  (speedup check skipped: %d online cpus < %d workers)\n",
+                OnlineCpuCount(), mb.num_partitions);
+  }
+  results.push_back({"recover_w1", m1});
+  results.push_back({"recover_w" + std::to_string(mb.num_partitions), mp});
+
+  if (!json->empty()) {
+    ok = WriteSchemeJson(*json, "recovery",
+                         {{"partitions", mb.num_partitions},
+                          {"clients", mb.num_clients},
+                          {"mp_pct", *mp_pct},
+                          {"window_us", *window_us},
+                          {"recover_txns", *recover_txns},
+                          {"measure_ms", *bench.measure_ms},
+                          {"host_cpus", OnlineCpuCount()}},
+                         results) &&
+         ok;
+  }
+  return ok ? 0 : 1;
+}

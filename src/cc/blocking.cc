@@ -39,7 +39,7 @@ void BlockingCc::ExecuteSp(FragmentRequest& f) {
     part_->Send(f.coordinator, resp);
     return;
   }
-  part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+  part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
   ReplicaShip ship;
   ship.txn_id = f.txn_id;
   ship.outcome_known = true;
@@ -52,6 +52,7 @@ void BlockingCc::StartMp(FragmentRequest& f) {
   active_.emplace();
   active_->id = f.txn_id;
   active_->coord = f.coordinator;
+  active_->proc = f.proc;
   active_->args = f.args;
   active_->round_inputs.push_back(f.round_input);
   ExecResult r = part_->RunFragment(f, &active_->undo);
@@ -98,7 +99,7 @@ void BlockingCc::OnDecision(const DecisionMessage& d) {
   if (d.commit) {
     PARTDB_CHECK(!active_->aborted_locally);
     active_->undo.Clear();
-    part_->LogCommit(active_->id, true, active_->args, active_->round_inputs);
+    part_->LogCommit(active_->id, true, active_->proc, active_->args, active_->round_inputs);
     part_->ShipDecision(active_->id, true);
   } else {
     ++epoch_;

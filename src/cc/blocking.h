@@ -25,6 +25,7 @@ class BlockingCc : public CcScheme {
   struct ActiveMp {
     TxnId id;
     NodeId coord;
+    ProcId proc = kInvalidProc;
     PayloadPtr args;
     std::vector<PayloadPtr> round_inputs;
     UndoBuffer undo;

@@ -52,9 +52,13 @@ class PartitionExec {
   /// Delivers a TimerFire to this partition after `d` ns.
   virtual void SetTimer(Duration d, TimerFire t) = 0;
 
-  /// Records a committed transaction in the partition's commit log (no cost;
-  /// enabled only in tests for serializability checking).
-  virtual void LogCommit(TxnId id, bool multi_partition, const PayloadPtr& args,
+  /// Records a committed transaction: in the test-only commit log (for
+  /// serializability checking, no cost) and in the partition's command log
+  /// when durability is on. `proc` is the registry id of the stored
+  /// procedure, stamped into the durable record so recovery can re-resolve
+  /// it by name.
+  virtual void LogCommit(TxnId id, bool multi_partition, ProcId proc,
+                         const PayloadPtr& args,
                          const std::vector<PayloadPtr>& round_inputs) = 0;
 
   virtual Engine& engine() = 0;

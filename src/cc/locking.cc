@@ -25,6 +25,7 @@ void LockingCc::OnFragment(FragmentRequest frag) {
     t->mp = frag.multi_partition;
     t->can_abort = frag.can_abort;
     t->coord = frag.coordinator;
+    t->proc = frag.proc;
     t->args = frag.args;
     txns_.emplace(frag.txn_id, std::move(owned));
     if (part_->metrics().recording) part_->metrics().locked_txns++;
@@ -49,7 +50,7 @@ void LockingCc::FastPathSp(FragmentRequest& f) {
     part_->Send(f.coordinator, resp);
     return;
   }
-  part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+  part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
   ReplicaShip ship;
   ship.txn_id = f.txn_id;
   ship.outcome_known = true;
@@ -211,7 +212,7 @@ void LockingCc::ExecutePending(LTxn* t) {
       part_->Send(f.coordinator, resp);
     } else {
       t->undo.Clear();
-      part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+      part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
       ReplicaShip ship;
       ship.txn_id = f.txn_id;
       ship.outcome_known = true;
@@ -279,7 +280,7 @@ void LockingCc::OnDecision(const DecisionMessage& d) {
   }
   if (d.commit) {
     t->undo.Clear();
-    part_->LogCommit(t->id, true, t->args, t->round_inputs);
+    part_->LogCommit(t->id, true, t->proc, t->args, t->round_inputs);
     part_->ShipDecision(t->id, true);
   } else {
     part_->ChargeUndo(t->undo.size());

@@ -40,6 +40,7 @@ class LockingCc : public CcScheme {
     bool mp = false;
     bool can_abort = false;
     NodeId coord = kInvalidNode;
+    ProcId proc = kInvalidProc;
     PayloadPtr args;
     std::vector<PayloadPtr> round_inputs;
     UndoBuffer undo;

@@ -79,7 +79,7 @@ void MvccCc::ExecuteSp(FragmentRequest& f) {
     return;
   }
   ++commit_ts_;
-  part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+  part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
   ReplicaShip ship;
   ship.txn_id = f.txn_id;
   ship.outcome_known = true;
@@ -102,7 +102,7 @@ void MvccCc::ExecuteSpAt(FragmentRequest& f, bool on_snapshot) {
     undo.Rollback();
   } else {
     ++commit_ts_;
-    part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+    part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
   }
   if (on_snapshot) {
     pending_->versions.Reinstall();
@@ -132,6 +132,7 @@ void MvccCc::StartMp(FragmentRequest& f) {
   pending_->id = f.txn_id;
   pending_->coord = f.coordinator;
   pending_->begin_ts = commit_ts_;
+  pending_->proc = f.proc;
   pending_->args = f.args;
   pending_->round_inputs.push_back(f.round_input);
   pending_->versions.EnableRedo();
@@ -185,7 +186,7 @@ void MvccCc::OnDecision(const DecisionMessage& d) {
     // 2PC window).
     pending_->versions.Clear();
     ++commit_ts_;
-    part_->LogCommit(pending_->id, true, pending_->args, pending_->round_inputs);
+    part_->LogCommit(pending_->id, true, pending_->proc, pending_->args, pending_->round_inputs);
     part_->ShipDecision(pending_->id, true);
   } else {
     ++epoch_;

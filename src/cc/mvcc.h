@@ -64,6 +64,7 @@ class MvccCc : public CcScheme {
     TxnId id = kInvalidTxn;
     NodeId coord = kInvalidNode;
     uint64_t begin_ts = 0;
+    ProcId proc = kInvalidProc;
     PayloadPtr args;
     std::vector<PayloadPtr> round_inputs;
     /// Pending version chain: undo (before-image) + redo (after-image) per

@@ -61,7 +61,7 @@ void OccCc::ExecuteFresh(FragmentRequest& f) {
       part_->Send(f.coordinator, resp);
       return;
     }
-    part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+    part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
     ReplicaShip ship;
     ship.txn_id = f.txn_id;
     ship.outcome_known = true;
@@ -75,6 +75,7 @@ void OccCc::ExecuteFresh(FragmentRequest& f) {
   t->mp = true;
   t->can_abort = f.can_abort;
   t->coord = f.coordinator;
+  t->proc = f.proc;
   t->args = f.args;
   TrackAccess(t.get(), f);
   RunMpFragment(*t, f, kInvalidTxn);
@@ -87,6 +88,7 @@ void OccCc::SpeculateSp(FragmentRequest& f) {
   t->mp = false;
   t->can_abort = f.can_abort;
   t->coord = f.coordinator;
+  t->proc = f.proc;
   t->args = f.args;
   t->frags.push_back(f);
   t->round_inputs.push_back(f.round_input);
@@ -115,6 +117,7 @@ void OccCc::SpeculateMp(FragmentRequest& f) {
   t->mp = true;
   t->can_abort = f.can_abort;
   t->coord = f.coordinator;
+  t->proc = f.proc;
   t->args = f.args;
   const TxnId dep = LastMpId();
   PARTDB_CHECK(dep != kInvalidTxn);
@@ -183,7 +186,7 @@ void OccCc::OnDecision(const DecisionMessage& d) {
   if (d.commit) {
     PARTDB_CHECK(head->finished && !head->aborted_locally);
     head->undo.Clear();
-    part_->LogCommit(head->id, true, head->args, head->round_inputs);
+    part_->LogCommit(head->id, true, head->proc, head->args, head->round_inputs);
     part_->ShipDecision(head->id, true);
     uncommitted_.pop_front();
     ReleaseCommittedSp();
@@ -289,7 +292,7 @@ void OccCc::ReleaseCommittedSp() {
       for (auto& [dst, body] : t->held) part_->Send(dst, std::move(body));
     } else {
       t->undo.Clear();
-      part_->LogCommit(t->id, false, t->args, t->round_inputs);
+      part_->LogCommit(t->id, false, t->proc, t->args, t->round_inputs);
       for (auto& [dst, body] : t->held) {
         part_->SendDurable(dst, std::move(body), ShipFor(*t));
       }

@@ -32,6 +32,7 @@ class OccCc : public CcScheme {
     bool mp = false;
     bool can_abort = false;
     NodeId coord = kInvalidNode;
+    ProcId proc = kInvalidProc;
     PayloadPtr args;
     std::vector<FragmentRequest> frags;
     std::vector<PayloadPtr> round_inputs;

@@ -23,6 +23,7 @@ void SpeculativeCc::RecycleTxn(TxnPtr t) {
   t->mp = false;
   t->can_abort = false;
   t->coord = kInvalidNode;
+  t->proc = kInvalidProc;
   t->args = nullptr;
   t->frags.clear();
   t->round_inputs.clear();
@@ -83,7 +84,7 @@ void SpeculativeCc::ExecuteFresh(FragmentRequest& f) {
       part_->Send(f.coordinator, resp);
       return;
     }
-    part_->LogCommit(f.txn_id, false, f.args, {f.round_input});
+    part_->LogCommit(f.txn_id, false, f.proc, f.args, {f.round_input});
     ReplicaShip ship;
     ship.txn_id = f.txn_id;
     ship.outcome_known = true;
@@ -98,6 +99,7 @@ void SpeculativeCc::ExecuteFresh(FragmentRequest& f) {
   t->mp = true;
   t->can_abort = f.can_abort;
   t->coord = f.coordinator;
+  t->proc = f.proc;
   t->args = f.args;
   RunMpFragment(*t, f, kInvalidTxn);
   uncommitted_.push_back(std::move(t));
@@ -109,6 +111,7 @@ void SpeculativeCc::SpeculateSp(FragmentRequest& f) {
   t->mp = false;
   t->can_abort = f.can_abort;
   t->coord = f.coordinator;
+  t->proc = f.proc;
   t->args = f.args;
   t->speculative = true;
   t->frags.push_back(f);
@@ -142,6 +145,7 @@ void SpeculativeCc::SpeculateMp(FragmentRequest& f) {
   t->mp = true;
   t->can_abort = f.can_abort;
   t->coord = f.coordinator;
+  t->proc = f.proc;
   t->args = f.args;
   t->speculative = true;
   const TxnId dep = LastMpId();
@@ -208,7 +212,7 @@ void SpeculativeCc::OnDecision(const DecisionMessage& d) {
   if (d.commit) {
     PARTDB_CHECK(head->finished && !head->aborted_locally);
     head->undo.Clear();
-    part_->LogCommit(head->id, true, head->args, head->round_inputs);
+    part_->LogCommit(head->id, true, head->proc, head->args, head->round_inputs);
     part_->ShipDecision(head->id, true);
     RecycleTxn(std::move(uncommitted_.front()));
     uncommitted_.pop_front();
@@ -258,7 +262,7 @@ void SpeculativeCc::ReleaseCommittedSp() {
       for (auto& [dst, body] : t->held) part_->Send(dst, std::move(body));
     } else {
       t->undo.Clear();
-      part_->LogCommit(t->id, false, t->args, t->round_inputs);
+      part_->LogCommit(t->id, false, t->proc, t->args, t->round_inputs);
       for (auto& [dst, body] : t->held) {
         part_->SendDurable(dst, std::move(body), ShipFor(*t));
       }

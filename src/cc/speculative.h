@@ -41,6 +41,7 @@ class SpeculativeCc : public CcScheme {
     bool mp = false;
     bool can_abort = false;
     NodeId coord = kInvalidNode;
+    ProcId proc = kInvalidProc;
     PayloadPtr args;
     std::vector<FragmentRequest> frags;  // executed fragments (for requeue)
     std::vector<PayloadPtr> round_inputs;

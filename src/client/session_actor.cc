@@ -1,5 +1,7 @@
 #include "client/session_actor.h"
 
+#include "durability/durability_manager.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -127,6 +129,20 @@ void SessionActor::OnMessage(Message& msg, ActorContext& ctx) {
     OnFragmentResponse(*r, ctx);
     return;
   }
+  if (auto* d = std::get_if<DurableNotice>(&msg.body)) {
+    // The durability manager only sends a notice for a sealed (parked) gate,
+    // so an unknown or unparked txn here is stale — ignore.
+    auto it = txns_.find(d->txn_id);
+    if (it == txns_.end() || !it->second.parked) return;
+    Txn& t = it->second;
+    t.parked = false;
+    t.durable = true;
+    PayloadPtr result = std::move(t.parked_result);
+    const uint32_t attempts = t.parked_attempts;
+    t.parked_result = nullptr;
+    Complete(d->txn_id, true, std::move(result), attempts, ctx);
+    return;
+  }
   PARTDB_CHECK(false);
 }
 
@@ -188,6 +204,7 @@ void SessionActor::SendCurrent(TxnId id, Txn& t, ActorContext& ctx) {
     f.multi_partition = false;
     f.can_abort = t.route.can_abort;
     f.coordinator = node_id();
+    f.proc = t.proc;
     f.args = t.args;
     ctx.Send(topology_.partition_primary[t.route.participants[0]], std::move(f));
     return;
@@ -223,6 +240,7 @@ void SessionActor::SendLockingRound(TxnId id, Txn& t, PayloadPtr round_input,
     f.multi_partition = true;
     f.can_abort = t.route.can_abort;
     f.coordinator = node_id();
+    f.proc = t.proc;
     f.args = t.args;
     f.round_input = round_input;
     ctx.Send(topology_.partition_primary[p], std::move(f));
@@ -309,6 +327,21 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
                             ActorContext& ctx) {
   auto it = txns_.find(id);
   PARTDB_CHECK(it != txns_.end());
+  // Group commit: a committed transaction's completion (callback, metrics,
+  // admission slot — the full latency path) waits for its log records to be
+  // durable on every participant. The DurableNotice handler re-enters here
+  // with durable already set.
+  if (durability_ != nullptr && committed && !it->second.durable) {
+    Txn& t = it->second;
+    const auto need = static_cast<uint32_t>(t.route.participants.size());
+    if (!durability_->SealOrDefer(id, need)) {
+      t.parked = true;
+      t.parked_result = std::move(result);
+      t.parked_attempts = attempts;
+      return;
+    }
+    t.durable = true;
+  }
   auto nh = txns_.extract(it);
   Txn& t = nh.mapped();
 
@@ -364,6 +397,10 @@ void SessionActor::Complete(TxnId id, bool committed, PayloadPtr result, uint32_
   t.round = 0;
   t.got.clear();
   t.resp.clear();
+  t.parked = false;
+  t.durable = false;
+  t.parked_result = nullptr;
+  t.parked_attempts = 0;
   if (txn_stash_.size() < kTxnStashMax) txn_stash_.push_back(std::move(nh));
 
   // The callback runs before outstanding_ drops: a Drain that returns must

@@ -42,6 +42,8 @@
 
 namespace partdb {
 
+class DurabilityManager;
+
 /// Outcome of one transaction, as observed by the submitting session.
 struct TxnResult {
   /// True when the transaction committed; false means a user abort (system
@@ -106,6 +108,11 @@ class SessionActor : public Actor {
   /// connection setup), not concurrently with submissions.
   void set_max_inflight(uint64_t n) { max_inflight_ = n; }
 
+  /// Durability tier hookup (set before traffic starts). Under group commit,
+  /// committed completions park until the manager confirms the transaction's
+  /// log records are fsynced on every participant (DurableNotice).
+  void set_durability(DurabilityManager* d) { durability_ = d; }
+
   /// Queues one invocation and wakes the actor (at most one wake per pending
   /// batch: submissions arriving while a wake is already scheduled coalesce
   /// into it). Thread-safe. Routing comes from the actor's ProcRouter.
@@ -163,6 +170,12 @@ class SessionActor : public Actor {
     int round = 0;
     std::vector<bool> got;
     std::vector<FragmentResponse> resp;
+    // Group-commit gating state: a committed completion whose log records
+    // are not yet durable parks here until its DurableNotice arrives.
+    bool parked = false;
+    bool durable = false;
+    PayloadPtr parked_result;
+    uint32_t parked_attempts = 0;
   };
 
   SubmitResult Enqueue(PendingSubmit p);
@@ -182,6 +195,7 @@ class SessionActor : public Actor {
   CostModel cost_;
   Metrics* metrics_ = nullptr;
   ProcMetricsSink* proc_metrics_ = nullptr;
+  DurabilityManager* durability_ = nullptr;
   Rng rng_;
 
   uint64_t max_inflight_ = 0;  // 0 = unlimited; set before traffic

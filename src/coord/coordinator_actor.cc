@@ -49,6 +49,7 @@ void CoordinatorActor::SendRound(MpTxn* t, PayloadPtr round_input, ActorContext&
     f.multi_partition = true;
     f.can_abort = t->can_abort;
     f.coordinator = node_id();
+    f.proc = t->proc;
     f.args = t->args;
     f.round_input = round_input;
     ctx.Charge(cost_.coord_send);

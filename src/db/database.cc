@@ -1,6 +1,16 @@
 #include "db/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
 #include "common/logging.h"
+#include "durability/log_format.h"
 
 namespace partdb {
 
@@ -16,6 +26,16 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
     registry_.Register(std::move(d));
   }
   options_.procedures.clear();
+
+  if (const char* env = std::getenv("PARTDB_DURABILITY_CRASH_AFTER_N_COMMITS")) {
+    options_.durability_crash_after_n_commits = std::strtoull(env, nullptr, 10);
+  }
+  if (options_.durability != DurabilityMode::kOff) {
+    // Command logging runs real I/O threads; the simulator has no place for
+    // them (and no real clock to batch against).
+    PARTDB_CHECK(options_.mode == RunMode::kParallel);
+    PARTDB_CHECK(!options_.log_dir.empty());
+  }
 
   // Resolve the scheme name up front: an unknown name fails here, before any
   // cluster wiring, with the registered schemes listed.
@@ -39,6 +59,41 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
   cfg.worker_affinity = options_.worker_affinity;
   cluster_ = std::make_unique<Cluster>(cfg, options_.engine_factory, &registry_);
 
+  if (options_.durability != DurabilityMode::kOff) {
+    std::filesystem::create_directories(options_.log_dir);
+    // Recovery runs before any worker thread starts: the engines are only
+    // touched by the replay pool.
+    RecoveryOptions ro;
+    ro.dir = options_.log_dir;
+    ro.num_partitions = options_.num_partitions;
+    ro.workers =
+        options_.recovery_workers > 0 ? options_.recovery_workers : options_.num_partitions;
+    ro.registry = &registry_;
+    recovery_report_ =
+        RecoverDatabase(ro, [this](PartitionId p) -> Engine& { return cluster_->engine(p); });
+    if (!recovery_report_.ok) {
+      std::fprintf(stderr, "partdb: recovery failed: %s\n", recovery_report_.error.c_str());
+      PARTDB_CHECK(false);
+    }
+
+    DurabilityManager::Options mo;
+    mo.mode = options_.durability;
+    mo.dir = options_.log_dir;
+    mo.num_partitions = options_.num_partitions;
+    if (options_.durability == DurabilityMode::kGroupCommit) {
+      mo.group_commit_window = Micros(options_.group_commit_window_us);
+    }
+    mo.crash_after_n_commits = options_.durability_crash_after_n_commits;
+    mo.keep_truncated_segments = options_.keep_truncated_log_segments;
+    for (ProcId id = 0; id < static_cast<ProcId>(registry_.size()); ++id) {
+      mo.procs.push_back(LogProcEntry{id, registry_.Get(id).name});
+    }
+    durability_ = std::make_unique<DurabilityManager>(std::move(mo), recovery_report_.seeds);
+    for (PartitionId p = 0; p < options_.num_partitions; ++p) {
+      cluster_->partition(p).InstallDurabilityLog(durability_->log(p));
+    }
+  }
+
   ProcRouter router = [reg = &registry_](ProcId proc, const Payload& args) {
     return reg->Get(proc).route(args);
   };
@@ -52,11 +107,13 @@ Database::Database(DbOptions options) : options_(std::move(options)) {
     actor->set_metrics(cluster_->BindSession(i, actor.get()));
     actor->set_proc_metrics(&registry_);
     actor->set_max_inflight(options_.max_inflight_per_session);
+    actor->set_durability(durability_.get());
     session_actors_.push_back(std::move(actor));
   }
   for (int i = options_.max_sessions - 1; i >= 0; --i) free_slots_.push_back(i);
 
   if (options_.mode == RunMode::kParallel) cluster_->StartParallel();
+  if (durability_ != nullptr) durability_->Start(&cluster_->exec());
 }
 
 Database::~Database() { Close(); }
@@ -124,9 +181,82 @@ Metrics Database::EndMeasurement() {
   return out;
 }
 
-ParallelRuntime::Stats Database::Stats() const {
+Database::DbStats Database::Stats() const {
+  DbStats out;
   ParallelRuntime* rt = cluster_->parallel_runtime();
-  return rt != nullptr ? rt->GetStats() : ParallelRuntime::Stats{};
+  if (rt != nullptr) out.runtime = rt->GetStats();
+  if (durability_ != nullptr) out.durability = durability_->GetStats();
+  return out;
+}
+
+bool Database::Checkpoint() {
+  PARTDB_CHECK(durability_ != nullptr);  // requires DbOptions::durability
+  PARTDB_CHECK(options_.mode == RunMode::kParallel);
+  if (durability_->crashed()) return false;
+  ParallelRuntime* rt = cluster_->parallel_runtime();
+  bool all_ok = true;
+  for (PartitionId p = 0; p < options_.num_partitions; ++p) {
+    PartitionActor& pa = cluster_->partition(p);
+    Engine& e = cluster_->engine(p);
+    uint64_t covered = 0;
+    std::vector<TxnId> mp;
+    std::string state;
+    bool part_ok = false;
+    // The snapshot must land between transactions. Rendezvous on the owning
+    // worker and bail out when the partition is mid-transaction; retry a few
+    // times before giving up on this checkpoint attempt.
+    for (int attempt = 0; attempt < 50 && !part_ok; ++attempt) {
+      rt->RunOnOwner(cluster_->topology().partition_primary[p], [&] {
+        if (!pa.cc().Idle()) return;
+        PARTDB_CHECK(e.SupportsCheckpoint());
+        state.clear();
+        WireWriter w(&state);
+        e.SerializeState(w);
+        durability_->log(p)->CheckpointRotate(options_.keep_truncated_log_segments, &covered,
+                                              &mp);
+        part_ok = true;
+      });
+      if (!part_ok) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!part_ok) {
+      all_ok = false;
+      continue;
+    }
+    CheckpointImage img;
+    img.partition = p;
+    img.num_partitions = options_.num_partitions;
+    img.covered_seq = covered;
+    img.mp_committed = std::move(mp);
+    img.engine_state = std::move(state);
+    std::string bytes;
+    EncodeCheckpoint(img, &bytes);
+    // covered_seq as the file index keeps checkpoint names monotone; recovery
+    // picks the highest index.
+    const std::string path = PartitionLog::CheckpointPath(options_.log_dir, p, covered);
+    const std::string tmp = path + ".tmp";
+    {
+      const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+      PARTDB_CHECK(fd >= 0);
+      size_t off = 0;
+      while (off < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        PARTDB_CHECK(n > 0);
+        off += static_cast<size_t>(n);
+      }
+      PARTDB_CHECK(::fsync(fd) == 0);
+      PARTDB_CHECK(::close(fd) == 0);
+    }
+    PARTDB_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0);
+    if (!options_.keep_truncated_log_segments) {
+      const std::string prefix = "p" + std::to_string(p) + "-";
+      for (const auto& entry : std::filesystem::directory_iterator(options_.log_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(prefix, 0) != 0 || entry.path().extension() != ".ckpt") continue;
+        if (entry.path().string() != path) std::filesystem::remove(entry.path());
+      }
+    }
+  }
+  return all_ok;
 }
 
 void Database::AdvanceSim(Duration d) {
@@ -154,6 +284,7 @@ void Database::Close() {
       PARTDB_CHECK(a->WaitDrained(std::chrono::seconds(30)));
     }
     cluster_->StopParallel();
+    if (durability_ != nullptr) durability_->Shutdown();
     return;
   }
   // Simulated: run the event queue dry and verify quiescence.

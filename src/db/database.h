@@ -22,6 +22,8 @@
 #include "db/db_handle.h"
 #include "db/procedure_registry.h"
 #include "db/session.h"
+#include "durability/durability_manager.h"
+#include "durability/recovery.h"
 #include "runtime/cluster.h"
 
 namespace partdb {
@@ -68,6 +70,29 @@ struct DbOptions {
   /// Stored procedures to register. The registry is sealed once Open returns
   /// (sessions and the coordinator read it concurrently afterwards).
   std::vector<ProcedureDescriptor> procedures;
+
+  // Durability (command logging, README "Durability"). Parallel mode only.
+  /// kOff: memory only. kAsync: commits are logged+fsynced off the critical
+  /// path but completions do not wait. kGroupCommit: completions are held
+  /// until the commit's batch is durable on every participant's log.
+  DurabilityMode durability = DurabilityMode::kOff;
+  /// Log/checkpoint directory (required when durability != kOff). Open on a
+  /// directory with existing logs recovers: latest checkpoint per partition,
+  /// then parallel log replay through the registered procedures.
+  std::string log_dir;
+  /// Group-commit window: how long the log writer holds a batch open after
+  /// its first record so concurrent commits share one fsync.
+  uint32_t group_commit_window_us = 200;
+  /// Deterministic crash injection (tests): after this many records have
+  /// been admitted across all logs, drop everything later and flip
+  /// durability()->crashed() (0 = disabled). Env var
+  /// PARTDB_DURABILITY_CRASH_AFTER_N_COMMITS overrides when set.
+  uint64_t durability_crash_after_n_commits = 0;
+  /// Replay worker threads used by recovery (0 = one per partition).
+  int recovery_workers = 0;
+  /// Keep log segments behind a checkpoint instead of truncating them
+  /// (tests compare checkpoint+tail replay against full-history replay).
+  bool keep_truncated_log_segments = false;
 };
 
 class Database : public DbHandle {
@@ -109,11 +134,31 @@ class Database : public DbHandle {
   /// histogram per registered procedure). Thread-safe.
   std::vector<ProcMetricsSnapshot> ProcMetrics() const { return registry_.ProcMetrics(); }
 
-  /// Ingress hot-path counters (parallel mode): mailbox push/pop/wake/park
-  /// totals, lock-free CAS retries, mailbox-node cache hit rates, and worker
-  /// pin outcomes under worker_affinity. All zeros in simulated mode (no
-  /// mailboxes there). Thread-safe; monotonic since Open.
-  ParallelRuntime::Stats Stats() const;
+  /// Ingress hot-path counters (parallel mode: mailbox push/pop/wake/park
+  /// totals, lock-free CAS retries, mailbox-node cache hit rates, worker pin
+  /// outcomes — all zeros in simulated mode) plus the durability tier's
+  /// log-writer counters (batches, fsyncs, bytes; zeros when durability is
+  /// off). Thread-safe; monotonic since Open.
+  struct DbStats {
+    ParallelRuntime::Stats runtime;
+    DurabilityStats durability;
+  };
+  DbStats Stats() const;
+
+  /// What Open's recovery pass found (performed == false on a fresh
+  /// directory or when durability is off).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  /// Durability tier handle (crash flag, per-partition logs); null when
+  /// DbOptions::durability is kOff.
+  DurabilityManager* durability() { return durability_.get(); }
+
+  /// Takes a transactionally-consistent checkpoint of every partition and
+  /// truncates the logs behind it (unless keep_truncated_log_segments).
+  /// Each partition snapshots inside a worker rendezvous at an idle point —
+  /// no global pause. Returns false when a partition stayed busy too long or
+  /// the injected crash already fired; the database keeps running either way.
+  bool Checkpoint();
 
   /// Simulated mode: advances the virtual clock by `d` (closed-loop
   /// measurement windows with traffic already in flight).
@@ -142,6 +187,8 @@ class Database : public DbHandle {
   ProcedureRegistry registry_;
   std::unique_ptr<Cluster> cluster_;
   std::vector<std::unique_ptr<SessionActor>> session_actors_;
+  RecoveryReport recovery_report_;
+  std::unique_ptr<DurabilityManager> durability_;  // after cluster_: dies first
 
   Mutex mu_;
   std::vector<int> free_slots_ PARTDB_GUARDED_BY(mu_);

@@ -56,6 +56,11 @@ struct ProcedureDescriptor {
   PayloadDecoder decode_args;
   PayloadDecoder decode_result;
 
+  /// Decoder for coordinator-computed round inputs (multi-round procedures
+  /// only). Command-log recovery replays every round from the logged inputs,
+  /// so a multi-round procedure without this codec cannot be recovered.
+  PayloadDecoder decode_round_input;
+
   /// Pooled-decode hooks (both optional, set together). `make_args` builds a
   /// default-constructed instance of the argument payload type;
   /// `decode_args_into` decodes into such an instance, overwriting every

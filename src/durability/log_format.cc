@@ -1,0 +1,209 @@
+#include "durability/log_format.h"
+
+#include <array>
+
+namespace partdb {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeLogSegmentHeader(const LogSegmentHeader& h, std::string* out) {
+  WireWriter w(out);
+  w.U32(kLogMagic);
+  w.U32(kLogVersion);
+  w.U32(static_cast<uint32_t>(h.partition));
+  w.U32(static_cast<uint32_t>(h.num_partitions));
+  w.U64(h.first_seq);
+  w.U32(static_cast<uint32_t>(h.procs.size()));
+  for (const LogProcEntry& p : h.procs) {
+    w.U32(static_cast<uint32_t>(p.id));
+    w.U16(static_cast<uint16_t>(p.name.size()));
+    w.Raw(p.name.data(), p.name.size());
+  }
+}
+
+void EncodeLogRecordBody(const LogRecord& rec, std::string* out) {
+  WireWriter w(out);
+  w.U64(rec.commit_seq);
+  w.U64(rec.txn_id);
+  w.U8(rec.multi_partition ? 1 : 0);
+  w.U32(static_cast<uint32_t>(rec.proc));
+  w.U32(static_cast<uint32_t>(rec.args.size()));
+  w.Raw(rec.args.data(), rec.args.size());
+  w.U16(static_cast<uint16_t>(rec.round_inputs.size()));
+  for (size_t i = 0; i < rec.round_inputs.size(); ++i) {
+    const bool present = i < rec.round_input_present.size() && rec.round_input_present[i];
+    w.U8(present ? 1 : 0);
+    w.U32(static_cast<uint32_t>(rec.round_inputs[i].size()));
+    w.Raw(rec.round_inputs[i].data(), rec.round_inputs[i].size());
+  }
+}
+
+void EncodeLogRecord(const LogRecord& rec, std::string* out) {
+  std::string body;
+  EncodeLogRecordBody(rec, &body);
+  WireWriter w(out);
+  w.U32(static_cast<uint32_t>(body.size()));
+  w.U32(Crc32(body));
+  w.Raw(body.data(), body.size());
+}
+
+bool DecodeLogRecordBody(std::string_view body, LogRecord* out) {
+  WireReader r(body);
+  out->commit_seq = r.U64();
+  out->txn_id = r.U64();
+  const uint8_t flags = r.U8();
+  if ((flags & ~1u) != 0) r.MarkCorrupt();
+  out->multi_partition = (flags & 1u) != 0;
+  out->proc = static_cast<ProcId>(r.U32());
+  const uint32_t args_len = r.U32();
+  if (args_len > r.remaining()) return false;
+  out->args.resize(args_len);
+  r.Raw(out->args.data(), args_len);
+  const uint16_t n_inputs = r.U16();
+  out->round_inputs.clear();
+  out->round_input_present.clear();
+  for (uint16_t i = 0; i < n_inputs && r.ok(); ++i) {
+    const uint8_t present = r.U8();
+    if (present > 1) r.MarkCorrupt();
+    const uint32_t len = r.U32();
+    if (len > r.remaining()) return false;
+    std::string bytes(len, '\0');
+    r.Raw(bytes.data(), len);
+    if (present == 0 && len != 0) r.MarkCorrupt();
+    out->round_inputs.push_back(std::move(bytes));
+    out->round_input_present.push_back(present != 0);
+  }
+  return r.AtEnd();
+}
+
+const char* LogReadStatusName(LogReadStatus s) {
+  switch (s) {
+    case LogReadStatus::kCleanEof: return "clean_eof";
+    case LogReadStatus::kTornTail: return "torn_tail";
+    case LogReadStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+LogSegmentContents ParseLogSegment(std::string_view data) {
+  LogSegmentContents out;
+  WireReader r(data);
+  if (r.U32() != kLogMagic || r.U32() != kLogVersion) return out;  // kCorrupt
+  out.header.partition = static_cast<PartitionId>(r.U32());
+  out.header.num_partitions = static_cast<int>(r.U32());
+  out.header.first_seq = r.U64();
+  const uint32_t n_procs = r.U32();
+  if (n_procs > 4096) return out;
+  for (uint32_t i = 0; i < n_procs; ++i) {
+    LogProcEntry e;
+    e.id = static_cast<ProcId>(r.U32());
+    const uint16_t len = r.U16();
+    if (len > r.remaining()) return out;
+    e.name.resize(len);
+    r.Raw(e.name.data(), len);
+    out.header.procs.push_back(std::move(e));
+  }
+  if (!r.ok()) return out;
+  size_t consumed = data.size() - r.remaining();
+
+  // Records. A truncated frame or a crc mismatch on the *last* frame is a
+  // torn tail; the same thing followed by more data means the middle of the
+  // file is damaged — that is unrecoverable corruption.
+  while (r.remaining() > 0) {
+    if (r.remaining() < 8) {
+      out.status = LogReadStatus::kTornTail;
+      out.valid_bytes = consumed;
+      return out;
+    }
+    const uint32_t body_len = r.U32();
+    const uint32_t crc = r.U32();
+    if (body_len > kMaxLogRecordBytes) {
+      out.status = LogReadStatus::kCorrupt;
+      out.valid_bytes = consumed;
+      return out;
+    }
+    if (body_len > r.remaining()) {
+      out.status = LogReadStatus::kTornTail;
+      out.valid_bytes = consumed;
+      return out;
+    }
+    std::string body(body_len, '\0');
+    r.Raw(body.data(), body_len);
+    LogRecord rec;
+    if (Crc32(body) != crc || !DecodeLogRecordBody(body, &rec)) {
+      // Damaged frame: torn only if nothing follows it.
+      out.status = r.remaining() == 0 ? LogReadStatus::kTornTail : LogReadStatus::kCorrupt;
+      out.valid_bytes = consumed;
+      return out;
+    }
+    out.records.push_back(std::move(rec));
+    consumed = data.size() - r.remaining();
+  }
+  out.status = LogReadStatus::kCleanEof;
+  out.valid_bytes = consumed;
+  return out;
+}
+
+void EncodeCheckpoint(const CheckpointImage& img, std::string* out) {
+  std::string body;
+  {
+    WireWriter w(&body);
+    w.U32(kLogVersion);
+    w.U32(static_cast<uint32_t>(img.partition));
+    w.U32(static_cast<uint32_t>(img.num_partitions));
+    w.U64(img.covered_seq);
+    w.U32(static_cast<uint32_t>(img.mp_committed.size()));
+    for (TxnId id : img.mp_committed) w.U64(id);
+    w.U64(img.engine_state.size());
+    w.Raw(img.engine_state.data(), img.engine_state.size());
+  }
+  WireWriter w(out);
+  w.U32(kCkptMagic);
+  w.U32(Crc32(body));
+  w.Raw(body.data(), body.size());
+}
+
+bool DecodeCheckpoint(std::string_view data, CheckpointImage* out) {
+  WireReader r(data);
+  if (r.U32() != kCkptMagic) return false;
+  const uint32_t crc = r.U32();
+  if (!r.ok()) return false;
+  const std::string_view body = data.substr(8);
+  if (Crc32(body) != crc) return false;
+  WireReader b(body);
+  if (b.U32() != kLogVersion) return false;
+  out->partition = static_cast<PartitionId>(b.U32());
+  out->num_partitions = static_cast<int>(b.U32());
+  out->covered_seq = b.U64();
+  const uint32_t n_mp = b.U32();
+  if (static_cast<uint64_t>(n_mp) * 8 > b.remaining()) return false;
+  out->mp_committed.clear();
+  for (uint32_t i = 0; i < n_mp; ++i) out->mp_committed.push_back(b.U64());
+  const uint64_t engine_len = b.U64();
+  if (engine_len > kMaxCheckpointBytes || engine_len > b.remaining()) return false;
+  out->engine_state.resize(engine_len);
+  b.Raw(out->engine_state.data(), engine_len);
+  return b.AtEnd();
+}
+
+}  // namespace partdb

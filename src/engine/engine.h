@@ -10,9 +10,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 #include "engine/work_meter.h"
 #include "msg/payload.h"
+#include "msg/wire.h"
 #include "storage/undo_buffer.h"
 
 namespace partdb {
@@ -48,6 +50,16 @@ class Engine {
   /// Order-independent hash of the full partition state; used by tests to
   /// compare a live partition against a serial replay or a backup replica.
   virtual uint64_t StateHash() const = 0;
+
+  // Checkpoint support (durability tier). Engines that opt in serialize
+  // their full mutable partition state into a wire stream and can restore
+  // it into a freshly-constructed instance of themselves.
+  virtual bool SupportsCheckpoint() const { return false; }
+  /// Serializes the partition state. Only called when SupportsCheckpoint().
+  virtual void SerializeState(WireWriter& w) const { (void)w; PARTDB_CHECK(false); }
+  /// Replaces the partition state with a stream produced by SerializeState.
+  /// Returns false on a malformed stream.
+  virtual bool RestoreState(WireReader& r) { (void)r; return false; }
 };
 
 /// Creates the engine for a given partition (cluster wiring + backups).

@@ -1,6 +1,7 @@
 #include "engine/partition_actor.h"
 
 #include "common/logging.h"
+#include "durability/command_log.h"
 
 namespace partdb {
 
@@ -98,10 +99,14 @@ void PartitionActor::SetTimer(Duration d, TimerFire t) {
   ctx_->SetTimer(d, t);
 }
 
-void PartitionActor::LogCommit(TxnId id, bool multi_partition, const PayloadPtr& args,
+void PartitionActor::LogCommit(TxnId id, bool multi_partition, ProcId proc,
+                               const PayloadPtr& args,
                                const std::vector<PayloadPtr>& round_inputs) {
+  if (durability_log_ != nullptr) {
+    durability_log_->Append(id, multi_partition, proc, args, round_inputs);
+  }
   if (!log_commits_) return;
-  commit_log_.push_back(CommitRecord{id, multi_partition, args, round_inputs});
+  commit_log_.push_back(CommitRecord{id, multi_partition, proc, args, round_inputs});
 }
 
 }  // namespace partdb

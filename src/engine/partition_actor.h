@@ -22,9 +22,12 @@ namespace partdb {
 struct CommitRecord {
   TxnId txn_id = kInvalidTxn;
   bool multi_partition = false;
+  ProcId proc = kInvalidProc;
   PayloadPtr args;
   std::vector<PayloadPtr> round_inputs;  // entry r = input for round r (null for 0)
 };
+
+class PartitionLog;
 
 class PartitionActor : public Actor, public PartitionExec {
  public:
@@ -41,6 +44,9 @@ class PartitionActor : public Actor, public PartitionExec {
   void InstallScheme(std::unique_ptr<CcScheme> scheme) { scheme_ = std::move(scheme); }
   void SetBackups(std::vector<NodeId> backups) { backups_ = std::move(backups); }
   void EnableCommitLog() { log_commits_ = true; }
+  /// Routes every committed transaction into the durable command log
+  /// (durability tier; `log` must outlive the actor).
+  void InstallDurabilityLog(PartitionLog* log) { durability_log_ = log; }
 
   CcScheme& cc() { return *scheme_; }
   const std::vector<CommitRecord>& commit_log() const { return commit_log_; }
@@ -61,8 +67,9 @@ class PartitionActor : public Actor, public PartitionExec {
   PartitionId partition_id() const override { return pid_; }
   Duration lock_timeout() const override { return lock_timeout_; }
 
-  /// Appends to the commit log (no cost; diagnostic machinery).
-  void LogCommit(TxnId id, bool multi_partition, const PayloadPtr& args,
+  /// Appends to the durable command log (when installed) and the test-only
+  /// commit log (when enabled; no cost — diagnostic machinery).
+  void LogCommit(TxnId id, bool multi_partition, ProcId proc, const PayloadPtr& args,
                  const std::vector<PayloadPtr>& round_inputs) override;
 
  protected:
@@ -86,6 +93,7 @@ class PartitionActor : public Actor, public PartitionExec {
   std::unordered_map<uint64_t, PendingDurable> pending_durable_;
   bool log_commits_ = false;
   std::vector<CommitRecord> commit_log_;
+  PartitionLog* durability_log_ = nullptr;
   ActorContext* ctx_ = nullptr;  // valid during OnMessage
 };
 

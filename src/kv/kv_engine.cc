@@ -237,4 +237,29 @@ void KvEngine::LockSet(const Payload& payload, int round,
   }
 }
 
+void KvEngine::SerializeState(WireWriter& w) const {
+  w.U64(store_.size());
+  store_.ForEach([&w](const KvKey& k, const KvValue& v) {
+    w.Str(k);
+    w.Str(v);
+  });
+}
+
+bool KvEngine::RestoreState(WireReader& r) {
+  const uint64_t n = r.U64();
+  // Each entry is at least 2 bytes on the wire (two length prefixes).
+  if (!r.ok() || n > r.remaining() / 2) {
+    r.MarkCorrupt();
+    return false;
+  }
+  store_.Clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    const KvKey k = r.Str<8>();
+    const KvValue v = r.Str<8>();
+    if (!r.ok()) return false;
+    store_.Put(k, v);
+  }
+  return r.ok();
+}
+
 }  // namespace partdb

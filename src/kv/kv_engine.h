@@ -74,6 +74,10 @@ class KvEngine : public Engine {
   void LockSet(const Payload& args, int round, std::vector<LockRequest>* out) const override;
   uint64_t StateHash() const override { return store_.StateHash(); }
 
+  bool SupportsCheckpoint() const override { return true; }
+  void SerializeState(WireWriter& w) const override;
+  bool RestoreState(WireReader& r) override;
+
   /// Lock id for a key (stable across partitions; keys are partitioned so
   /// collisions across partitions do not matter).
   static uint64_t LockId(const KvKey& key) { return key.Hash(); }

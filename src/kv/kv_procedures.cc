@@ -33,6 +33,7 @@ ProcedureDescriptor KvReadUpdateProcedure(const KvWorkloadOptions& config) {
   };
   d.decode_args = DecodeKvArgs;
   d.decode_result = DecodeKvResult;
+  d.decode_round_input = DecodeKvRoundInput;
   d.make_args = [] { return std::unique_ptr<Payload>(std::make_unique<KvArgs>()); };
   d.decode_args_into = [](WireReader& r, Payload* into) {
     return DecodeKvArgsInto(r, static_cast<KvArgs*>(into));

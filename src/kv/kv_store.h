@@ -5,6 +5,7 @@
 #define PARTDB_KV_KV_STORE_H_
 
 #include <cstring>
+#include <utility>
 
 #include "common/inline_string.h"
 #include "common/rng.h"
@@ -65,6 +66,15 @@ class KvStore {
   }
 
   size_t size() const { return table_.size(); }
+
+  /// Invokes fn(key, value) for every entry (checkpoint serialization).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    table_.ForEach(std::forward<Fn>(fn));
+  }
+
+  /// Drops every entry (checkpoint restore).
+  void Clear() { table_.Clear(); }
 
   /// Order-independent hash of the full contents.
   uint64_t StateHash() const {

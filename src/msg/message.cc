@@ -42,6 +42,7 @@ const char* MessageTypeName(const MessageBody& body) {
     const char* operator()(const ReplicaDecision&) { return "ReplicaDecision"; }
     const char* operator()(const ReplicaAck&) { return "ReplicaAck"; }
     const char* operator()(const TimerFire&) { return "TimerFire"; }
+    const char* operator()(const DurableNotice&) { return "DurableNotice"; }
   };
   return std::visit(Namer{}, body);
 }

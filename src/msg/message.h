@@ -34,6 +34,7 @@ struct FragmentRequest {
   bool multi_partition = false;
   bool can_abort = false;
   NodeId coordinator = kInvalidNode;  // who gets the response (coord or client)
+  ProcId proc = kInvalidProc;         // registry id, stamped into the command log
   PayloadPtr args;                    // full stored-procedure arguments
   PayloadPtr round_input;             // coordinator-computed input for this round
 };
@@ -103,9 +104,16 @@ struct TimerFire {
   uint64_t generation = 0;
 };
 
+/// Durability tier -> session: the transaction's command-log records are
+/// fsynced on every participant; a parked completion may fire (group commit).
+struct DurableNotice {
+  TxnId txn_id = kInvalidTxn;
+};
+
 using MessageBody =
     std::variant<ClientRequest, FragmentRequest, FragmentResponse, DecisionMessage,
-                 ClientResponse, ReplicaShip, ReplicaDecision, ReplicaAck, TimerFire>;
+                 ClientResponse, ReplicaShip, ReplicaDecision, ReplicaAck, TimerFire,
+                 DurableNotice>;
 
 struct Message {
   NodeId src = kInvalidNode;

@@ -32,6 +32,13 @@ class AvlTree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Removes every entry (checkpoint restore rebuilds from scratch).
+  void Clear() {
+    FreeRec(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
   V* Find(const K& key, WorkMeter* m = nullptr) {
     Node* n = root_;
     while (n != nullptr) {

@@ -47,6 +47,13 @@ class BPlusTree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Removes every entry (checkpoint restore rebuilds from scratch).
+  void Clear() {
+    FreeRec(root_);
+    root_ = new LeafNode();
+    size_ = 0;
+  }
+
   /// Forward iterator over (key, value) pairs in key order.
   class Iterator {
    public:

@@ -141,6 +141,16 @@ class HashTable {
     return true;
   }
 
+  /// Removes every entry, keeping the slot array's capacity (checkpoint
+  /// restore repopulates a table of roughly the same size).
+  void Clear() {
+    for (auto& s : slots_) {
+      s.state = State::kEmpty;
+      s.kv = {};
+    }
+    size_ = 0;
+  }
+
   /// Invokes fn(key, value&) for every entry, in unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) {

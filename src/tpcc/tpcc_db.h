@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "msg/wire.h"
 #include "storage/avl_tree.h"
 #include "storage/btree.h"
 #include "storage/hash_table.h"
@@ -71,6 +72,13 @@ class TpccDb {
 
   /// Order-independent hash over all partitioned (mutable) state.
   uint64_t StateHash() const;
+
+  /// Checkpoint serialization of all partitioned (mutable) tables. The
+  /// replicated read-only tables (items, stock_info) are not written: the
+  /// engine factory reloads them deterministically, and RestoreFrom leaves
+  /// them untouched. customers_by_name is rebuilt from the customer rows.
+  void SerializeTo(WireWriter& w) const;
+  bool RestoreFrom(WireReader& r);
 
  private:
   TpccScale scale_;

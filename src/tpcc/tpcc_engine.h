@@ -124,6 +124,10 @@ class TpccEngine : public Engine {
   void LockSet(const Payload& args, int round, std::vector<LockRequest>* out) const override;
   uint64_t StateHash() const override { return db_.StateHash(); }
 
+  bool SupportsCheckpoint() const override { return true; }
+  void SerializeState(WireWriter& w) const override { db_.SerializeTo(w); }
+  bool RestoreState(WireReader& r) override { return db_.RestoreFrom(r); }
+
  private:
   TpccDb db_;
 };

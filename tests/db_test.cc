@@ -418,7 +418,7 @@ TEST(ParallelSession, TeardownRacesCompletionCallbacks) {
   // completion precedes trailing backup/coordinator bookkeeping messages, so
   // wait for the runtime itself to drain before counting.
   ASSERT_TRUE(db->cluster().parallel_runtime()->WaitQuiescent(std::chrono::seconds(30)));
-  const ParallelRuntime::Stats rs = db->Stats();
+  const ParallelRuntime::Stats rs = db->Stats().runtime;
   EXPECT_EQ(rs.mailbox_pushed, rs.mailbox_popped);
   EXPECT_GT(rs.mailbox_parks, 0u);
   EXPECT_LE(rs.mailbox_wakes, rs.mailbox_parks);

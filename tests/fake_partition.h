@@ -69,9 +69,9 @@ class FakePartition : public PartitionExec {
     decisions_shipped.emplace_back(txn, commit);
   }
   void SetTimer(Duration d, TimerFire t) override { timers.emplace_back(d, t); }
-  void LogCommit(TxnId id, bool multi_partition, const PayloadPtr& args,
+  void LogCommit(TxnId id, bool multi_partition, ProcId proc, const PayloadPtr& args,
                  const std::vector<PayloadPtr>& round_inputs) override {
-    log.push_back(CommitRecord{id, multi_partition, args, round_inputs});
+    log.push_back(CommitRecord{id, multi_partition, proc, args, round_inputs});
   }
   Engine& engine() override { return *engine_; }
   const CostModel& cost() const override { return cost_; }

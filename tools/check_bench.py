@@ -23,6 +23,7 @@ file, scheme, and metric responsible.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -66,6 +67,20 @@ def load_schemes(path):
 def run_gate(baseline, fresh, max_regression, warn_only, out=sys.stdout,
              err=sys.stderr):
     """The whole gate as a function of two paths; returns the exit status."""
+    if not os.path.exists(baseline):
+        # A brand-new bench has fresh results but no committed baseline yet:
+        # that is the expected state of the PR that introduces it, not a
+        # failure. Still validate the fresh file so a malformed new bench is
+        # caught, then warn so the baseline gets committed.
+        try:
+            load_schemes(fresh)
+        except MalformedInput as e:
+            print(f"check_bench: {e}", file=err)
+            return 2
+        print(f"check_bench: warning: no committed baseline {baseline} for "
+              f"fresh results {fresh}; commit one to start gating this bench",
+              file=err)
+        return 0
     try:
         base_doc, base = load_schemes(baseline)
         fresh_doc, fresh_schemes = load_schemes(fresh)
@@ -185,7 +200,21 @@ def self_test():
             print(f"self-test FAIL [unreadable file]: exit {rc}, want 2")
             failures += 1
 
-    total = len(cases) + 1
+        # A missing baseline with valid fresh results is the new-bench case:
+        # warn (naming the baseline path) and pass.
+        fp = os.path.join(tmp, "fresh.json")
+        with open(fp, "w", encoding="utf-8") as f:
+            json.dump(doc(a=100), f)
+        out, err = io.StringIO(), io.StringIO()
+        rc = run_gate(os.path.join(tmp, "no_baseline.json"), fp, 0.30, False,
+                      out=out, err=err)
+        if rc != 0 or "no committed baseline" not in err.getvalue() \
+                or "no_baseline.json" not in err.getvalue():
+            print(f"self-test FAIL [missing baseline warns]: exit {rc}, want 0 "
+                  f"with a warning naming the baseline:\n{err.getvalue()}")
+            failures += 1
+
+    total = len(cases) + 2
     if failures:
         print(f"check_bench --self-test: {failures}/{total} cases failed")
         return 1

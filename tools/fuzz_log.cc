@@ -1,0 +1,170 @@
+// Fuzz harness for the durability tier's on-disk formats: the command-log
+// segment parser (header + crc-framed records), the record-body decoder, and
+// the checkpoint decoder — the exact code Database::Open runs on whatever
+// bytes survived the crash. The contract under attack is asymmetric: a torn
+// final record must be *tolerated* (LogReadStatus::kTornTail) while anything
+// malformed earlier must be *rejected* (kCorrupt / decode failure) — and
+// nothing in either case may crash, trip a sanitizer, or fail a PARTDB_CHECK.
+// Anything that does is a recovery-time kill on real data and belongs in
+// tests/durability_test.cc as a regression.
+//
+// Two entry points from the same logic:
+//   - libFuzzer (clang, -DPARTDB_FUZZ=ON): `fuzz_log corpus/ -max_total_time=30`
+//     is the CI smoke; longer local runs welcome.
+//   - standalone main (any compiler): `fuzz_log write_seeds <dir>` emits the
+//     seed corpus; `fuzz_log <file>...` replays corpus files or crashers
+//     under the regular gcc/clang sanitizers.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durability/log_format.h"
+#include "kv/kv_engine.h"
+
+namespace partdb {
+namespace {
+
+void FuzzOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // 1. Whole-segment parse — what recovery runs on every p<p>-<i>.log image.
+  //    All three statuses are legal outcomes; only crashes count.
+  const LogSegmentContents seg = ParseLogSegment(input);
+  (void)seg;
+
+  // 2. Strict checkpoint decode — what recovery runs on every .ckpt image.
+  CheckpointImage img;
+  DecodeCheckpoint(input, &img);
+
+  // 3. Direct record-body dispatch (skipping one selector byte), so the body
+  //    decoder also sees inputs the length/crc framing would have rejected
+  //    before it ever ran.
+  if (!input.empty()) {
+    LogRecord rec;
+    DecodeLogRecordBody(input.substr(1), &rec);
+  }
+}
+
+#if !defined(PARTDB_FUZZ_LIBFUZZER)
+
+/// Seed corpus: well-formed images of every decodable shape — a clean
+/// segment, a torn one, a checkpoint, and a bare record body — so the fuzzer
+/// starts from valid layouts instead of rediscovering the magic and crc.
+std::vector<std::string> SeedInputs() {
+  std::vector<std::string> seeds;
+
+  LogSegmentHeader h;
+  h.partition = 0;
+  h.num_partitions = 2;
+  h.first_seq = 1;
+  h.procs.push_back(LogProcEntry{0, "kv_read_update"});
+  h.procs.push_back(LogProcEntry{1, "new_order"});
+
+  KvArgs args;
+  args.keys = {{KvKey("k0000001"), KvKey("k0000002")}, {KvKey("k0000003")}};
+  args.rounds = 2;
+
+  LogRecord sp;
+  sp.commit_seq = 1;
+  sp.txn_id = 1001;
+  sp.proc = 0;
+  {
+    WireWriter w(&sp.args);
+    args.SerializeTo(w);
+  }
+
+  LogRecord mp = sp;
+  mp.commit_seq = 2;
+  mp.txn_id = 1002;
+  mp.multi_partition = true;
+  mp.round_inputs = {"", "round-1-input"};
+  mp.round_input_present = {false, true};
+
+  std::string segment;
+  EncodeLogSegmentHeader(h, &segment);
+  EncodeLogRecord(sp, &segment);
+  EncodeLogRecord(mp, &segment);
+  seeds.push_back(segment);
+
+  std::string third;
+  EncodeLogRecord(sp, &third);
+  seeds.push_back(segment + third.substr(0, 7));  // crash mid-append: torn tail
+
+  CheckpointImage img;
+  img.partition = 0;
+  img.num_partitions = 2;
+  img.covered_seq = 2;
+  img.mp_committed = {1002};
+  img.engine_state = std::string(64, '\x2a');
+  std::string ckpt;
+  EncodeCheckpoint(img, &ckpt);
+  seeds.push_back(ckpt);
+
+  std::string body(1, '\0');  // selector byte, then the bare body
+  EncodeLogRecordBody(mp, &body);
+  seeds.push_back(body);
+
+  return seeds;
+}
+
+int WriteSeeds(const char* dir) {
+  const std::vector<std::string> seeds = SeedInputs();
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const std::string path = std::string(dir) + "/seed_" + std::to_string(i);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out.write(seeds[i].data(), static_cast<std::streamsize>(seeds[i].size()));
+  }
+  std::printf("wrote %zu seeds to %s\n", seeds.size(), dir);
+  return 0;
+}
+
+#endif  // !PARTDB_FUZZ_LIBFUZZER
+
+}  // namespace
+}  // namespace partdb
+
+#if defined(PARTDB_FUZZ_LIBFUZZER)
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  partdb::FuzzOneInput(data, size);
+  return 0;
+}
+
+#else
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "write_seeds") == 0) {
+    return partdb::WriteSeeds(argv[2]);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s write_seeds <dir> | %s <corpus-file>...\n"
+                 "(build with -DPARTDB_FUZZ=ON under clang for the libFuzzer "
+                 "driver)\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    partdb::FuzzOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+    std::printf("%s: ok (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+
+#endif  // PARTDB_FUZZ_LIBFUZZER
