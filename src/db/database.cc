@@ -199,6 +199,7 @@ bool Database::Checkpoint() {
     PartitionActor& pa = cluster_->partition(p);
     Engine& e = cluster_->engine(p);
     uint64_t covered = 0;
+    uint64_t last_covered_segment = 0;
     std::vector<TxnId> mp;
     std::string state;
     bool part_ok = false;
@@ -212,8 +213,7 @@ bool Database::Checkpoint() {
         state.clear();
         WireWriter w(&state);
         e.SerializeState(w);
-        durability_->log(p)->CheckpointRotate(options_.keep_truncated_log_segments, &covered,
-                                              &mp);
+        durability_->log(p)->CheckpointRotate(&covered, &mp, &last_covered_segment);
         part_ok = true;
       });
       if (!part_ok) std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -247,13 +247,29 @@ bool Database::Checkpoint() {
       PARTDB_CHECK(::close(fd) == 0);
     }
     PARTDB_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0);
+    PartitionLog::SyncDir(options_.log_dir);
+    // Only now — with the new image durable, directory entry included — may
+    // the covered segments and the older images go. Deleting before the
+    // rename landed would strand a crash with neither the log nor the
+    // checkpoint holding the acknowledged commits.
     if (!options_.keep_truncated_log_segments) {
+      for (uint64_t i = 0; i <= last_covered_segment; ++i) {
+        ::unlink(PartitionLog::SegmentPath(options_.log_dir, p, i).c_str());
+      }
       const std::string prefix = "p" + std::to_string(p) + "-";
       for (const auto& entry : std::filesystem::directory_iterator(options_.log_dir)) {
         const std::string name = entry.path().filename().string();
         if (name.rfind(prefix, 0) != 0 || entry.path().extension() != ".ckpt") continue;
         if (entry.path().string() != path) std::filesystem::remove(entry.path());
       }
+    }
+  }
+  if (all_ok) {
+    // Every partition rotated and has its new image durable: multi-partition
+    // evidence captured two rotates ago is now checkpoint-covered at every
+    // participant and can stop occupying memory and future checkpoints.
+    for (PartitionId p = 0; p < options_.num_partitions; ++p) {
+      durability_->log(p)->DropCoveredMpHistory();
     }
   }
   return all_ok;

@@ -41,7 +41,10 @@ PartitionLog::PartitionLog(DurabilityManager* manager, Config config)
   next_seq_ = config_.next_seq;
   durable_seq_ = config_.next_seq - 1;  // nothing pending from this incarnation
   segment_index_ = config_.next_segment;
-  mp_history_ = config_.mp_history;
+  // Seeded ids were appended before recovery, so every participant's first
+  // post-recovery rotate captures them: the first fully-successful checkpoint
+  // round already covers them everywhere and may prune them.
+  mp_old_ = config_.mp_history;
 }
 
 PartitionLog::~PartitionLog() { Shutdown(); }
@@ -54,6 +57,13 @@ std::string PartitionLog::SegmentPath(const std::string& dir, PartitionId p,
 std::string PartitionLog::CheckpointPath(const std::string& dir, PartitionId p,
                                          uint64_t index) {
   return dir + "/p" + std::to_string(p) + "-" + std::to_string(index) + ".ckpt";
+}
+
+void PartitionLog::SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  PARTDB_CHECK(fd >= 0);
+  PARTDB_CHECK(::fsync(fd) == 0);
+  PARTDB_CHECK(::close(fd) == 0);
 }
 
 void PartitionLog::OpenSegment() {
@@ -69,6 +79,10 @@ void PartitionLog::OpenSegment() {
   PARTDB_CHECK(fd_ >= 0);
   WriteAll(fd_, bytes.data(), bytes.size());
   PARTDB_CHECK(::fsync(fd_) == 0);
+  // The new directory entry must be durable before any record in this
+  // segment is acknowledged: without the directory sync a power loss could
+  // drop the whole file, acked group-commit batches included.
+  SyncDir(config_.dir);
 }
 
 void PartitionLog::Start() {
@@ -104,7 +118,7 @@ uint64_t PartitionLog::Append(TxnId txn, bool multi_partition, ProcId proc,
   // partition worker appends, so enqueue order is sequence order.
   MutexLock lock(mu_);
   rec.commit_seq = next_seq_++;
-  if (multi_partition) mp_history_.push_back(txn);
+  if (multi_partition) mp_epoch_.push_back(txn);
   const size_t before = pending_bytes_.size();
   EncodeLogRecord(rec, &pending_bytes_);
   pending_recs_.push_back(PendingRec{txn, rec.commit_seq,
@@ -193,26 +207,29 @@ void PartitionLog::Flush() {
   while (durable_seq_ < target) flush_cv_.Wait(mu_);
 }
 
-void PartitionLog::CheckpointRotate(bool keep_segments, uint64_t* covered_seq,
-                                    std::vector<TxnId>* mp_history) {
-  uint64_t old_last;
-  {
-    MutexLock lock(mu_);
-    // The owning partition is quiescent (we run inside its RunOn rendezvous),
-    // so no new appends can arrive: draining the writer settles everything.
-    while (!pending_recs_.empty() || io_in_progress_) flush_cv_.Wait(mu_);
-    *covered_seq = next_seq_ - 1;
-    *mp_history = mp_history_;
-    old_last = segment_index_;
-    PARTDB_CHECK(::close(fd_) == 0);
-    ++segment_index_;
-    OpenSegment();
-  }
-  if (!keep_segments) {
-    for (uint64_t i = 0; i <= old_last; ++i) {
-      ::unlink(SegmentPath(config_.dir, config_.partition, i).c_str());
-    }
-  }
+void PartitionLog::CheckpointRotate(uint64_t* covered_seq, std::vector<TxnId>* mp_history,
+                                    uint64_t* last_covered_segment) {
+  MutexLock lock(mu_);
+  // The owning partition is quiescent (we run inside its RunOn rendezvous),
+  // so no new appends can arrive: draining the writer settles everything.
+  while (!pending_recs_.empty() || io_in_progress_) flush_cv_.Wait(mu_);
+  *covered_seq = next_seq_ - 1;
+  mp_history->clear();
+  mp_history->insert(mp_history->end(), mp_old_.begin(), mp_old_.end());
+  mp_history->insert(mp_history->end(), mp_young_.begin(), mp_young_.end());
+  mp_history->insert(mp_history->end(), mp_epoch_.begin(), mp_epoch_.end());
+  mp_old_.insert(mp_old_.end(), mp_young_.begin(), mp_young_.end());
+  mp_young_ = std::move(mp_epoch_);
+  mp_epoch_.clear();
+  *last_covered_segment = segment_index_;
+  PARTDB_CHECK(::close(fd_) == 0);
+  ++segment_index_;
+  OpenSegment();
+}
+
+void PartitionLog::DropCoveredMpHistory() {
+  MutexLock lock(mu_);
+  mp_old_.clear();
 }
 
 void PartitionLog::Shutdown() {

@@ -45,8 +45,9 @@ class PartitionLog {
     /// and appends to a fresh one, so torn tails never need repair in place).
     uint64_t next_segment = 0;
     /// Multi-partition txn ids already durable at this partition (seeded from
-    /// the recovered checkpoint + log; checkpoints persist the cumulative
-    /// list for the recovery completeness rule).
+    /// the recovered checkpoint + log; checkpoints persist the list for the
+    /// recovery completeness rule until every participant's checkpoint covers
+    /// the ids — see DropCoveredMpHistory).
     std::vector<TxnId> mp_history;
   };
 
@@ -70,11 +71,24 @@ class PartitionLog {
 
   /// Checkpoint support, called with the owning partition quiescent (inside
   /// the RunOn rendezvous, so no append can race): flushes, rotates to a
-  /// fresh segment, deletes fully-covered segments unless `keep_segments`,
-  /// and reports the sequence the checkpoint covers plus the cumulative
-  /// multi-partition history to persist in it.
-  void CheckpointRotate(bool keep_segments, uint64_t* covered_seq,
-                        std::vector<TxnId>* mp_history);
+  /// fresh segment, and reports the sequence the checkpoint covers, the
+  /// multi-partition history to persist in it, and the last segment index the
+  /// checkpoint fully covers. Covered segments are NOT deleted here — the
+  /// caller must first make the checkpoint image durable (write + fsync +
+  /// rename + directory fsync), then unlink them; deleting first would lose
+  /// acknowledged commits if the process died before the image landed.
+  void CheckpointRotate(uint64_t* covered_seq, std::vector<TxnId>* mp_history,
+                        uint64_t* last_covered_segment);
+
+  /// Drops multi-partition history that every participant's checkpoint now
+  /// covers. Call only after a checkpoint round in which EVERY partition
+  /// rotated and got its image durable: ids captured by this log's
+  /// second-most-recent rotate are then covered by every participant's
+  /// latest checkpoint (an MP txn is appended at each participant before
+  /// that participant's scheme reports Idle() again, so a full round of
+  /// idle rendezvous rotates bounds the append skew to one round), and the
+  /// evidence can never be needed by recovery again.
+  void DropCoveredMpHistory();
 
   /// Final flush + writer join. Idempotent; the destructor calls it.
   void Shutdown();
@@ -86,6 +100,11 @@ class PartitionLog {
   /// with the same naming).
   static std::string SegmentPath(const std::string& dir, PartitionId p, uint64_t index);
   static std::string CheckpointPath(const std::string& dir, PartitionId p, uint64_t index);
+
+  /// fsyncs the directory itself: fsync(file_fd) persists the bytes but not
+  /// the directory entry, so a freshly created segment or a renamed
+  /// checkpoint is not durable until its directory is synced too.
+  static void SyncDir(const std::string& dir);
 
  private:
   void WriterLoop();
@@ -114,7 +133,17 @@ class PartitionLog {
   bool io_in_progress_ PARTDB_GUARDED_BY(mu_) = false;
   bool stop_ PARTDB_GUARDED_BY(mu_) = false;
   bool crashed_ PARTDB_GUARDED_BY(mu_) = false;  // crash injection tripped: drop writes
-  std::vector<TxnId> mp_history_ PARTDB_GUARDED_BY(mu_);
+  /// Multi-partition ids by age, so the history stays bounded instead of
+  /// growing for the lifetime of the log: epoch = appended since the last
+  /// rotate; young = captured by the most recent rotate (a participant may
+  /// have appended the same txn just after its own rotate in that round, so
+  /// its evidence may not be checkpoint-covered everywhere yet); old =
+  /// captured at least two rotates ago, freed by DropCoveredMpHistory once a
+  /// fully-successful checkpoint round proves every participant covers them.
+  /// Every rotate persists old + young + epoch into the checkpoint image.
+  std::vector<TxnId> mp_epoch_ PARTDB_GUARDED_BY(mu_);
+  std::vector<TxnId> mp_young_ PARTDB_GUARDED_BY(mu_);
+  std::vector<TxnId> mp_old_ PARTDB_GUARDED_BY(mu_);
   PartitionLogStats stats_ PARTDB_GUARDED_BY(mu_);
 
   std::thread writer_;

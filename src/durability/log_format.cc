@@ -100,6 +100,7 @@ const char* LogReadStatusName(LogReadStatus s) {
   switch (s) {
     case LogReadStatus::kCleanEof: return "clean_eof";
     case LogReadStatus::kTornTail: return "torn_tail";
+    case LogReadStatus::kTornHeader: return "torn_header";
     case LogReadStatus::kCorrupt: return "corrupt";
   }
   return "?";
@@ -108,22 +109,38 @@ const char* LogReadStatusName(LogReadStatus s) {
 LogSegmentContents ParseLogSegment(std::string_view data) {
   LogSegmentContents out;
   WireReader r(data);
-  if (r.U32() != kLogMagic || r.U32() != kLogVersion) return out;  // kCorrupt
+  // Header. Only over-reads flip r.ok() here, so !ok() means the file ended
+  // mid-header — the prefix a crash between open(O_CREAT) and the header
+  // fsync leaves behind (kTornHeader). Wrong *content* with enough bytes
+  // present stays kCorrupt.
+  const uint32_t magic = r.U32();
+  const uint32_t version = r.U32();
+  if (!r.ok()) {
+    out.status = LogReadStatus::kTornHeader;
+    return out;
+  }
+  if (magic != kLogMagic || version != kLogVersion) return out;  // kCorrupt
   out.header.partition = static_cast<PartitionId>(r.U32());
   out.header.num_partitions = static_cast<int>(r.U32());
   out.header.first_seq = r.U64();
   const uint32_t n_procs = r.U32();
+  if (!r.ok()) {
+    out.status = LogReadStatus::kTornHeader;
+    return out;
+  }
   if (n_procs > 4096) return out;
   for (uint32_t i = 0; i < n_procs; ++i) {
     LogProcEntry e;
     e.id = static_cast<ProcId>(r.U32());
     const uint16_t len = r.U16();
-    if (len > r.remaining()) return out;
+    if (!r.ok() || len > r.remaining()) {
+      out.status = LogReadStatus::kTornHeader;
+      return out;
+    }
     e.name.resize(len);
     r.Raw(e.name.data(), len);
     out.header.procs.push_back(std::move(e));
   }
-  if (!r.ok()) return out;
   size_t consumed = data.size() - r.remaining();
 
   // Records. A truncated frame or a crc mismatch on the *last* frame is a

@@ -94,9 +94,11 @@ bool DecodeLogRecordBody(std::string_view body, LogRecord* out);
 
 /// Why a segment read stopped.
 enum class LogReadStatus {
-  kCleanEof,   // ran exactly to the end of the file
-  kTornTail,   // final record truncated or crc-mismatched: a crashed append
-  kCorrupt,    // malformed header or a bad record with more data after it
+  kCleanEof,    // ran exactly to the end of the file
+  kTornTail,    // final record truncated or crc-mismatched: a crashed append
+  kTornHeader,  // file ends inside the header: a crash between segment
+                // creation and the header fsync — no record was ever written
+  kCorrupt,     // malformed header or a bad record with more data after it
 };
 
 const char* LogReadStatusName(LogReadStatus s);
@@ -110,7 +112,10 @@ struct LogSegmentContents {
 };
 
 /// Parses an entire segment image (header + records). Stops at the first
-/// torn record; anything malformed *before* the end is kCorrupt.
+/// torn record; anything malformed *before* the end is kCorrupt. A file that
+/// runs out of bytes mid-header is kTornHeader — recovery tolerates that on
+/// the highest-index segment only (the shape a crashed OpenSegment leaves),
+/// and rejects it anywhere earlier.
 LogSegmentContents ParseLogSegment(std::string_view data);
 
 struct CheckpointImage {
@@ -119,9 +124,12 @@ struct CheckpointImage {
   /// Every commit_seq <= covered_seq at this partition is reflected in
   /// `engine_state`; recovery replays only records past it.
   uint64_t covered_seq = 0;
-  /// Cumulative multi-partition txn ids committed at this partition up to
-  /// covered_seq — the recovery-side completeness rule needs them after the
-  /// log behind the checkpoint is truncated.
+  /// Multi-partition txn ids committed at this partition up to covered_seq —
+  /// the recovery-side completeness rule needs them after the log behind the
+  /// checkpoint is truncated. Not lifetime-cumulative: ids every
+  /// participant's checkpoint already covers are pruned
+  /// (PartitionLog::DropCoveredMpHistory), so the list holds only the last
+  /// few checkpoint intervals' worth.
   std::vector<TxnId> mp_committed;
   std::string engine_state;
 };

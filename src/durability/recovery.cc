@@ -126,12 +126,27 @@ std::string StagePartition(const RecoveryOptions& options, PartitionId p,
   const uint64_t covered = out->has_ckpt ? out->ckpt.covered_seq : 0;
   uint64_t prev_seq = 0;
   bool have_prev = false;
+  bool reuse_tail_index = false;
   for (auto& [index, path] : segments) {
     std::string bytes;
     if (!ReadFile(path, &bytes)) return PartitionError(p, "cannot read " + path);
     LogSegmentContents seg = ParseLogSegment(bytes);
     if (seg.status == LogReadStatus::kCorrupt) {
       return PartitionError(p, "corrupt log segment " + path);
+    }
+    if (seg.status == LogReadStatus::kTornHeader) {
+      // A crash between segment creation and the header fsync leaves a short
+      // prefix of a header holding no records. On the highest-index segment
+      // that is legitimate crash timing, like a torn tail: ignore the file
+      // and have the next incarnation reopen (O_TRUNC) the same index. With
+      // later segments present it can only be damage — fail loudly.
+      if (index != segments.back().first) {
+        return PartitionError(p, "truncated segment header in " + path +
+                                     " with later segments present");
+      }
+      ++out->torn_tails;
+      reuse_tail_index = true;
+      break;
     }
     ++out->segments_read;
     if (seg.status == LogReadStatus::kTornTail) ++out->torn_tails;
@@ -179,7 +194,8 @@ std::string StagePartition(const RecoveryOptions& options, PartitionId p,
     return PartitionError(p, "records vanished while staging");
   }
   out->next_seq = (have_prev ? prev_seq : covered) + 1;
-  out->next_segment = segments.empty() ? 0 : segments.back().first + 1;
+  out->next_segment =
+      segments.empty() ? 0 : segments.back().first + (reuse_tail_index ? 0 : 1);
   out->records.shrink_to_fit();
   return "";
 }

@@ -15,6 +15,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -404,6 +405,74 @@ TEST(DurabilityCheckpoint, TruncatesCoveredSegments) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DurabilityCheckpoint, MpHistoryIsPrunedAcrossCheckpointRounds) {
+  KvWorkloadOptions mb;
+  mb.num_partitions = 2;
+  mb.num_clients = 1;
+  mb.keys_per_txn = 4;
+  mb.mp_fraction = 1.0;  // every txn reaches both partitions
+  const std::string dir = MakeTempDir("ckpt_mp_prune");
+
+  DbOptions opts = KvDbOptions(mb, "speculation", RunMode::kParallel, 85);
+  opts.durability = DurabilityMode::kGroupCommit;
+  opts.log_dir = dir;
+  auto db = Database::Open(std::move(opts));
+  const ProcId proc = db->proc(kKvReadUpdateProc);
+  constexpr int kRounds = 4;
+  constexpr int kPerRound = 20;
+  for (int r = 0; r < kRounds; ++r) {
+    auto session = db->CreateSession();
+    Rng rng(100 + static_cast<uint64_t>(r));
+    for (int i = 0; i < kPerRound; ++i) {
+      ASSERT_TRUE(session->Execute(proc, DrawKvTxn(mb, 0, rng)).committed);
+    }
+    session.reset();
+    ASSERT_TRUE(db->Checkpoint());
+  }
+  db->Close();
+  db.reset();
+
+  // The surviving (latest) checkpoint must list only the multi-partition ids
+  // of the last couple of rounds, not the partition's entire lifetime: a
+  // fully-successful round lets every log drop the ids its previous rotate
+  // captured, because every participant's checkpoint now covers them.
+  for (PartitionId p = 0; p < mb.num_partitions; ++p) {
+    const std::string prefix = "p" + std::to_string(p) + "-";
+    std::string ckpt_path;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0 && entry.path().extension() == ".ckpt") {
+        ASSERT_TRUE(ckpt_path.empty()) << "more than one checkpoint kept for partition " << p;
+        ckpt_path = entry.path().string();
+      }
+    }
+    ASSERT_FALSE(ckpt_path.empty()) << "partition " << p;
+    std::ifstream f(ckpt_path, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(f)),
+                            std::istreambuf_iterator<char>());
+    CheckpointImage img;
+    ASSERT_TRUE(DecodeCheckpoint(bytes, &img)) << ckpt_path;
+    EXPECT_LE(img.mp_committed.size(), 2u * kPerRound) << "partition " << p;
+    EXPECT_LT(img.mp_committed.size(), static_cast<size_t>(kRounds) * kPerRound)
+        << "mp history accumulated across rounds, partition " << p;
+    EXPECT_GE(img.mp_committed.size(), static_cast<size_t>(kPerRound)) << "partition " << p;
+  }
+
+  // The pruned directory still recovers to a working database.
+  DbOptions reopen = KvDbOptions(mb, "speculation", RunMode::kParallel, 86);
+  reopen.durability = DurabilityMode::kGroupCommit;
+  reopen.log_dir = dir;
+  auto db2 = Database::Open(std::move(reopen));
+  ASSERT_TRUE(db2->recovery_report().ok) << db2->recovery_report().error;
+  {
+    auto session = db2->CreateSession();
+    Rng rng(5);
+    EXPECT_TRUE(session->Execute(proc, DrawKvTxn(mb, 0, rng)).committed);
+  }
+  db2.reset();
+  std::filesystem::remove_all(dir);
+}
+
 // --- log file damage: torn tails tolerated, corruption rejected ------------
 
 struct HandLog {
@@ -411,6 +480,7 @@ struct HandLog {
   ProcedureRegistry registry;
   EngineFactory factory;
   std::string dir;
+  std::string header;   // encoded segment header alone
   std::string segment;  // encoded p0-0.log bytes: header + 5 records
 
   HandLog() {
@@ -425,7 +495,8 @@ struct HandLog {
     h.num_partitions = 1;
     h.first_seq = 1;
     h.procs.push_back(LogProcEntry{0, kKvReadUpdateProc});
-    EncodeLogSegmentHeader(h, &segment);
+    EncodeLogSegmentHeader(h, &header);
+    segment = header;
     for (uint64_t seq = 1; seq <= 5; ++seq) {
       EncodeLogRecord(Record(seq), &segment);
     }
@@ -445,8 +516,8 @@ struct HandLog {
     return rec;
   }
 
-  void WriteSegment(const std::string& bytes) const {
-    std::ofstream f(PartitionLog::SegmentPath(dir, 0, 0), std::ios::binary);
+  void WriteSegment(const std::string& bytes, uint64_t index = 0) const {
+    std::ofstream f(PartitionLog::SegmentPath(dir, 0, index), std::ios::binary);
     f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
 
@@ -469,6 +540,46 @@ TEST(DurabilityLogDamage, TornTailIsTolerated) {
   ASSERT_TRUE(rep.ok) << rep.error;
   EXPECT_EQ(rep.replayed, 5u);
   EXPECT_EQ(rep.torn_tails, 1u);
+}
+
+TEST(DurabilityLogDamage, TornHeaderOnTailSegmentIsTolerated) {
+  // Crash between OpenSegment's open(O_CREAT) and the header fsync: the
+  // highest-index segment is a short prefix of a header. Everything durable
+  // lives in the earlier segments; recovery must replay it and reuse the
+  // torn file's index rather than rejecting the partition.
+  HandLog h;
+  h.WriteSegment(h.segment, 0);
+  h.WriteSegment(h.header.substr(0, 10), 1);
+  const RecoveryReport rep = h.Recover();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.replayed, 5u);
+  EXPECT_EQ(rep.torn_tails, 1u);
+  ASSERT_EQ(rep.seeds.size(), 1u);
+  EXPECT_EQ(rep.seeds[0].next_seq, 6u);
+  EXPECT_EQ(rep.seeds[0].next_segment, 1u);  // overwrite the torn file in place
+}
+
+TEST(DurabilityLogDamage, EmptyTailSegmentIsTolerated) {
+  // Same crash a beat earlier: the file exists but not a single header byte
+  // landed.
+  HandLog h;
+  h.WriteSegment(h.segment, 0);
+  h.WriteSegment("", 1);
+  const RecoveryReport rep = h.Recover();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.replayed, 5u);
+  EXPECT_EQ(rep.seeds[0].next_segment, 1u);
+}
+
+TEST(DurabilityLogDamage, TornHeaderBeforeLaterSegmentsIsRejected) {
+  // A short header with a later segment present cannot be crash timing — the
+  // next segment is only ever created after the previous one was synced.
+  HandLog h;
+  h.WriteSegment(h.header.substr(0, 10), 0);
+  h.WriteSegment(h.segment, 1);
+  const RecoveryReport rep = h.Recover();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("truncated segment header"), std::string::npos) << rep.error;
 }
 
 TEST(DurabilityLogDamage, MidFileCorruptionIsRejected) {

@@ -32,7 +32,8 @@ void FuzzOneInput(const uint8_t* data, size_t size) {
   const std::string_view input(reinterpret_cast<const char*>(data), size);
 
   // 1. Whole-segment parse — what recovery runs on every p<p>-<i>.log image.
-  //    All three statuses are legal outcomes; only crashes count.
+  //    Every status (clean, torn tail, torn header, corrupt) is a legal
+  //    outcome; only crashes count.
   const LogSegmentContents seg = ParseLogSegment(input);
   (void)seg;
 
@@ -93,6 +94,10 @@ std::vector<std::string> SeedInputs() {
   std::string third;
   EncodeLogRecord(sp, &third);
   seeds.push_back(segment + third.substr(0, 7));  // crash mid-append: torn tail
+
+  std::string header_only;
+  EncodeLogSegmentHeader(h, &header_only);
+  seeds.push_back(header_only.substr(0, 10));  // crash mid-OpenSegment: torn header
 
   CheckpointImage img;
   img.partition = 0;
